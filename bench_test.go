@@ -1,0 +1,383 @@
+package cbi_test
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the transformation's design choices. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Wall-clock ratios between the sub-benchmarks of BenchmarkTable2Overhead
+// and BenchmarkFig4BCOverhead are the measured analogues of the paper's
+// Table 2 and Figure 4; cmd/cbi-bench prints them as formatted tables.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cbi/internal/analysis/elim"
+	"cbi/internal/analysis/logreg"
+	"cbi/internal/cfg"
+	"cbi/internal/core"
+	"cbi/internal/instrument"
+	"cbi/internal/interp"
+	"cbi/internal/report"
+	"cbi/internal/sampler"
+	"cbi/internal/stats"
+	"cbi/internal/workloads"
+)
+
+// ----------------------------------------------------------------------------
+// Table 1
+
+func BenchmarkTable1StaticMetrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := core.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 13 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Table 2: wall-clock per benchmark per configuration. The ratio of the
+// "always"/"dXXX" sub-benchmarks to "baseline" is the Table 2 cell.
+
+var table2Programs sync.Map // name/config -> *workloads.Built
+
+func table2Prog(b *testing.B, name, config string) *workloads.Built {
+	key := name + "/" + config
+	if v, ok := table2Programs.Load(key); ok {
+		return v.(*workloads.Built)
+	}
+	var built *workloads.Built
+	var err error
+	switch config {
+	case "baseline":
+		built, err = workloads.BuildBenchmark(name, instrument.SchemeSet{}, false)
+	case "always":
+		built, err = workloads.BuildBenchmark(name, instrument.SchemeSet{Bounds: true}, false)
+	default: // sampled
+		built, err = workloads.BuildBenchmark(name, instrument.SchemeSet{Bounds: true}, true)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	table2Programs.Store(key, built)
+	return built
+}
+
+func BenchmarkTable2Overhead(b *testing.B) {
+	densities := map[string]float64{"baseline": 0, "always": 0, "d100": 1.0 / 100, "d1000": 1.0 / 1000, "d1e6": 1.0 / 1e6}
+	order := []string{"baseline", "always", "d100", "d1000", "d1e6"}
+	for _, w := range workloads.All() {
+		for _, config := range order {
+			b.Run(fmt.Sprintf("%s/%s", w.Name, config), func(b *testing.B) {
+				built := table2Prog(b, w.Name, config)
+				d := densities[config]
+				var steps uint64
+				for i := 0; i < b.N; i++ {
+					res := interp.Run(built.Program, interp.Config{
+						Seed: 1, Density: d, CountdownSeed: int64(i),
+					})
+					if res.Outcome != interp.OutcomeOK {
+						b.Fatalf("crash: %v", res.Trap)
+					}
+					steps = res.Steps
+				}
+				b.ReportMetric(float64(steps), "vmsteps/op")
+			})
+		}
+	}
+}
+
+// ----------------------------------------------------------------------------
+// §3.1.2 selective sampling
+
+func BenchmarkSelectiveSampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := core.Selective("compress", 1.0/1000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FuncsMeasured == 0 {
+			b.Fatal("no functions")
+		}
+	}
+}
+
+// ----------------------------------------------------------------------------
+// §3.1.3 confidence arithmetic
+
+func BenchmarkConfidenceTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := core.ConfidenceTable()
+		if rows[0].Runs != 230258 {
+			b.Fatal("paper value")
+		}
+	}
+}
+
+// ----------------------------------------------------------------------------
+// §3.2 / Figure 2: ccrypt
+
+var (
+	ccryptOnce  sync.Once
+	ccryptStudy *core.CcryptStudy
+	ccryptErr   error
+)
+
+func ccryptFleet(b *testing.B) *core.CcryptStudy {
+	ccryptOnce.Do(func() {
+		ccryptStudy, ccryptErr = core.RunCcryptStudy(2000, 1.0/100, 42)
+	})
+	if ccryptErr != nil {
+		b.Fatal(ccryptErr)
+	}
+	return ccryptStudy
+}
+
+func BenchmarkCcryptElimination(b *testing.B) {
+	study := ccryptFleet(b)
+	spans := make([]elim.SiteSpan, 0, len(study.Program.Sites))
+	for _, s := range study.Program.Sites {
+		spans = append(spans, elim.SiteSpan{Base: s.CounterBase, Len: s.NumCounters})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := report.NewAggregate("ccrypt", study.Program.NumCounters)
+		if err := agg.FromDB(study.DB); err != nil {
+			b.Fatal(err)
+		}
+		counts := elim.Summarize(agg, spans)
+		if counts.UFandSC == 0 {
+			b.Fatal("no survivors")
+		}
+	}
+}
+
+func BenchmarkFig2ProgressiveElimination(b *testing.B) {
+	study := ccryptFleet(b)
+	sizes := []int{50, 200, 800, len(study.DB.Successes())}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points := study.Fig2Points(sizes, 20, int64(i))
+		if len(points) != len(sizes) {
+			b.Fatal("points")
+		}
+	}
+}
+
+// ----------------------------------------------------------------------------
+// §3.3: bc regression training
+
+var (
+	bcOnce sync.Once
+	bcDB   *report.DB
+	bcKeep []bool
+	bcErr  error
+)
+
+func bcFleet(b *testing.B) (*report.DB, []bool) {
+	bcOnce.Do(func() {
+		built, err := workloads.BuildBC(instrument.SchemeSet{ScalarPairs: true}, false)
+		if err != nil {
+			bcErr = err
+			return
+		}
+		bcDB, bcErr = workloads.BCFleet(built.Program, workloads.FleetConfig{Runs: 500, SeedBase: 11})
+		if bcErr != nil {
+			return
+		}
+		agg := report.NewAggregate("bc", built.Program.NumCounters)
+		if err := agg.FromDB(bcDB); err != nil {
+			bcErr = err
+			return
+		}
+		bcKeep = elim.UniversalFalsehood(agg)
+	})
+	if bcErr != nil {
+		b.Fatal(bcErr)
+	}
+	return bcDB, bcKeep
+}
+
+func BenchmarkBCRegressionTraining(b *testing.B) {
+	db, keep := bcFleet(b)
+	ds := logreg.BuildDataset(db.Reports, keep)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := logreg.Train(ds, logreg.TrainConfig{Lambda: 0.1, StepSize: 1e-2, Epochs: 10, Seed: int64(i)})
+		if len(m.TopFeatures(5)) == 0 {
+			b.Fatal("no features")
+		}
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Figure 4: bc overhead
+
+func BenchmarkFig4BCOverhead(b *testing.B) {
+	// seed 1 is a non-crashing bc input (verified in setup).
+	var seed int64
+	base, err := workloads.BuildBC(instrument.SchemeSet{}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for seed = 1; seed < 50; seed++ {
+		if interp.Run(base.Program, interp.Config{Seed: seed}).Outcome == interp.OutcomeOK {
+			break
+		}
+	}
+	uncond, err := workloads.BuildBC(instrument.SchemeSet{ScalarPairs: true}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sampled, err := workloads.BuildBC(instrument.SchemeSet{ScalarPairs: true}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		built   *workloads.Built
+		density float64
+	}{
+		{"baseline", base, 0},
+		{"always", uncond, 0},
+		{"d100", sampled, 1.0 / 100},
+		{"d1000", sampled, 1.0 / 1000},
+		{"d1e6", sampled, 1.0 / 1e6},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := interp.Run(c.built.Program, interp.Config{
+					Seed: seed, Density: c.density, CountdownSeed: int64(i),
+				})
+				if res.Outcome != interp.OutcomeOK {
+					b.Fatalf("crash: %v", res.Trap)
+				}
+			}
+		})
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+
+func BenchmarkAblationTransformVariants(b *testing.B) {
+	inst, err := workloads.BuildBenchmark("compress", instrument.SchemeSet{Bounds: true}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		opt  instrument.Options
+	}{
+		{"default", instrument.DefaultOptions()},
+		{"nocoalesce", instrument.Options{LocalizeCountdown: true}},
+		{"global", instrument.Options{CoalesceDecrements: true}},
+		{"separate", instrument.Options{CoalesceDecrements: true, LocalizeCountdown: true, SeparateCompilation: true}},
+		{"persite", instrument.Options{LocalizeCountdown: true, CheckPerSite: true}},
+	}
+	for _, v := range variants {
+		sp := instrument.Sample(inst.Program, v.opt)
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := interp.Run(sp, interp.Config{Seed: 1, Density: 1.0 / 100, CountdownSeed: int64(i)})
+				if res.Outcome != interp.OutcomeOK {
+					b.Fatal(res.Trap)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSimplifyPass(b *testing.B) {
+	mk := func(simplify bool) *workloads.Built {
+		built, err := workloads.BuildBenchmark("compress", instrument.SchemeSet{Bounds: true}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if simplify {
+			cfg.SimplifyProgram(built.Program)
+		}
+		return built
+	}
+	for _, tc := range []struct {
+		name     string
+		simplify bool
+	}{{"plain", false}, {"simplified", true}} {
+		built := mk(tc.simplify)
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := interp.Run(built.Program, interp.Config{Seed: 1, Density: 1.0 / 100, CountdownSeed: int64(i)})
+				if res.Outcome != interp.OutcomeOK {
+					b.Fatal(res.Trap)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationGeometricVsPeriodic(b *testing.B) {
+	sources := map[string]func() sampler.Source{
+		"geometric": func() sampler.Source { return sampler.NewGeometric(1, 1.0/100) },
+		"periodic":  func() sampler.Source { return &sampler.Periodic{Period: 100} },
+		"bernoulli": func() sampler.Source { return sampler.NewBernoulli(1, 1.0/100) },
+	}
+	for name, mk := range sources {
+		b.Run(name, func(b *testing.B) {
+			src := mk()
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				sink += src.Next()
+			}
+			_ = sink
+		})
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Infrastructure micro-benches
+
+func BenchmarkReportCodec(b *testing.B) {
+	rep := &report.Report{Program: "bc", Counters: make([]uint64, 10000)}
+	for i := 0; i < len(rep.Counters); i += 97 {
+		rep.Counters[i] = uint64(i)
+	}
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(rep.Encode()) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	enc := rep.Encode()
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := report.Decode(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGeometricCountdown(b *testing.B) {
+	g := sampler.NewGeometric(1, 1.0/1000)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += g.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkStatsRunsNeeded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if stats.RunsNeeded(0.9, 1.0/100, 1.0/1000) != 230258 {
+			b.Fatal("value")
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// cbi-analyze runs the paper's bug-isolation analyses end to end:
+//
+//	cbi-analyze -study ccrypt -runs 4000 -density 0.01    # §3.2 elimination
+//	cbi-analyze -study bc -runs 2000 -density 0           # §3.3 regression
+//
+// A density of 0 uses unconditional instrumentation; positive densities
+// apply the sampling transformation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cbi/internal/core"
+	"cbi/internal/instrument"
+	"cbi/internal/report"
+	"cbi/internal/workloads"
+)
+
+func main() {
+	var (
+		study   = flag.String("study", "ccrypt", "ccrypt | bc")
+		reports = flag.String("reports", "", "analyze a saved .cbr report file or directory instead of running a fleet")
+		save    = flag.String("save", "", "after running the fleet, save its reports to this .cbr file")
+		runs    = flag.Int("runs", 3000, "number of fuzzed runs")
+		density = flag.Float64("density", 1.0/100, "sampling density (0 = unconditional)")
+		seed    = flag.Int64("seed", 42, "fleet seed")
+		topK    = flag.Int("top", 5, "ranked predicates to show (bc)")
+	)
+	flag.Parse()
+
+	if *reports != "" {
+		analyzeSaved(*study, *reports, *topK)
+		return
+	}
+	switch *study {
+	case "ccrypt":
+		s, err := core.RunCcryptStudy(*runs, *density, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *save != "" {
+			if err := s.DB.WriteFile(*save); err != nil {
+				fatal(err)
+			}
+			fmt.Println("reports saved to", *save)
+		}
+		fmt.Printf("ccrypt: %d runs, %d crashes, %d counters\n\n", s.Runs, s.Crashes, s.Counts.Total)
+		c := s.Counts
+		fmt.Printf("elimination strategies (candidates retained):\n")
+		fmt.Printf("  universal falsehood:        %5d\n", c.UniversalFalsehood)
+		fmt.Printf("  lack of failing coverage:   %5d\n", c.LackOfFailingCoverage)
+		fmt.Printf("  lack of failing example:    %5d\n", c.LackOfFailingExample)
+		fmt.Printf("  successful counterexample:  %5d\n", c.SuccessfulCounterexample)
+		fmt.Printf("  UF ∧ SC (combined):         %5d\n", c.UFandSC)
+		fmt.Printf("  LFE ∧ SC:                   %5d\n", c.LFEandSC)
+		fmt.Printf("  LFC ∧ SC:                   %5d\n\n", c.LFCandSC)
+		fmt.Printf("surviving predicates:\n%s", core.FormatSurvivors(s.Survivors))
+		fmt.Printf("\nimportance ranking (2005 follow-up scoring):\n")
+		for i, p := range s.ImportanceRanking(*topK) {
+			fmt.Printf("%2d. importance=%.3f increase=%.3f  %s\n", i+1, p.Importance, p.Increase, p.Name)
+		}
+	case "bc":
+		s, err := core.RunBCStudy(core.BCStudyConfig{
+			Runs: *runs, Density: *density, Seed: *seed, TopK: *topK,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *save != "" {
+			if err := s.DB.WriteFile(*save); err != nil {
+				fatal(err)
+			}
+			fmt.Println("reports saved to", *save)
+		}
+		fmt.Printf("bc: %d runs, %d crashes\n", s.Runs, s.Crashes)
+		fmt.Printf("features: %d raw, %d after universal-falsehood elimination\n", s.RawFeatures, s.UsedFeatures)
+		fmt.Printf("lambda (cross-validated): %g   test accuracy: %.3f\n", s.Lambda, s.TestAccuracy)
+		fmt.Printf("buggy line: bc.mc:%d   smoking-gun rank: %d\n\n", s.BuggyLine, s.SmokingGunRank)
+		fmt.Printf("top crash predictors:\n%s", core.FormatTop(s.Top))
+		fmt.Printf("\n%d of the top %d point at the more_arrays bug line\n", s.TopPointAtBug(), len(s.Top))
+		fmt.Printf("\nimportance ranking (2005 follow-up scoring):\n")
+		for i, p := range s.ImportanceRanking(*topK) {
+			fmt.Printf("%2d. importance=%.3f increase=%.3f  %s\n", i+1, p.Importance, p.Increase, p.Name)
+		}
+	default:
+		fatal(fmt.Errorf("unknown study %q", *study))
+	}
+}
+
+// analyzeSaved reloads persisted reports and re-runs the study's
+// analysis against a rebuilt program (the counter space is fixed by the
+// workload + scheme, so saved reports line up with a fresh build).
+func analyzeSaved(study, path string, topK int) {
+	var built *workloads.Built
+	var err error
+	switch study {
+	case "ccrypt":
+		built, err = workloads.BuildCcrypt(instrument.SchemeSet{Returns: true}, false)
+	case "bc":
+		built, err = workloads.BuildBC(instrument.SchemeSet{ScalarPairs: true}, false)
+	default:
+		fatal(fmt.Errorf("unknown study %q", study))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		fatal(err)
+	}
+	var db *report.DB
+	if info.IsDir() {
+		db, err = report.LoadDir(path, study, built.Program.NumCounters)
+	} else {
+		db, err = report.LoadFile(path, study, built.Program.NumCounters)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: loaded %d reports (%d crashes) from %s\n\n", study, db.Len(), len(db.Failures()), path)
+	fmt.Println("importance ranking:")
+	for i, p := range core.ImportanceRanking(built.Program, db, topK) {
+		fmt.Printf("%2d. importance=%.3f increase=%.3f  %s\n", i+1, p.Importance, p.Increase, p.Name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cbi-analyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// cbi-collect is the standalone central collection server: it accepts
+// encoded run reports over HTTP at /report and serves a summary at
+// /stats. In aggregate mode it retains only sufficient statistics, the
+// §5 privacy posture.
+//
+// Usage:
+//
+//	cbi-collect -addr 127.0.0.1:8099 -counters 1710 -program ccrypt -mode store
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"cbi/internal/collect"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8099", "listen address")
+		program  = flag.String("program", "", "program build name (empty accepts any)")
+		counters = flag.Int("counters", 0, "expected counter-vector length (0 accepts any)")
+		mode     = flag.String("mode", "store", "store | aggregate")
+	)
+	flag.Parse()
+
+	m := collect.StoreAll
+	if *mode == "aggregate" {
+		m = collect.AggregateOnly
+	} else if *mode != "store" {
+		fmt.Fprintln(os.Stderr, "cbi-collect: unknown mode", *mode)
+		os.Exit(1)
+	}
+	srv := collect.NewServer(*program, *counters, m)
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbi-collect:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cbi-collect: listening on http://%s (mode=%s)\n", bound, *mode)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	agg := srv.Aggregate()
+	fmt.Printf("\ncbi-collect: shutting down after %d runs (%d crashes)\n", agg.Runs, agg.Crashes)
+	_ = srv.Stop()
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"cbi/internal/instrument"
+)
+
+func TestParseSchemeSet(t *testing.T) {
+	set, err := ParseSchemeSet("returns,scalar-pairs")
+	if err != nil || !set.Returns || !set.ScalarPairs || set.Bounds {
+		t.Errorf("returns,scalar-pairs: %+v, %v", set, err)
+	}
+	set, err = ParseSchemeSet("all")
+	if err != nil || !set.Returns || !set.ScalarPairs || !set.Branches || !set.Bounds || !set.Asserts {
+		t.Errorf("all: %+v, %v", set, err)
+	}
+	set, err = ParseSchemeSet("")
+	if err != nil || set.Returns || set.Bounds {
+		t.Errorf("empty: %+v, %v", set, err)
+	}
+	set, err = ParseSchemeSet("none")
+	if err != nil || set != (instrument.SchemeSet{}) {
+		t.Errorf("none: %+v, %v", set, err)
+	}
+	if _, err := ParseSchemeSet("bogus"); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+	if _, err := ParseSchemeSet("bounds,bogus"); err == nil {
+		t.Error("trailing bogus scheme accepted")
+	}
+}

@@ -1,0 +1,173 @@
+// cbi-run executes a MiniC program (a file or built-in workload) under
+// the interpreter — baseline, unconditionally instrumented, or sampled —
+// and emits the run's feedback report, optionally submitting it to a
+// collection server.
+//
+// Usage:
+//
+//	cbi-run -workload bc -scheme scalar-pairs -sample -density 0.001 -seed 7
+//	cbi-run -workload ccrypt -scheme returns -sample -density 0.01 -submit http://127.0.0.1:8099
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cbi/internal/cfg"
+	"cbi/internal/collect"
+	"cbi/internal/instrument"
+	"cbi/internal/interp"
+	"cbi/internal/minic"
+	"cbi/internal/workloads"
+)
+
+func main() {
+	var (
+		file     = flag.String("file", "", "MiniC source file")
+		workload = flag.String("workload", "", "built-in workload name")
+		scheme   = flag.String("scheme", "", "schemes: returns, scalar-pairs, branches, bounds, asserts (comma separated)")
+		sample   = flag.Bool("sample", false, "apply the sampling transformation")
+		density  = flag.Float64("density", 1.0/1000, "sampling density for -sample")
+		seed     = flag.Int64("seed", 1, "run seed (program rand and fuzzed environment)")
+		cdSeed   = flag.Int64("countdown-seed", 1, "countdown bank seed")
+		submit   = flag.String("submit", "", "collection server base URL")
+		out      = flag.String("report", "", "write the encoded report to this file")
+		traceCap = flag.Int("trace", 0, "keep an ordered trace of the last N sampled events")
+		showOut  = flag.Bool("stdout", true, "echo program output")
+	)
+	flag.Parse()
+
+	set, err := parseSchemes(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+
+	var f *minic.File
+	name := *workload
+	builtins := minic.DefaultBuiltins()
+	var intrinsics map[string]interp.Intrinsic
+	switch {
+	case *workload == "ccrypt":
+		f, err = minic.Parse("ccrypt.mc", workloads.CcryptSource)
+		builtins = workloads.CcryptBuiltins()
+		intrinsics = workloads.NewCcryptWorld(*seed).Intrinsics()
+	case *workload == "bc":
+		f, err = minic.Parse("bc.mc", workloads.BCSource)
+	case *workload != "":
+		var b workloads.Benchmark
+		b, err = workloads.ByName(*workload)
+		if err == nil {
+			f, err = b.Parse()
+		}
+	case *file != "":
+		name = *file
+		var src []byte
+		src, err = os.ReadFile(*file)
+		if err == nil {
+			f, err = minic.Parse(*file, string(src))
+		}
+	default:
+		err = fmt.Errorf("need -file or -workload")
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	prog, err := cfg.Build(f, builtins, &instrument.Schemes{Set: set})
+	if err != nil {
+		fatal(err)
+	}
+	effDensity := 0.0
+	if *sample {
+		prog = instrument.Sample(prog, instrument.DefaultOptions())
+		effDensity = *density
+	}
+
+	conf := interp.Config{
+		Seed:          *seed,
+		Density:       effDensity,
+		CountdownSeed: *cdSeed,
+		Intrinsics:    intrinsics,
+		TraceCapacity: *traceCap,
+	}
+	if *showOut {
+		conf.Stdout = os.Stdout
+	}
+	res := interp.Run(prog, conf)
+	rep := workloads.ReportOf(name, uint64(*seed), res)
+
+	fmt.Printf("\noutcome: %v  exit=%d  steps=%d  samples=%d\n",
+		outcomeName(res), res.ExitCode, res.Steps, res.SamplesTaken)
+	if res.Trap != nil {
+		fmt.Printf("trap: %v\n", res.Trap)
+	}
+	nonzero := 0
+	for _, c := range rep.Counters {
+		if c != 0 {
+			nonzero++
+		}
+	}
+	fmt.Printf("report: %d counters, %d nonzero, %d bytes encoded\n",
+		len(rep.Counters), nonzero, len(rep.Encode()))
+	if len(rep.Trace) > 0 {
+		fmt.Printf("trace (last %d sampled sites):", len(rep.Trace))
+		for _, id := range rep.Trace {
+			fmt.Printf(" %d", id)
+		}
+		fmt.Println()
+	}
+
+	if *out != "" {
+		if err := os.WriteFile(*out, rep.Encode(), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *submit != "" {
+		if err := collect.NewClient(*submit).Submit(rep); err != nil {
+			fatal(err)
+		}
+		fmt.Println("report submitted to", *submit)
+	}
+	if res.Outcome == interp.OutcomeCrash {
+		os.Exit(2)
+	}
+}
+
+func outcomeName(res interp.Result) string {
+	if res.Outcome == interp.OutcomeCrash {
+		return "CRASH"
+	}
+	return "ok"
+}
+
+func parseSchemes(s string) (instrument.SchemeSet, error) {
+	var set instrument.SchemeSet
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			switch name := s[start:i]; name {
+			case "returns":
+				set.Returns = true
+			case "scalar-pairs":
+				set.ScalarPairs = true
+			case "branches":
+				set.Branches = true
+			case "bounds":
+				set.Bounds = true
+			case "asserts":
+				set.Asserts = true
+			case "", "none":
+			default:
+				return set, fmt.Errorf("unknown scheme %q", name)
+			}
+			start = i + 1
+		}
+	}
+	return set, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cbi-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package cbi reproduces "Bug Isolation via Remote Program Sampling"
+// (Liblit, Aiken, Zheng, Jordan; PLDI 2003) as a complete Go system:
+// a MiniC front end and interpreter, the paper's fair-sampling
+// transformation (geometric countdowns, fast/slow path cloning, threshold
+// checks, weightless-function analysis), remote report collection, and
+// the two bug-isolation analyses (predicate elimination and
+// ℓ1-regularized logistic regression).
+//
+// The implementation lives under internal/; see README.md for the
+// architecture tour, DESIGN.md for the system inventory and experiment
+// index, and EXPERIMENTS.md for paper-vs-measured results. Command-line
+// entry points are under cmd/, runnable walkthroughs under examples/,
+// and bench_test.go regenerates every table and figure.
+package cbi

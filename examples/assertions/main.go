@@ -1,0 +1,108 @@
+// assertions: the §3.1 application — share the cost of assertion-dense
+// code across a user community. Each simulated user executes only a
+// sampled fraction of the checks, so every individual run is nearly
+// full-speed, yet in aggregate the community still observes the rare
+// assertion violation.
+//
+//	go run ./examples/assertions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cbi/internal/cfg"
+	"cbi/internal/instrument"
+	"cbi/internal/interp"
+	"cbi/internal/minic"
+	"cbi/internal/stats"
+)
+
+// An assertion-dense program with a rare violation: one assertion fails
+// on roughly 1 run in 53 (when the random bias lands in a bad residue
+// class), and only at the last loop iteration.
+const src = `
+int check_step(int acc, int i, int bias) {
+	assert(acc >= 0);
+	assert(i >= 0);
+	assert(i < 100);
+	assert(bias % 53 != 7 || i < 99); // fails ~1 run in 53
+	return acc;
+}
+
+int main() {
+	int bias = rand(53000);
+	int acc = 0;
+	for (int i = 0; i < 100; i++) {
+		acc = check_step(acc + i % 7, i, bias);
+	}
+	return acc % 256;
+}
+`
+
+func main() {
+	file, err := minic.Parse("checked.mc", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseline, err := cfg.Build(file, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// NOTE: with no asserts scheme, assert() runs eagerly — that is the
+	// "debug build" every user would refuse to run. Measure it.
+	eager := mustSteps(baseline, 0, 0)
+
+	inst, err := cfg.Build(file, nil, &instrument.Schemes{Set: instrument.SchemeSet{Asserts: true}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sampled := instrument.Sample(inst, instrument.DefaultOptions())
+
+	const density = 1.0 / 100
+	fmt.Println("per-user cost (VM steps, seed 0, successful input):")
+	fmt.Printf("  every assertion checked: %d steps\n", eager)
+	one := mustSteps(sampled, density, 1)
+	fmt.Printf("  1/100 sampling:          %d steps (%.1f%% of eager)\n\n",
+		one, 100*float64(one)/float64(eager))
+
+	// Simulate the community: how many users until the violation is seen?
+	const users = 20000
+	violations := 0
+	crashingRuns := 0
+	for u := int64(0); u < users; u++ {
+		res := interp.Run(sampled, interp.Config{Seed: u, Density: density, CountdownSeed: u + 5})
+		if res.Outcome == interp.OutcomeCrash {
+			crashingRuns++
+			if res.Trap.Kind == interp.TrapAssertFailed {
+				violations++
+			}
+		}
+	}
+	fmt.Printf("community of %d users at 1/100 sampling:\n", users)
+	fmt.Printf("  sampled assertion failures observed: %d (expected ~%.1f)\n\n",
+		violations, float64(users)/53.0*density)
+
+	// Compare with the §3.1.3 arithmetic: a 1-in-53 event at 1/100
+	// sampling; each failing run crosses the violated assertion once, so
+	// the closed form applies directly.
+	needed := stats.RunsNeeded(0.90, 1.0/53, density)
+	fmt.Printf("§3.1.3 arithmetic: %d runs give 90%% confidence of observing\n", needed)
+	fmt.Printf("a 1-in-53-runs violation at 1/100 sampling; the probability of\n")
+	fmt.Printf("seeing it at least once in %d runs is %.1f%%.\n",
+		users, 100*stats.ObservationProbability(1.0/53, density, users))
+}
+
+func mustSteps(p *cfg.Program, density float64, cdSeed int64) uint64 {
+	// Find a seed whose input is clean (no violation) for a fair cost
+	// comparison.
+	for seed := int64(0); seed < 50; seed++ {
+		res := interp.Run(p, interp.Config{Seed: seed, Density: density, CountdownSeed: cdSeed})
+		if res.Outcome == interp.OutcomeOK {
+			return res.Steps
+		}
+	}
+	log.Fatal("no clean seed found")
+	return 0
+}

@@ -1,0 +1,86 @@
+// partition: statically selective sampling across the user base
+// (§3.1.2). The full site population is split into three executables,
+// each shipped to a third of the community; every user pays for only a
+// third of the instrumentation, yet the merged analysis still isolates
+// the bug, because each site lives in exactly one partition.
+//
+//	go run ./examples/partition
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cbi/internal/analysis/elim"
+	"cbi/internal/cfg"
+	"cbi/internal/instrument"
+	"cbi/internal/minic"
+	"cbi/internal/report"
+	"cbi/internal/workloads"
+)
+
+func main() {
+	const (
+		parts       = 3
+		runsPerPart = 6000
+		density     = 1.0 / 100
+	)
+	file, err := minic.Parse("ccrypt.mc", workloads.CcryptSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Whole-program build, for comparison.
+	full, err := cfg.Build(file, workloads.CcryptBuiltins(),
+		&instrument.Schemes{Set: instrument.SchemeSet{Returns: true}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("whole-program build: %d sites\n", len(full.Sites))
+
+	var survivors []string
+	for idx := 0; idx < parts; idx++ {
+		prog, err := cfg.Build(file, workloads.CcryptBuiltins(), &instrument.Schemes{
+			Set:       instrument.SchemeSet{Returns: true},
+			PartCount: parts,
+			PartIndex: idx,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sampled := instrument.Sample(prog, instrument.DefaultOptions())
+		db, err := workloads.CcryptFleet(sampled, workloads.FleetConfig{
+			Runs: runsPerPart, Density: density, SeedBase: int64(idx) * 100000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		agg := report.NewAggregate("ccrypt", prog.NumCounters)
+		if err := agg.FromDB(db); err != nil {
+			log.Fatal(err)
+		}
+		combined := elim.Intersect(elim.UniversalFalsehood(agg), elim.SuccessfulCounterexample(agg))
+		hasGun := false
+		for _, s := range prog.Sites {
+			if s.Text == "xreadline() return value" {
+				hasGun = true
+			}
+		}
+		note := ""
+		if hasGun {
+			note = "   <- holds the xreadline site"
+		}
+		fmt.Printf("partition %d: %d sites, %d runs (%d crashes), %d surviving predicates%s\n",
+			idx, len(prog.Sites), db.Len(), len(db.Failures()), elim.Count(combined), note)
+		for _, c := range elim.Indices(combined) {
+			survivors = append(survivors, prog.PredicateName(c))
+		}
+	}
+
+	fmt.Println("\nmerged survivors across partitions:")
+	for _, s := range survivors {
+		fmt.Println("  ", s)
+	}
+	fmt.Println("\n(each user executed one third of the instrumentation; the")
+	fmt.Println(" union of per-partition analyses still isolates the EOF bug)")
+}

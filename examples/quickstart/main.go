@@ -1,0 +1,110 @@
+// Quickstart: the whole pipeline on a ten-line program.
+//
+// We write a tiny MiniC program with a latent bug, instrument it with the
+// returns scheme, apply the sampling transformation, simulate a user
+// community, ship the reports to a collection server over HTTP, and let
+// predicate elimination point at the bug.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cbi/internal/analysis/elim"
+	"cbi/internal/cfg"
+	"cbi/internal/collect"
+	"cbi/internal/instrument"
+	"cbi/internal/interp"
+	"cbi/internal/minic"
+	"cbi/internal/report"
+	"cbi/internal/workloads"
+)
+
+// The program under test: parse_header returns a negative code for bad
+// input, and process() forgets to check it before using the result as an
+// array index.
+const src = `
+int parse_header(int tag) {
+	if (tag % 211 == 3) { return -1; } // corrupt header (rare)
+	return tag % 8;
+}
+
+int process(int* table, int tag) {
+	int idx = parse_header(tag);
+	// BUG: negative idx is not rejected.
+	return table[idx];
+}
+
+int main() {
+	int* table = alloc(8);
+	for (int i = 0; i < 8; i++) { table[i] = i * 10; }
+	int total = 0;
+	for (int i = 0; i < 40; i++) {
+		total += process(table, rand(1000));
+	}
+	return 0;
+}
+`
+
+func main() {
+	// 1. Parse and instrument with the returns scheme, then apply the
+	//    sampling transformation (fast path + slow path + thresholds).
+	file, err := minic.Parse("quickstart.mc", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := cfg.Build(file, nil, &instrument.Schemes{Set: instrument.SchemeSet{Returns: true}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sampled := instrument.Sample(prog, instrument.DefaultOptions())
+	fmt.Printf("instrumented %d sites (%d counters)\n", len(prog.Sites), prog.NumCounters)
+
+	// 2. Start a central collection server.
+	srv := collect.NewServer("quickstart", prog.NumCounters, collect.StoreAll)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Stop()
+	client := collect.NewClient("http://" + addr)
+
+	// 3. Simulate the user community: each user runs with 1/10 sampling
+	//    and phones home.
+	const users = 2000
+	crashes := 0
+	for u := int64(0); u < users; u++ {
+		res := interp.Run(sampled, interp.Config{
+			Seed:          u,
+			Density:       1.0 / 10,
+			CountdownSeed: u * 31,
+		})
+		if res.Outcome == interp.OutcomeCrash {
+			crashes++
+		}
+		if err := client.Submit(workloads.ReportOf("quickstart", uint64(u), res)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("community: %d runs collected, %d crashes\n", st.Runs, st.Crashes)
+
+	// 4. Analyze: which predicates are true only in failed runs?
+	db := srv.DB()
+	agg := report.NewAggregate("quickstart", prog.NumCounters)
+	if err := agg.FromDB(db); err != nil {
+		log.Fatal(err)
+	}
+	combined := elim.Intersect(elim.UniversalFalsehood(agg), elim.SuccessfulCounterexample(agg))
+	fmt.Println("\npredicates observed true only in crashing runs:")
+	for _, c := range elim.Indices(combined) {
+		fmt.Println("  ", prog.PredicateName(c))
+	}
+	fmt.Println("\n(the parse_header() < 0 predicate is the bug: a negative")
+	fmt.Println(" header code flows into table[idx])")
+}

@@ -1,0 +1,3 @@
+module cbi
+
+go 1.22

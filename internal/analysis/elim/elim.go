@@ -1,0 +1,196 @@
+// Package elim implements the predicate-elimination strategies of §3.2:
+// given many runs of an instrumented program, it discards predicates whose
+// observed behaviour is inconsistent with the hypothesis "this predicate
+// being true causes (or raises the risk of) failure", leaving a small set
+// of candidate bug predictors.
+package elim
+
+import (
+	"math/rand"
+
+	"cbi/internal/report"
+	"cbi/internal/stats"
+)
+
+// SiteSpan describes the counter range of one instrumentation site (e.g.
+// the three sign counters of a returns site). Elimination by lack of
+// failing coverage operates on spans: a site none of whose counters was
+// ever nonzero in a failing run was not even reached by failures.
+type SiteSpan struct {
+	Base int
+	Len  int
+}
+
+// UniversalFalsehood retains counters that were nonzero on at least one
+// run; counters zero on all runs "likely represent predicates that can
+// never be true" (§3.2.2).
+func UniversalFalsehood(a *report.Aggregate) []bool {
+	keep := make([]bool, a.NumCounters)
+	for i := range keep {
+		keep[i] = a.NonzeroInSuccess[i] || a.NonzeroInFailure[i]
+	}
+	return keep
+}
+
+// LackOfFailingCoverage retains counters whose site was reached in at
+// least one failing run (§3.2.2).
+func LackOfFailingCoverage(a *report.Aggregate, spans []SiteSpan) []bool {
+	keep := make([]bool, a.NumCounters)
+	for _, sp := range spans {
+		reached := false
+		for i := sp.Base; i < sp.Base+sp.Len && i < a.NumCounters; i++ {
+			if a.NonzeroInFailure[i] {
+				reached = true
+				break
+			}
+		}
+		if reached {
+			for i := sp.Base; i < sp.Base+sp.Len && i < a.NumCounters; i++ {
+				keep[i] = true
+			}
+		}
+	}
+	return keep
+}
+
+// LackOfFailingExample retains counters nonzero on at least one failed
+// run; the rest "likely represent predicates that need not be true for a
+// failure to occur" (§3.2.2).
+func LackOfFailingExample(a *report.Aggregate) []bool {
+	return append([]bool(nil), a.NonzeroInFailure...)
+}
+
+// SuccessfulCounterexample retains counters that are zero on every
+// successful run; a counter observed true in a successful run "must
+// represent a predicate that can be true without a subsequent program
+// failure" (§3.2.2). This strategy assumes the bug is deterministic.
+func SuccessfulCounterexample(a *report.Aggregate) []bool {
+	keep := make([]bool, a.NumCounters)
+	for i := range keep {
+		keep[i] = !a.NonzeroInSuccess[i]
+	}
+	return keep
+}
+
+// Intersect combines strategies: a counter survives only if every
+// strategy retains it. With no arguments it returns nil.
+func Intersect(sets ...[]bool) []bool {
+	if len(sets) == 0 {
+		return nil
+	}
+	out := append([]bool(nil), sets[0]...)
+	for _, s := range sets[1:] {
+		for i := range out {
+			out[i] = out[i] && i < len(s) && s[i]
+		}
+	}
+	return out
+}
+
+// Count returns the number of retained counters.
+func Count(set []bool) int {
+	n := 0
+	for _, b := range set {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Indices returns the retained counter indices in order.
+func Indices(set []bool) []int {
+	var out []int
+	for i, b := range set {
+		if b {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ----------------------------------------------------------------------------
+// Progressive refinement (Figure 2)
+
+// Point is one x-position of Figure 2: the candidate-predicate count
+// after elimination by successful counterexample over subsets of a given
+// number of successful runs, summarized over many random subsets.
+type Point struct {
+	Runs   int
+	Mean   float64
+	StdDev float64
+}
+
+// Progressive reproduces Figure 2's experiment: starting from the
+// candidate set initial (typically UniversalFalsehood over all runs), it
+// draws `trials` random subsets of the successful runs at each size in
+// sizes, applies elimination by successful counterexample using only that
+// subset, and records the mean and standard deviation of the surviving
+// predicate count.
+func Progressive(successes []*report.Report, initial []bool, sizes []int, trials int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	numCounters := len(initial)
+	points := make([]Point, 0, len(sizes))
+	for _, size := range sizes {
+		if size > len(successes) {
+			size = len(successes)
+		}
+		counts := make([]float64, 0, trials)
+		for trial := 0; trial < trials; trial++ {
+			perm := rng.Perm(len(successes))
+			seen := make([]bool, numCounters)
+			for _, ri := range perm[:size] {
+				for i, c := range successes[ri].Counters {
+					if c != 0 {
+						seen[i] = true
+					}
+				}
+			}
+			n := 0
+			for i := range initial {
+				if initial[i] && !seen[i] {
+					n++
+				}
+			}
+			counts = append(counts, float64(n))
+		}
+		points = append(points, Point{
+			Runs:   size,
+			Mean:   stats.Mean(counts),
+			StdDev: stats.StdDev(counts),
+		})
+	}
+	return points
+}
+
+// StrategyCounts reports, for each §3.2.3-style strategy applied
+// independently, how many candidate predicates remain. spans is needed for
+// lack of failing coverage.
+type StrategyCounts struct {
+	Total                    int
+	UniversalFalsehood       int
+	LackOfFailingCoverage    int
+	LackOfFailingExample     int
+	SuccessfulCounterexample int
+	UFandSC                  int // the paper's headline combination
+	LFEandSC                 int
+	LFCandSC                 int
+}
+
+// Summarize applies every strategy to the aggregate.
+func Summarize(a *report.Aggregate, spans []SiteSpan) StrategyCounts {
+	uf := UniversalFalsehood(a)
+	lfc := LackOfFailingCoverage(a, spans)
+	lfe := LackOfFailingExample(a)
+	sc := SuccessfulCounterexample(a)
+	return StrategyCounts{
+		Total:                    a.NumCounters,
+		UniversalFalsehood:       Count(uf),
+		LackOfFailingCoverage:    Count(lfc),
+		LackOfFailingExample:     Count(lfe),
+		SuccessfulCounterexample: Count(sc),
+		UFandSC:                  Count(Intersect(uf, sc)),
+		LFEandSC:                 Count(Intersect(lfe, sc)),
+		LFCandSC:                 Count(Intersect(lfc, sc)),
+	}
+}

@@ -1,0 +1,176 @@
+package elim
+
+import (
+	"testing"
+
+	"cbi/internal/report"
+)
+
+// fixture: 8 counters across 3 sites (spans 0-2, 3-5, 6-7).
+//
+//	counter 0: true in failures only        -> the smoking gun
+//	counter 1: true in successes and failures
+//	counter 2: never true
+//	counter 3: true in successes only
+//	counter 4: never true
+//	counter 5: never true (site 1 reached only via counter 3 in successes)
+//	counter 6: never true  (site 2 never reached in failures)
+//	counter 7: true in successes only (site 2)
+func fixtureDB(t *testing.T) *report.DB {
+	t.Helper()
+	db := report.NewDB("p", 8)
+	add := func(crashed bool, counters []uint64) {
+		t.Helper()
+		if err := db.Add(&report.Report{Program: "p", Crashed: crashed, Counters: counters}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(false, []uint64{0, 2, 0, 1, 0, 0, 0, 4})
+	add(false, []uint64{0, 1, 0, 0, 0, 0, 0, 0})
+	add(true, []uint64{3, 1, 0, 0, 0, 0, 0, 0})
+	add(true, []uint64{1, 0, 0, 0, 0, 0, 0, 0})
+	return db
+}
+
+var spans = []SiteSpan{{0, 3}, {3, 3}, {6, 2}}
+
+func aggregate(t *testing.T, db *report.DB) *report.Aggregate {
+	t.Helper()
+	a := report.NewAggregate("p", 8)
+	if err := a.FromDB(db); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestStrategiesIndividually(t *testing.T) {
+	a := aggregate(t, fixtureDB(t))
+
+	uf := UniversalFalsehood(a)
+	if got := Indices(uf); !equalInts(got, []int{0, 1, 3, 7}) {
+		t.Errorf("universal falsehood: %v", got)
+	}
+	lfe := LackOfFailingExample(a)
+	if got := Indices(lfe); !equalInts(got, []int{0, 1}) {
+		t.Errorf("lack of failing example: %v", got)
+	}
+	lfc := LackOfFailingCoverage(a, spans)
+	if got := Indices(lfc); !equalInts(got, []int{0, 1, 2}) {
+		t.Errorf("lack of failing coverage: %v", got)
+	}
+	sc := SuccessfulCounterexample(a)
+	if got := Indices(sc); !equalInts(got, []int{0, 2, 4, 5, 6}) {
+		t.Errorf("successful counterexample: %v", got)
+	}
+}
+
+func TestCombinationIsolatesSmokingGun(t *testing.T) {
+	a := aggregate(t, fixtureDB(t))
+	// §3.2.3's combination: (universal falsehood) ∧ (successful
+	// counterexample) = sometimes true in failures, never in successes.
+	combined := Intersect(UniversalFalsehood(a), SuccessfulCounterexample(a))
+	if got := Indices(combined); !equalInts(got, []int{0}) {
+		t.Errorf("combination: %v, want [0]", got)
+	}
+}
+
+func TestSubsetRelations(t *testing.T) {
+	// (universal falsehood) and (lack of failing coverage) each eliminate
+	// a subset of what (lack of failing example) eliminates — i.e. retain
+	// supersets of LFE's retained set (§3.2.2).
+	a := aggregate(t, fixtureDB(t))
+	uf := UniversalFalsehood(a)
+	lfc := LackOfFailingCoverage(a, spans)
+	lfe := LackOfFailingExample(a)
+	for i := range lfe {
+		if lfe[i] && !uf[i] {
+			t.Errorf("counter %d retained by LFE but not UF", i)
+		}
+		if lfe[i] && !lfc[i] {
+			t.Errorf("counter %d retained by LFE but not LFC", i)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	a := aggregate(t, fixtureDB(t))
+	s := Summarize(a, spans)
+	if s.Total != 8 {
+		t.Error("total")
+	}
+	if s.UniversalFalsehood != 4 || s.LackOfFailingExample != 2 ||
+		s.LackOfFailingCoverage != 3 || s.SuccessfulCounterexample != 5 {
+		t.Errorf("%+v", s)
+	}
+	if s.UFandSC != 1 || s.LFEandSC != 1 {
+		t.Errorf("combinations: %+v", s)
+	}
+}
+
+func TestIntersectAndHelpers(t *testing.T) {
+	if Intersect() != nil {
+		t.Error("empty intersect")
+	}
+	got := Intersect([]bool{true, true, false}, []bool{true, false, true})
+	if Count(got) != 1 || !got[0] {
+		t.Errorf("%v", got)
+	}
+	// Mismatched lengths: missing entries are treated as false.
+	short := Intersect([]bool{true, true}, []bool{true})
+	if Count(short) != 1 {
+		t.Errorf("short: %v", short)
+	}
+}
+
+func TestProgressiveShrinksMonotonically(t *testing.T) {
+	// Synthetic: 40 counters. Counter 0 never true in successes; the rest
+	// become "seen true in a success" at varying frequencies, so more
+	// successful runs -> more elimination.
+	const nc = 40
+	db := report.NewDB("p", nc)
+	for i := 0; i < 500; i++ {
+		counters := make([]uint64, nc)
+		for j := 1; j < nc; j++ {
+			if i%(j+1) == 0 {
+				counters[j] = 1
+			}
+		}
+		if err := db.Add(&report.Report{Program: "p", Counters: counters}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	initial := make([]bool, nc)
+	for i := range initial {
+		initial[i] = true
+	}
+	points := Progressive(db.Successes(), initial, []int{5, 50, 500}, 30, 1)
+	if len(points) != 3 {
+		t.Fatalf("points: %d", len(points))
+	}
+	if !(points[0].Mean > points[1].Mean && points[1].Mean > points[2].Mean) {
+		t.Errorf("means not decreasing: %+v", points)
+	}
+	// With all 500 runs every subset is identical: zero variance, and the
+	// survivor is exactly counter 0 (every other j is hit by run i=0).
+	last := points[2]
+	if last.StdDev != 0 || last.Mean != 1 {
+		t.Errorf("full-set point: %+v", last)
+	}
+	// Requesting more runs than exist clamps.
+	clamped := Progressive(db.Successes(), initial, []int{10000}, 5, 1)
+	if clamped[0].Runs != 500 {
+		t.Errorf("clamp: %+v", clamped[0])
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,299 @@
+// Package logreg implements the statistical-debugging model of §3.3:
+// ℓ1-regularized logistic regression over predicate counters, trained by
+// stochastic gradient ascent, with feature scaling and cross-validated
+// choice of the regularization strength. Predicates with the largest
+// trained coefficients are the suggested places to look for the bug.
+package logreg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"cbi/internal/report"
+)
+
+// Dataset is a dense design matrix over the retained features.
+type Dataset struct {
+	// X[i][j] is the (scaled) value of feature j in run i.
+	X [][]float64
+	// Y[i] is the outcome label: 1 = crashed, 0 = succeeded.
+	Y []int
+	// FeatureIdx maps dataset feature j back to its counter index.
+	FeatureIdx []int
+	// Scale holds the per-feature scaling applied (divide-by), so test
+	// data can reuse the training transform.
+	Scale []float64
+}
+
+// BuildDataset extracts the counters retained by keep (nil keeps all)
+// from the reports, scales each feature to [0,1] by its maximum, then
+// normalizes to unit sample variance (§3.3.3: "all the input features are
+// shifted and scaled to lie on the interval [0,1], then normalized to
+// have unit sample variance").
+func BuildDataset(reports []*report.Report, keep []bool) *Dataset {
+	if len(reports) == 0 {
+		return &Dataset{}
+	}
+	n := len(reports[0].Counters)
+	var idx []int
+	for j := 0; j < n; j++ {
+		if keep == nil || (j < len(keep) && keep[j]) {
+			idx = append(idx, j)
+		}
+	}
+	ds := &Dataset{FeatureIdx: idx}
+	raw := make([][]float64, len(reports))
+	for i, r := range reports {
+		row := make([]float64, len(idx))
+		for jj, j := range idx {
+			row[jj] = float64(r.Counters[j])
+		}
+		raw[i] = row
+		ds.Y = append(ds.Y, r.Label())
+	}
+	// Scale to [0,1] by max, then unit variance.
+	ds.Scale = make([]float64, len(idx))
+	for j := range idx {
+		maxv := 0.0
+		for i := range raw {
+			if raw[i][j] > maxv {
+				maxv = raw[i][j]
+			}
+		}
+		if maxv == 0 {
+			maxv = 1
+		}
+		mean, m2 := 0.0, 0.0
+		for i := range raw {
+			v := raw[i][j] / maxv
+			delta := v - mean
+			mean += delta / float64(i+1)
+			m2 += delta * (v - mean)
+		}
+		variance := 0.0
+		if len(raw) > 1 {
+			variance = m2 / float64(len(raw)-1)
+		}
+		std := math.Sqrt(variance)
+		if std == 0 {
+			std = 1
+		}
+		ds.Scale[j] = maxv * std
+	}
+	ds.X = raw
+	for i := range ds.X {
+		for j := range idx {
+			ds.X[i][j] /= ds.Scale[j]
+		}
+	}
+	return ds
+}
+
+// Split partitions the reports into train/cv/test sets with the given
+// fractions (§3.3.3 uses roughly 62%/7%/31%).
+func Split(reports []*report.Report, trainFrac, cvFrac float64, seed int64) (train, cv, test []*report.Report) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(reports))
+	nTrain := int(trainFrac * float64(len(reports)))
+	nCV := int(cvFrac * float64(len(reports)))
+	for i, pi := range perm {
+		switch {
+		case i < nTrain:
+			train = append(train, reports[pi])
+		case i < nTrain+nCV:
+			cv = append(cv, reports[pi])
+		default:
+			test = append(test, reports[pi])
+		}
+	}
+	return train, cv, test
+}
+
+// Model is a trained logistic-regression classifier.
+type Model struct {
+	Beta0      float64
+	Beta       []float64
+	FeatureIdx []int
+	Lambda     float64
+}
+
+// TrainConfig controls stochastic gradient ascent.
+type TrainConfig struct {
+	// Lambda is the ℓ1 regularization strength (§3.3.3 cross-validates to
+	// 0.3 for bc).
+	Lambda float64
+	// StepSize is the SGA step (§3.3.3 uses 1e-5 on bc's scale; defaults
+	// to 1e-3 here).
+	StepSize float64
+	// Epochs is the number of passes through the training set (the paper's
+	// model "usually converges within sixty iterations").
+	Epochs int
+	// Seed shuffles the visit order.
+	Seed int64
+}
+
+// Train fits the model by maximizing the ℓ1-penalized log likelihood
+// with stochastic gradient ascent (§3.3.2). The ℓ1 subgradient uses
+// clipping at zero so coefficients are truly sparse.
+func Train(ds *Dataset, conf TrainConfig) *Model {
+	if conf.StepSize == 0 {
+		conf.StepSize = 1e-3
+	}
+	if conf.Epochs == 0 {
+		conf.Epochs = 60
+	}
+	m := &Model{Beta: make([]float64, len(ds.FeatureIdx)), FeatureIdx: ds.FeatureIdx, Lambda: conf.Lambda}
+	rng := rand.New(rand.NewSource(conf.Seed))
+	step := conf.StepSize
+	for epoch := 0; epoch < conf.Epochs; epoch++ {
+		perm := rng.Perm(len(ds.X))
+		for _, i := range perm {
+			x := ds.X[i]
+			mu := m.prob(x)
+			g := float64(ds.Y[i]) - mu
+			m.Beta0 += step * g
+			for j, xv := range x {
+				if xv == 0 && m.Beta[j] == 0 {
+					continue
+				}
+				b := m.Beta[j] + step*g*xv
+				// ℓ1 shrinkage with clipping at zero (truncated gradient).
+				shrink := step * conf.Lambda
+				switch {
+				case b > shrink:
+					b -= shrink
+				case b < -shrink:
+					b += shrink
+				default:
+					b = 0
+				}
+				m.Beta[j] = b
+			}
+		}
+	}
+	return m
+}
+
+func (m *Model) prob(x []float64) float64 {
+	z := m.Beta0
+	for j, xv := range x {
+		if xv != 0 {
+			z += m.Beta[j] * xv
+		}
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Predict returns the crash probability for a feature row.
+func (m *Model) Predict(x []float64) float64 { return m.prob(x) }
+
+// Classify quantizes Predict at 1/2 (§3.3.2).
+func (m *Model) Classify(x []float64) int {
+	if m.prob(x) > 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Accuracy returns the fraction of rows classified correctly.
+func (m *Model) Accuracy(ds *Dataset) float64 {
+	if len(ds.X) == 0 {
+		return 0
+	}
+	ok := 0
+	for i, x := range ds.X {
+		if m.Classify(x) == ds.Y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(ds.X))
+}
+
+// NonzeroCount returns the number of features with nonzero coefficients —
+// the sparsity the ℓ1 penalty buys.
+func (m *Model) NonzeroCount() int {
+	n := 0
+	for _, b := range m.Beta {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Ranked is a feature with its trained coefficient.
+type Ranked struct {
+	Counter int // counter index in the program's counter space
+	Beta    float64
+}
+
+// TopFeatures returns the k features with the largest positive
+// coefficients — the crash predictors (§3.3.3: "predicates with the
+// largest β coefficients suggest where to begin looking for the bug").
+func (m *Model) TopFeatures(k int) []Ranked {
+	var all []Ranked
+	for j, b := range m.Beta {
+		if b > 0 {
+			all = append(all, Ranked{Counter: m.FeatureIdx[j], Beta: b})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Beta != all[j].Beta {
+			return all[i].Beta > all[j].Beta
+		}
+		return all[i].Counter < all[j].Counter
+	})
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Rank returns the 1-based rank of the given counter among positive
+// coefficients, or 0 if its coefficient is not positive. (§3.3.3 reports
+// the smoking-gun predicate ranked 240th.)
+func (m *Model) Rank(counter int) int {
+	all := m.TopFeatures(0)
+	for i, r := range all {
+		if r.Counter == counter {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// CrossValidate trains one model per lambda and returns the lambda whose
+// model classifies the cv set best, with ties going to the stronger
+// regularization (sparser model).
+func CrossValidate(train, cv *Dataset, lambdas []float64, conf TrainConfig) (float64, *Model) {
+	bestLambda := 0.0
+	var bestModel *Model
+	bestAcc := -1.0
+	for _, l := range lambdas {
+		c := conf
+		c.Lambda = l
+		m := Train(train, c)
+		acc := m.Accuracy(cv)
+		better := acc > bestAcc || (acc == bestAcc && bestModel != nil && m.NonzeroCount() < bestModel.NonzeroCount())
+		if better {
+			bestAcc, bestLambda, bestModel = acc, l, m
+		}
+	}
+	return bestLambda, bestModel
+}
+
+// Project applies a training dataset's feature selection and scaling to
+// fresh reports, producing a compatible dataset.
+func (ds *Dataset) Project(reports []*report.Report) *Dataset {
+	out := &Dataset{FeatureIdx: ds.FeatureIdx, Scale: ds.Scale}
+	for _, r := range reports {
+		row := make([]float64, len(ds.FeatureIdx))
+		for jj, j := range ds.FeatureIdx {
+			row[jj] = float64(r.Counters[j]) / ds.Scale[jj]
+		}
+		out.X = append(out.X, row)
+		out.Y = append(out.Y, r.Label())
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package logreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cbi/internal/report"
+)
+
+// synthDB builds a dataset where counter `signal` strongly predicts
+// crashes, counter `weak` is mildly correlated, and the rest are noise.
+func synthDB(n, counters, signal, weak int, seed int64) []*report.Report {
+	rng := rand.New(rand.NewSource(seed))
+	var out []*report.Report
+	for i := 0; i < n; i++ {
+		crash := rng.Intn(4) == 0
+		c := make([]uint64, counters)
+		for j := 0; j < counters; j++ {
+			if rng.Intn(3) == 0 {
+				c[j] = uint64(rng.Intn(5))
+			}
+		}
+		if crash {
+			c[signal] = uint64(5 + rng.Intn(5))
+			if rng.Intn(3) > 0 {
+				c[weak] = uint64(1 + rng.Intn(3))
+			}
+		} else {
+			c[signal] = 0
+			if rng.Intn(8) == 0 {
+				c[weak] = 1
+			}
+		}
+		out = append(out, &report.Report{Program: "p", Crashed: crash, Counters: c})
+	}
+	return out
+}
+
+func TestBuildDatasetScaling(t *testing.T) {
+	reports := []*report.Report{
+		{Counters: []uint64{0, 10, 3}, Crashed: false},
+		{Counters: []uint64{0, 20, 1}, Crashed: true},
+		{Counters: []uint64{0, 0, 2}, Crashed: false},
+	}
+	ds := BuildDataset(reports, nil)
+	if len(ds.FeatureIdx) != 3 || len(ds.X) != 3 {
+		t.Fatalf("shape: %d x %d", len(ds.X), len(ds.FeatureIdx))
+	}
+	if ds.Y[1] != 1 || ds.Y[0] != 0 {
+		t.Error("labels")
+	}
+	// Feature 1 scaled: values 10,20,0 -> /20 -> {0.5,1,0}, then unit
+	// variance. Check the variance is ~1.
+	var vals []float64
+	for i := range ds.X {
+		vals = append(vals, ds.X[i][1])
+	}
+	mean := (vals[0] + vals[1] + vals[2]) / 3
+	varr := 0.0
+	for _, v := range vals {
+		varr += (v - mean) * (v - mean)
+	}
+	varr /= 2
+	if math.Abs(varr-1) > 1e-9 {
+		t.Errorf("variance: %f", varr)
+	}
+}
+
+func TestBuildDatasetWithKeepMask(t *testing.T) {
+	reports := []*report.Report{{Counters: []uint64{1, 2, 3}}}
+	ds := BuildDataset(reports, []bool{true, false, true})
+	if len(ds.FeatureIdx) != 2 || ds.FeatureIdx[0] != 0 || ds.FeatureIdx[1] != 2 {
+		t.Errorf("%v", ds.FeatureIdx)
+	}
+	if BuildDataset(nil, nil).X != nil {
+		t.Error("empty input")
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	reports := synthDB(1000, 5, 0, 1, 1)
+	train, cv, test := Split(reports, 0.6, 0.1, 7)
+	if len(train) != 600 || len(cv) != 100 || len(test) != 300 {
+		t.Errorf("%d/%d/%d", len(train), len(cv), len(test))
+	}
+	// Disjoint and covering.
+	seen := map[*report.Report]bool{}
+	for _, r := range train {
+		seen[r] = true
+	}
+	for _, r := range cv {
+		if seen[r] {
+			t.Fatal("overlap train/cv")
+		}
+		seen[r] = true
+	}
+	for _, r := range test {
+		if seen[r] {
+			t.Fatal("overlap test")
+		}
+		seen[r] = true
+	}
+	if len(seen) != 1000 {
+		t.Error("coverage")
+	}
+}
+
+func TestTrainRecoversSignalFeature(t *testing.T) {
+	reports := synthDB(2000, 30, 7, 12, 2)
+	trainR, cvR, testR := Split(reports, 0.6, 0.1, 3)
+	train := BuildDataset(trainR, nil)
+	cv := train.Project(cvR)
+	test := train.Project(testR)
+
+	lambda, model := CrossValidate(train, cv, []float64{0.01, 0.1, 0.3, 1.0}, TrainConfig{StepSize: 1e-2, Epochs: 60, Seed: 4})
+	if model == nil {
+		t.Fatal("no model")
+	}
+	if acc := model.Accuracy(test); acc < 0.9 {
+		t.Errorf("test accuracy %.3f (lambda %g)", acc, lambda)
+	}
+	top := model.TopFeatures(1)
+	if len(top) == 0 || top[0].Counter != 7 {
+		t.Errorf("top feature: %+v, want counter 7", top)
+	}
+	if r := model.Rank(7); r != 1 {
+		t.Errorf("rank of signal: %d", r)
+	}
+	if model.Rank(29) == 1 {
+		t.Error("noise feature ranked first")
+	}
+}
+
+func TestL1SparsifiesModel(t *testing.T) {
+	reports := synthDB(1200, 50, 3, 9, 5)
+	ds := BuildDataset(reports, nil)
+	loose := Train(ds, TrainConfig{Lambda: 0, StepSize: 1e-2, Epochs: 30, Seed: 1})
+	tight := Train(ds, TrainConfig{Lambda: 1.0, StepSize: 1e-2, Epochs: 30, Seed: 1})
+	if tight.NonzeroCount() >= loose.NonzeroCount() {
+		t.Errorf("l1 should sparsify: %d vs %d nonzero", tight.NonzeroCount(), loose.NonzeroCount())
+	}
+	if tight.NonzeroCount() == 0 {
+		t.Error("over-regularized to empty model")
+	}
+}
+
+func TestPredictAndClassifyBounds(t *testing.T) {
+	m := &Model{Beta0: 0, Beta: []float64{2}, FeatureIdx: []int{0}}
+	if p := m.Predict([]float64{10}); p <= 0.5 || p > 1 {
+		t.Errorf("p=%f", p)
+	}
+	if m.Classify([]float64{10}) != 1 || m.Classify([]float64{-10}) != 0 {
+		t.Error("classify")
+	}
+	if m.Predict([]float64{0}) != 0.5 {
+		t.Error("sigmoid(0)")
+	}
+}
+
+func TestTopFeaturesOrderingAndTies(t *testing.T) {
+	m := &Model{Beta: []float64{0.5, -1, 0.5, 2, 0}, FeatureIdx: []int{10, 11, 12, 13, 14}}
+	top := m.TopFeatures(0)
+	if len(top) != 3 {
+		t.Fatalf("%+v", top)
+	}
+	if top[0].Counter != 13 {
+		t.Errorf("first: %+v", top[0])
+	}
+	// Tie between counters 10 and 12 broken by index.
+	if top[1].Counter != 10 || top[2].Counter != 12 {
+		t.Errorf("tie order: %+v", top)
+	}
+	if m.Rank(11) != 0 {
+		t.Error("negative coefficient should be unranked")
+	}
+	limited := m.TopFeatures(2)
+	if len(limited) != 2 {
+		t.Error("k limit")
+	}
+}
+
+func TestAccuracyEmptyDataset(t *testing.T) {
+	m := &Model{}
+	if m.Accuracy(&Dataset{}) != 0 {
+		t.Error("empty accuracy")
+	}
+}

@@ -1,0 +1,138 @@
+package score
+
+import (
+	"math"
+	"testing"
+
+	"cbi/internal/report"
+)
+
+// Fixture: 6 counters in 2 spans of 3.
+//
+//	counter 0: true iff the run fails (the real bug predictor)
+//	counter 1: always true when site 0 sampled (pure context)
+//	counter 2: never true
+//	counter 3: true in a few successes only
+//	counter 4/5: never true (site 1 reached only via counter 3)
+func fixture(t *testing.T) *report.DB {
+	t.Helper()
+	db := report.NewDB("p", 6)
+	add := func(crashed bool, c ...uint64) {
+		t.Helper()
+		if err := db.Add(&report.Report{Program: "p", Crashed: crashed, Counters: c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10 failing runs: counters 0 and 1 observed true.
+	for i := 0; i < 10; i++ {
+		add(true, 2, 1, 0, 0, 0, 0)
+	}
+	// 30 successful runs observing site 0 (counter 1 only).
+	for i := 0; i < 30; i++ {
+		add(false, 0, 3, 0, 0, 0, 0)
+	}
+	// 5 successful runs observing site 1.
+	for i := 0; i < 5; i++ {
+		add(false, 0, 0, 0, 1, 0, 0)
+	}
+	return db
+}
+
+var spans = []SiteSpan{{0, 3}, {3, 3}}
+
+func TestScoreStatistics(t *testing.T) {
+	preds := Score(fixture(t), spans)
+	p0 := preds[0]
+	if p0.TrueFail != 10 || p0.TrueOK != 0 {
+		t.Errorf("counter 0 truth counts: %+v", p0)
+	}
+	if p0.ObsFail != 10 || p0.ObsOK != 30 {
+		t.Errorf("counter 0 observation counts: %+v", p0)
+	}
+	if p0.Failure != 1.0 {
+		t.Errorf("Failure: %f", p0.Failure)
+	}
+	if math.Abs(p0.Context-0.25) > 1e-9 {
+		t.Errorf("Context: %f", p0.Context)
+	}
+	if math.Abs(p0.Increase-0.75) > 1e-9 {
+		t.Errorf("Increase: %f", p0.Increase)
+	}
+	if p0.Importance <= 0 {
+		t.Errorf("Importance: %f", p0.Importance)
+	}
+
+	// Counter 1 is pure context: true in failures and successes alike at
+	// the site's base rate, so Increase is 0.
+	p1 := preds[1]
+	if math.Abs(p1.Increase) > 1e-9 {
+		t.Errorf("context predicate Increase: %f", p1.Increase)
+	}
+	if p1.Importance != 0 {
+		t.Errorf("context predicate Importance: %f", p1.Importance)
+	}
+
+	// Counter 3 is success-only: non-positive Increase (its site is
+	// never observed in failures, so Failure = Context = 0) and zero
+	// Importance.
+	p3 := preds[3]
+	if p3.Increase > 0 {
+		t.Errorf("success-only predicate Increase: %f", p3.Increase)
+	}
+	if p3.Importance != 0 {
+		t.Errorf("success-only Importance: %f", p3.Importance)
+	}
+}
+
+func TestRankAndTop(t *testing.T) {
+	preds := Score(fixture(t), spans)
+	ranked := Rank(preds)
+	if len(ranked) != 1 || ranked[0].Counter != 0 {
+		t.Fatalf("ranked: %+v", ranked)
+	}
+	top := Top(preds, 5)
+	if len(top) != 1 {
+		t.Errorf("top: %+v", top)
+	}
+	if len(Top(preds, 0)) != 1 {
+		t.Error("k=0 means all")
+	}
+}
+
+func TestScoreEmptyDB(t *testing.T) {
+	db := report.NewDB("p", 3)
+	preds := Score(db, []SiteSpan{{0, 3}})
+	for _, p := range preds {
+		if p.Importance != 0 || p.Failure != 0 {
+			t.Errorf("%+v", p)
+		}
+	}
+}
+
+func TestImportanceIsHarmonicMean(t *testing.T) {
+	// Construct a case with known values: 4 failures total; predicate
+	// true in 2 of them, site observed in failures only.
+	db := report.NewDB("p", 2)
+	for i := 0; i < 4; i++ {
+		c := []uint64{0, 1}
+		if i < 2 {
+			c[0] = 1
+		}
+		if err := db.Add(&report.Report{Program: "p", Crashed: true, Counters: c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Some successes never observing the site keep Context meaningful.
+	for i := 0; i < 4; i++ {
+		if err := db.Add(&report.Report{Program: "p", Crashed: false, Counters: []uint64{0, 0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preds := Score(db, []SiteSpan{{0, 2}})
+	p := preds[0]
+	// Failure = 1 (true only in failures); Context = 1 (site observed
+	// only in failures) -> Increase = 0 -> Importance 0.
+	if p.Increase != 0 || p.Importance != 0 {
+		t.Errorf("%+v", p)
+	}
+}

@@ -1,0 +1,101 @@
+// Package traces analyzes the bounded ordered traces (flight recorder)
+// that this reproduction adds as the paper's deferred future work (§2.5
+// leaves "partial traces (with ordering information)" open). Each report
+// may carry the site IDs of the last few sampled probe firings; across
+// many runs, sites that disproportionately appear in the final moments of
+// crashing runs localize where the program was when it died — the
+// crash-context information that pure counters deliberately discard.
+package traces
+
+import (
+	"sort"
+
+	"cbi/internal/report"
+)
+
+// SiteStat summarizes one site's presence in run tails.
+type SiteStat struct {
+	SiteID int
+	// CrashTail / OKTail count runs of each outcome whose trace window
+	// contains the site.
+	CrashTail int
+	OKTail    int
+	// CrashFrac and OKFrac are those counts normalized by the number of
+	// runs of each outcome that carried a trace at all.
+	CrashFrac float64
+	OKFrac    float64
+	// Score is CrashFrac - OKFrac, the ordering analogue of the Increase
+	// score: positive means "being near this site at the end of a run
+	// predicts the crash".
+	Score float64
+}
+
+// Neighborhood computes tail statistics over the last `window` events of
+// every traced run (window <= 0 uses each run's full trace).
+func Neighborhood(db *report.DB, window int) []SiteStat {
+	stats := map[int]*SiteStat{}
+	crashRuns, okRuns := 0, 0
+	for _, r := range db.Reports {
+		if len(r.Trace) == 0 {
+			continue
+		}
+		if r.Crashed {
+			crashRuns++
+		} else {
+			okRuns++
+		}
+		tail := r.Trace
+		if window > 0 && len(tail) > window {
+			tail = tail[len(tail)-window:]
+		}
+		seen := map[int]bool{}
+		for _, id := range tail {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			st := stats[id]
+			if st == nil {
+				st = &SiteStat{SiteID: id}
+				stats[id] = st
+			}
+			if r.Crashed {
+				st.CrashTail++
+			} else {
+				st.OKTail++
+			}
+		}
+	}
+	out := make([]SiteStat, 0, len(stats))
+	for _, st := range stats {
+		if crashRuns > 0 {
+			st.CrashFrac = float64(st.CrashTail) / float64(crashRuns)
+		}
+		if okRuns > 0 {
+			st.OKFrac = float64(st.OKTail) / float64(okRuns)
+		}
+		st.Score = st.CrashFrac - st.OKFrac
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].SiteID < out[j].SiteID
+	})
+	return out
+}
+
+// LastSites returns, for crashing runs only, how often each site was the
+// very last sampled event — the closest ordered approximation to "where
+// did it die" available under sampling.
+func LastSites(db *report.DB) map[int]int {
+	out := map[int]int{}
+	for _, r := range db.Reports {
+		if !r.Crashed || len(r.Trace) == 0 {
+			continue
+		}
+		out[r.Trace[len(r.Trace)-1]]++
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package traces
+
+import (
+	"testing"
+
+	"cbi/internal/instrument"
+	"cbi/internal/report"
+	"cbi/internal/workloads"
+)
+
+func TestNeighborhoodSynthetic(t *testing.T) {
+	db := report.NewDB("p", 1)
+	add := func(crashed bool, trace ...int) {
+		t.Helper()
+		if err := db.Add(&report.Report{Program: "p", Crashed: crashed,
+			Counters: []uint64{0}, Trace: trace}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Site 9 ends every crashing run; site 1 is everywhere; site 5 only
+	// in successes.
+	add(true, 1, 2, 9)
+	add(true, 1, 9)
+	add(true, 1, 9)
+	add(false, 1, 5)
+	add(false, 5, 1)
+	add(false, 1)
+
+	stats := Neighborhood(db, 0)
+	if len(stats) == 0 || stats[0].SiteID != 9 {
+		t.Fatalf("top site: %+v", stats)
+	}
+	if stats[0].Score != 1.0 {
+		t.Errorf("site 9 score: %f", stats[0].Score)
+	}
+	// Site 1 appears in all runs: score 0.
+	for _, s := range stats {
+		if s.SiteID == 1 && s.Score != 0 {
+			t.Errorf("site 1 score: %f", s.Score)
+		}
+		if s.SiteID == 5 && s.Score >= 0 {
+			t.Errorf("site 5 score: %f", s.Score)
+		}
+	}
+
+	last := LastSites(db)
+	if last[9] != 3 || len(last) != 1 {
+		t.Errorf("last sites: %v", last)
+	}
+}
+
+func TestNeighborhoodWindow(t *testing.T) {
+	db := report.NewDB("p", 1)
+	_ = db.Add(&report.Report{Program: "p", Crashed: true, Counters: []uint64{0},
+		Trace: []int{7, 7, 7, 3}})
+	stats := Neighborhood(db, 1)
+	if len(stats) != 1 || stats[0].SiteID != 3 {
+		t.Fatalf("window should keep only the last event: %+v", stats)
+	}
+}
+
+func TestNeighborhoodIgnoresUntracedRuns(t *testing.T) {
+	db := report.NewDB("p", 1)
+	_ = db.Add(&report.Report{Program: "p", Crashed: true, Counters: []uint64{0}})
+	if got := Neighborhood(db, 0); len(got) != 0 {
+		t.Errorf("%+v", got)
+	}
+	if got := LastSites(db); len(got) != 0 {
+		t.Errorf("%+v", got)
+	}
+}
+
+// Integration: with density-1 sampling and the flight recorder on, the
+// last sampled event of every crashing ccrypt run is the EOF xreadline
+// return probe — the trace points directly at the death site.
+func TestCcryptFlightRecorder(t *testing.T) {
+	built, err := workloads.BuildCcrypt(instrument.SchemeSet{Returns: true}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := workloads.CcryptFleet(built.Program, workloads.FleetConfig{
+		Runs: 400, Density: 1, SeedBase: 3, TraceCapacity: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Failures()) == 0 {
+		t.Fatal("no crashes")
+	}
+	var gunSite int = -1
+	for _, s := range built.Program.Sites {
+		if s.Text == "xreadline() return value" {
+			gunSite = s.ID
+		}
+	}
+	if gunSite < 0 {
+		t.Fatal("xreadline site missing")
+	}
+	last := LastSites(db)
+	if last[gunSite] != len(db.Failures()) {
+		t.Errorf("xreadline last in %d of %d crashes: %v", last[gunSite], len(db.Failures()), last)
+	}
+	// The neighborhood analysis localizes the death region: the top sites
+	// must all live in the prompt code (prompt_overwrite or the helpers it
+	// calls), and the gun site itself must rank highly with a strong
+	// score. Crash-only neighbors may edge out the gun because the gun
+	// also fires in successful prompts.
+	stats := Neighborhood(db, 4)
+	// The region covers the prompt and its caller: the last events before
+	// the EOF crash are try_encrypt's file_exists/flag_force probes
+	// followed by the prompt's own probes.
+	crashRegion := map[string]bool{"prompt_overwrite": true, "classify_response": true, "try_encrypt": true}
+	for i, s := range stats[:3] {
+		site := built.Program.Sites[s.SiteID]
+		if !crashRegion[site.Fn] {
+			t.Errorf("top-%d neighborhood site in %s, want the prompt region", i+1, site.Fn)
+		}
+	}
+	rank := -1
+	for i, s := range stats {
+		if s.SiteID == gunSite {
+			rank = i
+			break
+		}
+	}
+	if rank < 0 || rank > 4 || stats[rank].Score <= 0.5 {
+		t.Errorf("xreadline site rank %d (stats %+v)", rank, stats)
+	}
+}

@@ -1,0 +1,473 @@
+// Package cfg lowers MiniC ASTs to control-flow graphs and provides the
+// graph analyses the sampling transformation depends on: back-edge
+// detection, reachability, and site accounting.
+//
+// The CFG is the representation the paper's transformation is defined on:
+// instrumentation sites are explicit instructions, loops are explicit back
+// edges, and the sampling transformation (package instrument) rewrites
+// these graphs into fast-path/slow-path clones joined by threshold checks.
+package cfg
+
+import (
+	"fmt"
+
+	"cbi/internal/minic"
+)
+
+// ----------------------------------------------------------------------------
+// Program structure
+
+// Program is a whole lowered program.
+type Program struct {
+	File     *minic.File
+	Structs  map[string]*StructInfo
+	Globals  []*Var // global variables, slot-indexed
+	Funcs    map[string]*Func
+	FuncList []*Func // deterministic declaration order
+	Builtins map[string]minic.BuiltinSig
+
+	// Sites lists every instrumentation site in counter-allocation order.
+	Sites []*Site
+	// NumCounters is the total size of a run's counter vector.
+	NumCounters int
+
+	// Sampled reports whether the sampling transformation has been applied
+	// (package instrument sets this).
+	Sampled bool
+}
+
+// StructInfo is the lowered layout of a struct: fields become consecutive
+// heap cells.
+type StructInfo struct {
+	Name   string
+	Fields []minic.Field
+	Index  map[string]int
+}
+
+// Func is a lowered function.
+type Func struct {
+	Name   string
+	Params []*Var
+	Locals []*Var // all locals including params and temps, slot-indexed
+	Ret    *minic.Type
+	Entry  *Block
+	Blocks []*Block
+
+	// NumSites counts instrumentation sites directly contained in the body.
+	NumSites int
+	// Weightless is set by the weightless-function analysis (§2.3): the
+	// function contains no sites and calls only weightless functions.
+	Weightless bool
+	// LocalCountdown is set by the sampling transformation when the
+	// function maintains the next-sample countdown in a frame-local
+	// variable (§2.4).
+	LocalCountdown bool
+	// ThresholdWeights records the weight of every threshold check placed
+	// in this function by the sampling transformation, for static metrics
+	// (Table 1).
+	ThresholdWeights []int
+}
+
+// Var is a variable: a global, a named local/parameter, or a compiler
+// temporary.
+type Var struct {
+	Name   string
+	Type   *minic.Type
+	Slot   int
+	Global bool
+	Temp   bool
+}
+
+func (v *Var) String() string { return v.Name }
+
+// Block is a basic block.
+type Block struct {
+	ID     int
+	Instrs []Instr
+	Term   Term
+	// LoopHead marks targets of back edges created by loop lowering.
+	LoopHead bool
+}
+
+// ----------------------------------------------------------------------------
+// Instructions
+
+// Instr is a non-terminator instruction.
+type Instr interface{ instr() }
+
+// Assign stores the value of X into LV.
+type Assign struct {
+	LV  LValue
+	X   Expr
+	Pos minic.Pos
+}
+
+// Call invokes a function or builtin. Dst receives the result and may be
+// nil for void calls or discarded results. Args are pure expressions.
+type Call struct {
+	Dst     *Var
+	Callee  string
+	Args    []Expr
+	Builtin bool
+	Pos     minic.Pos
+}
+
+// SiteInstr executes an instrumentation probe unconditionally. This is the
+// form produced by lowering; the sampling transformation replaces it with
+// GuardedSite (slow path) and CountdownDec (fast path).
+type SiteInstr struct {
+	Site *Site
+}
+
+// GuardedSite is a slow-path probe: decrement the next-sample countdown
+// and, if it reaches zero, execute the probe and reset the countdown from
+// the geometric bank (§2.1).
+type GuardedSite struct {
+	Site *Site
+}
+
+// CountdownDec decrements the next-sample countdown by N without sampling.
+// The transformation coalesces consecutive fast-path decrements into a
+// single instruction (§2.4).
+type CountdownDec struct {
+	N int
+}
+
+// CDImport copies the global next-sample countdown into the frame-local
+// copy (§2.4: at function entry and after calls to non-weightless callees).
+type CDImport struct{}
+
+// CDExport copies the frame-local countdown back to the global (§2.4: at
+// function exit and before calls to non-weightless callees).
+type CDExport struct{}
+
+func (*Assign) instr()       {}
+func (*Call) instr()         {}
+func (*SiteInstr) instr()    {}
+func (*GuardedSite) instr()  {}
+func (*CountdownDec) instr() {}
+func (*CDImport) instr()     {}
+func (*CDExport) instr()     {}
+
+// ----------------------------------------------------------------------------
+// Terminators
+
+// Term is a block terminator.
+type Term interface{ term() }
+
+// Goto transfers control unconditionally. BackEdge marks loop back edges.
+type Goto struct {
+	To       *Block
+	BackEdge bool
+}
+
+// If branches on a pure condition.
+type If struct {
+	Cond     Expr
+	Then     *Block
+	Else     *Block
+	ThenBack bool
+	ElseBack bool
+}
+
+// Ret returns from the function. X may be nil.
+type Ret struct {
+	X Expr
+}
+
+// Threshold is the paper's threshold check (§2.2): if the next-sample
+// countdown exceeds Weight, no sample can land in the acyclic region
+// ahead, so execution proceeds on the instrumentation-free fast path.
+type Threshold struct {
+	Weight int
+	Fast   *Block
+	Slow   *Block
+}
+
+func (*Goto) term()      {}
+func (*If) term()        {}
+func (*Ret) term()       {}
+func (*Threshold) term() {}
+
+// Succs returns the successor blocks of t.
+func Succs(t Term) []*Block {
+	switch x := t.(type) {
+	case *Goto:
+		return []*Block{x.To}
+	case *If:
+		return []*Block{x.Then, x.Else}
+	case *Threshold:
+		return []*Block{x.Fast, x.Slow}
+	default:
+		return nil
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Pure expressions
+
+// Expr is a side-effect-free expression. Calls never appear here: the
+// lowerer flattens them into Call instructions with temporaries. Pure
+// expressions may still trap (null dereference, out-of-bounds, division
+// by zero).
+type Expr interface{ expr() }
+
+// Const is an integer constant.
+type Const struct{ V int64 }
+
+// StrConst is a string constant.
+type StrConst struct{ S string }
+
+// Null is the null pointer.
+type Null struct{}
+
+// VarUse reads a variable.
+type VarUse struct{ V *Var }
+
+// Un applies "-" or "!".
+type Un struct {
+	Op string
+	X  Expr
+}
+
+// Bin applies an arithmetic or comparison operator. "&&" and "||" never
+// appear: the lowerer expands them to control flow to preserve
+// short-circuit evaluation.
+type Bin struct {
+	Op   string
+	X, Y Expr
+	Pos  minic.Pos
+}
+
+// Load reads heap cell Ptr[Idx]. Dereference *p lowers to Load{p, 0}.
+type Load struct {
+	Ptr Expr
+	Idx Expr
+	Pos minic.Pos
+}
+
+// NewObj allocates a struct instance with NumFields cells.
+type NewObj struct {
+	StructName string
+	NumFields  int
+}
+
+func (*Const) expr()    {}
+func (*StrConst) expr() {}
+func (*Null) expr()     {}
+func (*VarUse) expr()   {}
+func (*Un) expr()       {}
+func (*Bin) expr()      {}
+func (*Load) expr()     {}
+func (*NewObj) expr()   {}
+
+// ----------------------------------------------------------------------------
+// LValues
+
+// LValue is an assignment target.
+type LValue interface{ lvalue() }
+
+// VarRef targets a variable.
+type VarRef struct{ V *Var }
+
+// CellRef targets heap cell Ptr[Idx]; field stores and *p stores lower
+// here too.
+type CellRef struct {
+	Ptr Expr
+	Idx Expr
+	Pos minic.Pos
+}
+
+func (*VarRef) lvalue()  {}
+func (*CellRef) lvalue() {}
+
+// ----------------------------------------------------------------------------
+// Instrumentation sites
+
+// SiteKind classifies instrumentation sites by probe semantics.
+type SiteKind int
+
+const (
+	// SiteReturns observes the sign of a function return value
+	// (§3.2.1): three counters for < 0, == 0, > 0.
+	SiteReturns SiteKind = iota
+	// SiteScalarPair compares a just-assigned scalar against another
+	// in-scope scalar (§3.3.1): three counters for <, ==, >.
+	SiteScalarPair
+	// SiteNullCheck compares a just-assigned pointer against null
+	// (§3.3.1): two counters for == null, != null.
+	SiteNullCheck
+	// SiteBranch observes a branch condition: two counters for
+	// false, true. (A later-CBI extension scheme.)
+	SiteBranch
+	// SiteBounds is a CCured-style memory-safety check before a heap
+	// access (§3.1): two counters for null-pointer and out-of-bounds.
+	SiteBounds
+	// SiteAssert samples a user assert() call (§3.1): two counters for
+	// held, violated. A violated assertion traps the run.
+	SiteAssert
+)
+
+// String returns the scheme name of the kind.
+func (k SiteKind) String() string {
+	switch k {
+	case SiteReturns:
+		return "returns"
+	case SiteScalarPair:
+		return "scalar-pairs"
+	case SiteNullCheck:
+		return "null-check"
+	case SiteBranch:
+		return "branches"
+	case SiteBounds:
+		return "bounds"
+	case SiteAssert:
+		return "asserts"
+	default:
+		return "unknown"
+	}
+}
+
+// Site is one instrumentation site: a probe with a fixed number of
+// counters starting at CounterBase in the run's counter vector.
+type Site struct {
+	ID          int
+	Kind        SiteKind
+	Fn          string
+	Pos         minic.Pos
+	Text        string // human-readable subject, e.g. "xreadline() return value"
+	Args        []Expr // pure expressions evaluated when the probe fires
+	CounterBase int
+	NumCounters int
+	PredNames   []string // one per counter, e.g. "== 0"
+}
+
+// PredicateName returns the full name of the site's i-th predicate in the
+// paper's reporting style: "file.mc:122: xreadline() return value == 0".
+func (s *Site) PredicateName(i int) string {
+	suffix := ""
+	if i >= 0 && i < len(s.PredNames) {
+		suffix = " " + s.PredNames[i]
+	}
+	return fmt.Sprintf("%s: %s(): %s%s", s.Pos.LineString(), s.Fn, s.Text, suffix)
+}
+
+// PredicateName resolves a counter index to its predicate name.
+func (p *Program) PredicateName(counter int) string {
+	s := p.SiteForCounter(counter)
+	if s == nil {
+		return fmt.Sprintf("counter#%d", counter)
+	}
+	return s.PredicateName(counter - s.CounterBase)
+}
+
+// SiteForCounter returns the site owning the given counter index, or nil.
+func (p *Program) SiteForCounter(counter int) *Site {
+	// Sites are allocated in order; binary search.
+	lo, hi := 0, len(p.Sites)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		s := p.Sites[mid]
+		switch {
+		case counter < s.CounterBase:
+			hi = mid
+		case counter >= s.CounterBase+s.NumCounters:
+			lo = mid + 1
+		default:
+			return s
+		}
+	}
+	return nil
+}
+
+// registerSite assigns the site its ID and counter range.
+func (p *Program) registerSite(s *Site) {
+	s.ID = len(p.Sites)
+	s.CounterBase = p.NumCounters
+	p.NumCounters += s.NumCounters
+	p.Sites = append(p.Sites, s)
+}
+
+// Global returns the global variable with the given name, or nil.
+func (p *Program) Global(name string) *Var {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// ----------------------------------------------------------------------------
+// Graph analyses
+
+// BackEdges computes the back edges of fn by depth-first search from the
+// entry block: an edge u->v is a back edge if v is on the current DFS
+// stack. This is independent of the lowering-time BackEdge flags and is
+// used to verify them and to place threshold checks.
+func BackEdges(fn *Func) map[[2]int]bool {
+	back := map[[2]int]bool{}
+	state := make(map[*Block]int) // 0 unvisited, 1 on stack, 2 done
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		state[b] = 1
+		for _, s := range Succs(b.Term) {
+			switch state[s] {
+			case 0:
+				dfs(s)
+			case 1:
+				back[[2]int{b.ID, s.ID}] = true
+			}
+		}
+		state[b] = 2
+	}
+	if fn.Entry != nil {
+		dfs(fn.Entry)
+	}
+	return back
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func Reachable(fn *Func) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range Succs(b.Term) {
+			walk(s)
+		}
+	}
+	walk(fn.Entry)
+	return seen
+}
+
+// CountSites returns the number of SiteInstr/GuardedSite instructions in b.
+func CountSites(b *Block) int {
+	n := 0
+	for _, in := range b.Instrs {
+		switch in.(type) {
+		case *SiteInstr, *GuardedSite:
+			n++
+		}
+	}
+	return n
+}
+
+// FuncSites returns all sites referenced by fn's blocks, in block order.
+func FuncSites(fn *Func) []*Site {
+	var sites []*Site
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch x := in.(type) {
+			case *SiteInstr:
+				sites = append(sites, x.Site)
+			case *GuardedSite:
+				sites = append(sites, x.Site)
+			}
+		}
+	}
+	return sites
+}

@@ -1,0 +1,410 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"cbi/internal/minic"
+)
+
+func build(t *testing.T, src string) *Program {
+	t.Helper()
+	f, err := minic.Parse("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(f, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildSimpleFunction(t *testing.T) {
+	p := build(t, "int add(int a, int b) { return a + b; }")
+	fn := p.Funcs["add"]
+	if fn == nil {
+		t.Fatal("missing func")
+	}
+	if len(fn.Params) != 2 || fn.Params[0].Slot != 0 || fn.Params[1].Slot != 1 {
+		t.Fatalf("params: %+v", fn.Params)
+	}
+	if len(fn.Blocks) != 1 {
+		t.Fatalf("blocks: %d", len(fn.Blocks))
+	}
+	ret, ok := fn.Entry.Term.(*Ret)
+	if !ok || ret.X == nil {
+		t.Fatalf("terminator: %v", FormatTerm(fn.Entry.Term))
+	}
+}
+
+func TestBuildWhileLoopShape(t *testing.T) {
+	p := build(t, "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }")
+	fn := p.Funcs["f"]
+	back := BackEdges(fn)
+	if len(back) != 1 {
+		t.Fatalf("back edges: %v", back)
+	}
+	// The lowering-time BackEdge flags must agree with the DFS analysis.
+	flagged := loweringBackEdges(fn)
+	if len(flagged) != 1 {
+		t.Fatalf("flagged back edges: %v", flagged)
+	}
+	for e := range back {
+		if !flagged[e] {
+			t.Errorf("DFS back edge %v not flagged by lowering", e)
+		}
+	}
+	// Exactly one loop head.
+	heads := 0
+	for _, b := range fn.Blocks {
+		if b.LoopHead {
+			heads++
+		}
+	}
+	if heads != 1 {
+		t.Errorf("loop heads: %d", heads)
+	}
+}
+
+// loweringBackEdges collects edges flagged BackEdge during lowering.
+func loweringBackEdges(fn *Func) map[[2]int]bool {
+	out := map[[2]int]bool{}
+	for _, b := range fn.Blocks {
+		switch x := b.Term.(type) {
+		case *Goto:
+			if x.BackEdge {
+				out[[2]int{b.ID, x.To.ID}] = true
+			}
+		case *If:
+			if x.ThenBack {
+				out[[2]int{b.ID, x.Then.ID}] = true
+			}
+			if x.ElseBack {
+				out[[2]int{b.ID, x.Else.ID}] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestBackEdgeFlagsMatchDFSOnManyShapes(t *testing.T) {
+	srcs := []string{
+		"void f() { while (1) { break; } }",
+		"void f(int n) { for (int i = 0; i < n; i++) { if (i % 2 == 0) { continue; } } }",
+		"void f(int n) { while (n) { while (n) { n--; } n--; } }",
+		"void f(int n) { for (;;) { if (n > 3) { break; } n++; } }",
+		"void f(int n) { int i = 0; while (i < n) { int j = 0; while (j < i) { j++; } i++; } }",
+		"void f(int a, int b) { while (a && b) { a--; } }",
+	}
+	for _, src := range srcs {
+		p := build(t, src)
+		fn := p.Funcs["f"]
+		dfs := BackEdges(fn)
+		flagged := loweringBackEdges(fn)
+		for e := range dfs {
+			if !flagged[e] {
+				t.Errorf("%q: DFS back edge %v missing from lowering flags\n%s", src, e, DumpFunc(fn))
+			}
+		}
+		for e := range flagged {
+			if !dfs[e] {
+				t.Errorf("%q: lowering flagged %v but DFS disagrees\n%s", src, e, DumpFunc(fn))
+			}
+		}
+	}
+}
+
+func TestBuildForLoopContinueTargetsPost(t *testing.T) {
+	// continue in a for loop must execute the post statement; the edge to
+	// the post block is a forward edge, and post->head is the back edge.
+	p := build(t, "void f(int n) { for (int i = 0; i < n; i++) { if (i == 3) { continue; } } }")
+	fn := p.Funcs["f"]
+	if len(BackEdges(fn)) != 1 {
+		t.Fatalf("want exactly 1 back edge:\n%s", DumpFunc(fn))
+	}
+}
+
+func TestCallFlattening(t *testing.T) {
+	p := build(t, `
+int g(int x) { return x + 1; }
+int f() { return g(g(1)) + g(2); }
+`)
+	fn := p.Funcs["f"]
+	calls := 0
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*Call); ok {
+				calls++
+				if c.Dst == nil {
+					t.Error("call result should be materialized")
+				}
+			}
+		}
+	}
+	if calls != 3 {
+		t.Errorf("calls: %d, want 3", calls)
+	}
+	// The return expression must be pure (no calls).
+	ret := fn.Blocks[len(fn.Blocks)-1].Term.(*Ret)
+	if _, ok := ret.X.(*Bin); !ok {
+		t.Errorf("return expr: %s", FormatExpr(ret.X))
+	}
+}
+
+func TestShortCircuitLowersToControlFlow(t *testing.T) {
+	p := build(t, "int f(int* p) { if (p != null && p[0] > 2) { return 1; } return 0; }")
+	fn := p.Funcs["f"]
+	if len(fn.Blocks) < 4 {
+		t.Fatalf("short circuit should add blocks:\n%s", DumpFunc(fn))
+	}
+	// No Bin with && anywhere.
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if a, ok := in.(*Assign); ok {
+				if hasAndOr(a.X) {
+					t.Errorf("&& leaked into pure expr: %s", FormatExpr(a.X))
+				}
+			}
+		}
+		if ifTerm, ok := b.Term.(*If); ok && hasAndOr(ifTerm.Cond) {
+			t.Errorf("&& leaked into branch cond: %s", FormatExpr(ifTerm.Cond))
+		}
+	}
+}
+
+func hasAndOr(e Expr) bool {
+	switch x := e.(type) {
+	case *Bin:
+		return x.Op == "&&" || x.Op == "||" || hasAndOr(x.X) || hasAndOr(x.Y)
+	case *Un:
+		return hasAndOr(x.X)
+	case *Load:
+		return hasAndOr(x.Ptr) || hasAndOr(x.Idx)
+	}
+	return false
+}
+
+func TestWeightlessAnalysis(t *testing.T) {
+	// With no instrumenter there are no sites, so everything is weightless.
+	p := build(t, `
+int leaf(int x) { return x * 2; }
+int mid(int x) { return leaf(x) + 1; }
+int top(int x) { return mid(x); }
+`)
+	for _, fn := range p.FuncList {
+		if !fn.Weightless {
+			t.Errorf("%s should be weightless", fn.Name)
+		}
+	}
+}
+
+func TestWeightlessPropagation(t *testing.T) {
+	f, err := minic.Parse("t.mc", `
+int leaf(int x) { return x * 2; }
+int sited() { int r = rand(10); return r; }
+int callsSited(int x) { return sited() + leaf(x); }
+int callsLeaf(int x) { return leaf(x); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(f, nil, &testInstrumenter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the returns scheme every instrumented call is itself a site, so
+	// only call-free leaf functions stay weightless (cf. §3.2.5).
+	want := map[string]bool{"leaf": true, "sited": false, "callsSited": false, "callsLeaf": false}
+	for name, w := range want {
+		if p.Funcs[name].Weightless != w {
+			t.Errorf("%s: weightless=%v, want %v", name, p.Funcs[name].Weightless, w)
+		}
+	}
+}
+
+// testInstrumenter places a returns-style site after every scalar call.
+type testInstrumenter struct{ sites int }
+
+func (ti *testInstrumenter) NeedsReturnValues() bool { return true }
+func (ti *testInstrumenter) AfterCall(fn *Func, callee string, ret *minic.Type, dst *Var, pos minic.Pos) []*Site {
+	ti.sites++
+	return []*Site{{
+		Kind: SiteReturns, Fn: fn.Name, Pos: pos,
+		Text:        callee + "() return value",
+		Args:        []Expr{&VarUse{V: dst}},
+		NumCounters: 3, PredNames: []string{"< 0", "== 0", "> 0"},
+	}}
+}
+func (ti *testInstrumenter) AfterAssign(fn *Func, dst *Var, scope []*Var, pos minic.Pos) []*Site {
+	return nil
+}
+func (ti *testInstrumenter) AtBranch(fn *Func, cond Expr, pos minic.Pos) []*Site { return nil }
+func (ti *testInstrumenter) AtMemAccess(fn *Func, ptr, idx Expr, pos minic.Pos) []*Site {
+	return nil
+}
+func (ti *testInstrumenter) AtAssert(fn *Func, cond Expr, pos minic.Pos) []*Site { return nil }
+
+func TestSiteRegistration(t *testing.T) {
+	f, err := minic.Parse("t.mc", `
+int f() { int a = rand(5); int b = rand(7); return a + b; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(f, nil, &testInstrumenter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Sites) != 2 {
+		t.Fatalf("sites: %d", len(p.Sites))
+	}
+	if p.NumCounters != 6 {
+		t.Fatalf("counters: %d", p.NumCounters)
+	}
+	if p.Sites[0].CounterBase != 0 || p.Sites[1].CounterBase != 3 {
+		t.Fatalf("bases: %d %d", p.Sites[0].CounterBase, p.Sites[1].CounterBase)
+	}
+	for c := 0; c < 6; c++ {
+		s := p.SiteForCounter(c)
+		if s == nil || c < s.CounterBase || c >= s.CounterBase+s.NumCounters {
+			t.Errorf("SiteForCounter(%d) = %v", c, s)
+		}
+	}
+	if p.SiteForCounter(6) != nil || p.SiteForCounter(-1) != nil {
+		t.Error("out-of-range counters should have no site")
+	}
+	name := p.PredicateName(4)
+	if !strings.Contains(name, "rand() return value == 0") {
+		t.Errorf("predicate name: %q", name)
+	}
+	if p.Funcs["f"].NumSites != 2 {
+		t.Errorf("f.NumSites = %d", p.Funcs["f"].NumSites)
+	}
+	if p.Funcs["f"].Weightless {
+		t.Error("f has sites, cannot be weightless")
+	}
+}
+
+func TestGlobalLowering(t *testing.T) {
+	p := build(t, `
+int g = 42;
+int* buf;
+string msg = "hello";
+int f() { return g; }
+`)
+	if len(p.Globals) != 3 {
+		t.Fatalf("globals: %d", len(p.Globals))
+	}
+	if p.Global("g") == nil || p.Global("g").Slot != 0 || !p.Global("g").Global {
+		t.Errorf("g: %+v", p.Global("g"))
+	}
+	if p.Global("nope") != nil {
+		t.Error("unexpected global")
+	}
+}
+
+func TestGlobalInitMustBeLiteral(t *testing.T) {
+	f, err := minic.Parse("t.mc", "int g = rand(3);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(f, nil, nil); err == nil {
+		t.Error("non-literal global init should fail")
+	}
+}
+
+func TestLowerGlobalInit(t *testing.T) {
+	if c, ok := LowerGlobalInit(&minic.IntLit{Value: 7}).(*Const); !ok || c.V != 7 {
+		t.Error("int literal")
+	}
+	if c, ok := LowerGlobalInit(&minic.UnaryExpr{Op: "-", X: &minic.IntLit{Value: 7}}).(*Const); !ok || c.V != -7 {
+		t.Error("negative literal")
+	}
+	if _, ok := LowerGlobalInit(&minic.NullLit{}).(*Null); !ok {
+		t.Error("null literal")
+	}
+	if s, ok := LowerGlobalInit(&minic.StrLit{Value: "x"}).(*StrConst); !ok || s.S != "x" {
+		t.Error("string literal")
+	}
+}
+
+func TestCompoundAssignToCell(t *testing.T) {
+	p := build(t, "void f(int* p, int i) { p[i] += 5; }")
+	fn := p.Funcs["f"]
+	// Must contain exactly one Assign to a CellRef whose RHS reloads the cell.
+	found := false
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			a, ok := in.(*Assign)
+			if !ok {
+				continue
+			}
+			if _, ok := a.LV.(*CellRef); ok {
+				found = true
+				bin, ok := a.X.(*Bin)
+				if !ok || bin.Op != "+" {
+					t.Errorf("compound rhs: %s", FormatExpr(a.X))
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no cell store found")
+	}
+}
+
+func TestPruneDropsUnreachable(t *testing.T) {
+	p := build(t, "int f() { return 1; int x = 2; return x; }")
+	fn := p.Funcs["f"]
+	if len(fn.Blocks) != 1 {
+		t.Fatalf("unreachable code not pruned:\n%s", DumpFunc(fn))
+	}
+}
+
+func TestDumpContainsStructure(t *testing.T) {
+	p := build(t, "int f(int n) { while (n > 0) { n--; } return n; }")
+	out := DumpProgram(p)
+	for _, want := range []string{"func f", "loop head", "goto", "back edge", "return n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFieldAccessLowering(t *testing.T) {
+	p := build(t, `
+struct node { int val; struct node* next; };
+int sum(struct node* head) {
+	int s = 0;
+	while (head != null) {
+		s += head->val;
+		head = head->next;
+	}
+	return s;
+}
+void set(struct node* n) { (*n).val = 9; n->next = null; }
+`)
+	if p.Structs["node"].Index["next"] != 1 {
+		t.Errorf("field index: %+v", p.Structs["node"].Index)
+	}
+	if p.Funcs["set"] == nil {
+		t.Fatal("missing set")
+	}
+}
+
+func TestReachableAndSuccs(t *testing.T) {
+	p := build(t, "int f(int n) { if (n) { return 1; } return 0; }")
+	fn := p.Funcs["f"]
+	r := Reachable(fn)
+	if len(r) != len(fn.Blocks) {
+		t.Errorf("reachable %d, blocks %d", len(r), len(fn.Blocks))
+	}
+	ifTerm := fn.Entry.Term.(*If)
+	if len(Succs(ifTerm)) != 2 {
+		t.Error("if should have 2 successors")
+	}
+	if Succs(&Ret{}) != nil {
+		t.Error("ret has no successors")
+	}
+}

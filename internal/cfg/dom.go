@@ -1,0 +1,167 @@
+package cfg
+
+// Dominator analysis and natural-loop detection. The paper notes that
+// optimal threshold-check placement is NP-hard and settles for function
+// entries plus loop back edges (§2.2); these analyses provide the
+// classical machinery that justifies that placement: a back edge u→h with
+// h dominating u delimits a natural loop, and placing one check at every
+// such h guarantees every cycle is cut.
+//
+// The implementation is the Cooper–Harvey–Kennedy iterative algorithm on
+// a reverse-postorder numbering.
+
+// Dominators holds immediate-dominator information for one function.
+type Dominators struct {
+	fn    *Func
+	rpo   []*Block       // reverse postorder, entry first
+	order map[*Block]int // block -> rpo index
+	idom  map[*Block]*Block
+}
+
+// ComputeDominators builds the dominator tree of fn's reachable blocks.
+func ComputeDominators(fn *Func) *Dominators {
+	d := &Dominators{fn: fn, order: map[*Block]int{}, idom: map[*Block]*Block{}}
+
+	// Postorder DFS, then reverse.
+	seen := map[*Block]bool{}
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range Succs(b.Term) {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if fn.Entry == nil {
+		return d
+	}
+	dfs(fn.Entry)
+	for i := len(post) - 1; i >= 0; i-- {
+		d.order[post[i]] = len(d.rpo)
+		d.rpo = append(d.rpo, post[i])
+	}
+
+	preds := map[*Block][]*Block{}
+	for _, b := range d.rpo {
+		for _, s := range Succs(b.Term) {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	d.idom[fn.Entry] = fn.Entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range d.rpo[1:] {
+			var newIdom *Block
+			for _, p := range preds[b] {
+				if d.idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+func (d *Dominators) intersect(a, b *Block) *Block {
+	for a != b {
+		for d.order[a] > d.order[b] {
+			a = d.idom[a]
+		}
+		for d.order[b] > d.order[a] {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns b's immediate dominator (the entry dominates itself).
+func (d *Dominators) Idom(b *Block) *Block { return d.idom[b] }
+
+// Dominates reports whether a dominates b (reflexive).
+func (d *Dominators) Dominates(a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		parent := d.idom[b]
+		if parent == nil || parent == b {
+			return false
+		}
+		b = parent
+	}
+}
+
+// Loop is a natural loop: the blocks reachable backwards from a back
+// edge's source without leaving the header's dominance region.
+type Loop struct {
+	Header *Block
+	Blocks map[*Block]bool
+}
+
+// NaturalLoops finds the natural loops of fn. Back edges whose target
+// does not dominate their source (irreducible control flow) are skipped;
+// MiniC's structured lowering never produces them.
+func NaturalLoops(fn *Func) []*Loop {
+	d := ComputeDominators(fn)
+	byHeader := map[*Block]*Loop{}
+	var headers []*Block
+	byID := map[int]*Block{}
+	for _, b := range fn.Blocks {
+		byID[b.ID] = b
+	}
+	for e := range BackEdges(fn) {
+		src, hdr := byID[e[0]], byID[e[1]]
+		if src == nil || hdr == nil || !d.Dominates(hdr, src) {
+			continue
+		}
+		loop := byHeader[hdr]
+		if loop == nil {
+			loop = &Loop{Header: hdr, Blocks: map[*Block]bool{hdr: true}}
+			byHeader[hdr] = loop
+			headers = append(headers, hdr)
+		}
+		// Walk predecessors from the back edge source up to the header.
+		preds := predecessors(fn)
+		stack := []*Block{src}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if loop.Blocks[b] {
+				continue
+			}
+			loop.Blocks[b] = true
+			for _, p := range preds[b] {
+				stack = append(stack, p)
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(headers))
+	for _, h := range headers {
+		loops = append(loops, byHeader[h])
+	}
+	return loops
+}
+
+// predecessors builds the reverse adjacency of fn's blocks.
+func predecessors(fn *Func) map[*Block][]*Block {
+	preds := map[*Block][]*Block{}
+	for _, b := range fn.Blocks {
+		for _, s := range Succs(b.Term) {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}

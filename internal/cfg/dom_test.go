@@ -1,0 +1,146 @@
+package cfg
+
+import (
+	"testing"
+
+	"cbi/internal/minic"
+)
+
+func TestDominatorsDiamond(t *testing.T) {
+	p := build(t, `
+int f(int c) {
+	int r = 0;
+	if (c) { r = 1; } else { r = 2; }
+	return r;
+}`)
+	fn := p.Funcs["f"]
+	d := ComputeDominators(fn)
+	entry := fn.Entry
+	for _, b := range fn.Blocks {
+		if !d.Dominates(entry, b) {
+			t.Errorf("entry must dominate b%d", b.ID)
+		}
+	}
+	// The join block (terminating with Ret) is dominated only by itself
+	// and the entry — not by either arm.
+	var join *Block
+	for _, b := range fn.Blocks {
+		if _, ok := b.Term.(*Ret); ok {
+			join = b
+		}
+	}
+	if join == nil {
+		t.Fatal("no join")
+	}
+	if d.Idom(join) != entry {
+		t.Errorf("idom(join) = b%d, want entry b%d", d.Idom(join).ID, entry.ID)
+	}
+	arms := Succs(entry.Term)
+	for _, arm := range arms {
+		if arm != join && d.Dominates(arm, join) {
+			t.Errorf("arm b%d must not dominate the join", arm.ID)
+		}
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	p := build(t, `
+int f(int n) {
+	int s = 0;
+	while (n > 0) {
+		s += n;
+		n--;
+	}
+	return s;
+}`)
+	fn := p.Funcs["f"]
+	d := ComputeDominators(fn)
+	// The loop head dominates the loop body and the back-edge source.
+	var head *Block
+	for _, b := range fn.Blocks {
+		if b.LoopHead {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no loop head")
+	}
+	byID := map[int]*Block{}
+	for _, b := range fn.Blocks {
+		byID[b.ID] = b
+	}
+	for e := range BackEdges(fn) {
+		if !d.Dominates(head, byID[e[0]]) {
+			t.Errorf("head does not dominate back-edge source b%d", e[0])
+		}
+	}
+}
+
+func TestNaturalLoopsMatchLoweringHeads(t *testing.T) {
+	srcs := []string{
+		"void f(int n) { while (n) { n--; } }",
+		"void f(int n) { for (int i = 0; i < n; i++) { for (int j = 0; j < i; j++) { n += 0; } } }",
+		"void f(int n) { while (n) { if (n % 2 == 0) { n -= 2; } else { n--; } } }",
+		"int f(int n) { int s = 0; for (;;) { s++; if (s > n) { break; } } return s; }",
+	}
+	for _, src := range srcs {
+		f, err := minic.Parse("t.mc", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Build(f, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn := p.Funcs["f"]
+		loops := NaturalLoops(fn)
+		headers := map[*Block]bool{}
+		for _, l := range loops {
+			headers[l.Header] = true
+			// Every loop contains its header and the back edge source,
+			// and every loop block reaches the header without leaving.
+			if !l.Blocks[l.Header] {
+				t.Errorf("%q: loop misses its header", src)
+			}
+			for b := range l.Blocks {
+				d := ComputeDominators(fn)
+				if !d.Dominates(l.Header, b) {
+					t.Errorf("%q: loop block b%d not dominated by header", src, b.ID)
+				}
+			}
+		}
+		for _, b := range fn.Blocks {
+			if b.LoopHead != headers[b] {
+				t.Errorf("%q: b%d LoopHead=%v but natural-loop header=%v\n%s",
+					src, b.ID, b.LoopHead, headers[b], DumpFunc(fn))
+			}
+		}
+	}
+}
+
+func TestNaturalLoopNesting(t *testing.T) {
+	p := build(t, `
+void f(int n) {
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < i; j++) {
+			n += 0;
+		}
+	}
+}`)
+	fn := p.Funcs["f"]
+	loops := NaturalLoops(fn)
+	if len(loops) != 2 {
+		t.Fatalf("loops: %d", len(loops))
+	}
+	// One loop contains the other.
+	a, b := loops[0], loops[1]
+	inner, outer := a, b
+	if len(a.Blocks) > len(b.Blocks) {
+		inner, outer = b, a
+	}
+	for blk := range inner.Blocks {
+		if !outer.Blocks[blk] {
+			t.Errorf("inner block b%d not inside outer loop", blk.ID)
+		}
+	}
+}

@@ -1,0 +1,819 @@
+package cfg
+
+import (
+	"fmt"
+
+	"cbi/internal/minic"
+)
+
+// Instrumenter decides where instrumentation sites go during lowering.
+// Package instrument provides implementations for the paper's schemes
+// (returns §3.2, scalar-pairs §3.3, bounds/asserts §3.1, branches).
+// All methods may return nil to decline a site.
+type Instrumenter interface {
+	// NeedsReturnValues makes the lowerer materialize discarded scalar call
+	// results into temporaries so AfterCall can observe them.
+	NeedsReturnValues() bool
+	// AfterCall fires after a call that produced a scalar result in dst.
+	AfterCall(fn *Func, callee string, ret *minic.Type, dst *Var, pos minic.Pos) []*Site
+	// AfterAssign fires after a direct assignment to the named (non-temp)
+	// scalar variable dst. scope lists the other visible named variables.
+	AfterAssign(fn *Func, dst *Var, scope []*Var, pos minic.Pos) []*Site
+	// AtBranch fires before a conditional branch on cond.
+	AtBranch(fn *Func, cond Expr, pos minic.Pos) []*Site
+	// AtMemAccess fires before a heap load or store of cell ptr[idx].
+	AtMemAccess(fn *Func, ptr, idx Expr, pos minic.Pos) []*Site
+	// AtAssert may claim a user assert(cond) call as a sampled site.
+	// If it returns nil the assert stays an always-on runtime check.
+	AtAssert(fn *Func, cond Expr, pos minic.Pos) []*Site
+}
+
+// LowerError reports a lowering problem.
+type LowerError struct {
+	Pos minic.Pos
+	Msg string
+}
+
+func (e *LowerError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Build checks and lowers a parsed file into a Program. inst may be nil
+// for an uninstrumented (baseline) build. builtins may be nil, defaulting
+// to minic.DefaultBuiltins().
+func Build(file *minic.File, builtins map[string]minic.BuiltinSig, inst Instrumenter) (*Program, error) {
+	if builtins == nil {
+		builtins = minic.DefaultBuiltins()
+	}
+	if err := minic.Check(file, builtins); err != nil {
+		return nil, err
+	}
+	p := &Program{
+		File:     file,
+		Structs:  map[string]*StructInfo{},
+		Funcs:    map[string]*Func{},
+		Builtins: builtins,
+	}
+	for _, s := range file.Structs {
+		si := &StructInfo{Name: s.Name, Fields: s.Fields, Index: map[string]int{}}
+		for i, f := range s.Fields {
+			si.Index[f.Name] = i
+		}
+		p.Structs[s.Name] = si
+	}
+	for i, g := range file.Globals {
+		if g.Init != nil && !isLiteral(g.Init) {
+			return nil, &LowerError{Pos: g.Pos, Msg: "global initializer must be a literal"}
+		}
+		p.Globals = append(p.Globals, &Var{Name: g.Name, Type: g.Type, Slot: i, Global: true})
+	}
+	for _, fd := range file.Funcs {
+		lw := &lowerer{prog: p, file: file, inst: inst}
+		fn, err := lw.lowerFunc(fd)
+		if err != nil {
+			return nil, err
+		}
+		p.Funcs[fd.Name] = fn
+		p.FuncList = append(p.FuncList, fn)
+	}
+	computeWeightless(p)
+	return p, nil
+}
+
+func isLiteral(e minic.Expr) bool {
+	switch x := e.(type) {
+	case *minic.IntLit, *minic.StrLit, *minic.NullLit:
+		return true
+	case *minic.UnaryExpr:
+		if x.Op == "-" {
+			_, ok := x.X.(*minic.IntLit)
+			return ok
+		}
+	}
+	return false
+}
+
+// LowerGlobalInit converts a (pre-validated) literal global initializer.
+func LowerGlobalInit(e minic.Expr) Expr {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return &Const{V: x.Value}
+	case *minic.StrLit:
+		return &StrConst{S: x.Value}
+	case *minic.NullLit:
+		return &Null{}
+	case *minic.UnaryExpr:
+		if lit, ok := x.X.(*minic.IntLit); ok && x.Op == "-" {
+			return &Const{V: -lit.Value}
+		}
+	}
+	return &Const{}
+}
+
+// computeWeightless runs the interprocedural weightless-function analysis
+// (§2.3): a function is weightless iff it contains no instrumentation
+// sites and calls only weightless functions. Builtins are weightless.
+func computeWeightless(p *Program) {
+	// Start optimistic, then strip until fixpoint.
+	for _, fn := range p.FuncList {
+		fn.Weightless = fn.NumSites == 0
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range p.FuncList {
+			if !fn.Weightless {
+				continue
+			}
+			for _, b := range fn.Blocks {
+				for _, in := range b.Instrs {
+					call, ok := in.(*Call)
+					if !ok || call.Builtin {
+						continue
+					}
+					callee := p.Funcs[call.Callee]
+					if callee != nil && !callee.Weightless {
+						fn.Weightless = false
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Lowerer
+
+type loopCtx struct {
+	continueTo   *Block
+	breakTo      *Block
+	continueBack bool // continue edge is a back edge (while loops)
+}
+
+type lowerer struct {
+	prog   *Program
+	file   *minic.File
+	inst   Instrumenter
+	fn     *Func
+	cur    *Block
+	scopes []map[string]*Var
+	loops  []loopCtx
+	temps  int
+}
+
+var _ minic.TypeEnv = (*lowerer)(nil)
+
+func (lw *lowerer) VarType(name string) *minic.Type {
+	if v := lw.lookup(name); v != nil {
+		return v.Type
+	}
+	return nil
+}
+
+func (lw *lowerer) StructDecl(name string) *minic.StructDecl { return lw.file.Struct(name) }
+
+func (lw *lowerer) CallRet(name string) *minic.Type {
+	if fn := lw.file.Func(name); fn != nil {
+		return fn.Ret
+	}
+	if sig, ok := lw.prog.Builtins[name]; ok {
+		return sig.Ret
+	}
+	return nil
+}
+
+func (lw *lowerer) lookup(name string) *Var {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if v, ok := lw.scopes[i][name]; ok {
+			return v
+		}
+	}
+	return lw.prog.Global(name)
+}
+
+func (lw *lowerer) newBlock() *Block {
+	b := &Block{ID: len(lw.fn.Blocks)}
+	lw.fn.Blocks = append(lw.fn.Blocks, b)
+	return b
+}
+
+func (lw *lowerer) emit(in Instr) { lw.cur.Instrs = append(lw.cur.Instrs, in) }
+
+func (lw *lowerer) emitSites(sites []*Site) {
+	for _, s := range sites {
+		lw.prog.registerSite(s)
+		lw.fn.NumSites++
+		lw.emit(&SiteInstr{Site: s})
+	}
+}
+
+func (lw *lowerer) seal(t Term) {
+	if lw.cur.Term == nil {
+		lw.cur.Term = t
+	}
+}
+
+func (lw *lowerer) declare(name string, t *minic.Type, temp bool) *Var {
+	v := &Var{Name: name, Type: t, Slot: len(lw.fn.Locals), Temp: temp}
+	lw.fn.Locals = append(lw.fn.Locals, v)
+	if !temp {
+		lw.scopes[len(lw.scopes)-1][name] = v
+	}
+	return v
+}
+
+func (lw *lowerer) newTemp(t *minic.Type) *Var {
+	lw.temps++
+	return lw.declare(fmt.Sprintf("%%t%d", lw.temps), t, true)
+}
+
+// scopeVars returns the visible named variables (locals inner-to-outer,
+// then globals), for the scalar-pairs scheme.
+func (lw *lowerer) scopeVars() []*Var {
+	var vars []*Var
+	seen := map[string]bool{}
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		for _, v := range lw.scopes[i] {
+			if !seen[v.Name] {
+				seen[v.Name] = true
+				vars = append(vars, v)
+			}
+		}
+	}
+	// Map iteration order is random; sort locals by slot for determinism.
+	sortVarsBySlot(vars)
+	for _, g := range lw.prog.Globals {
+		if !seen[g.Name] {
+			vars = append(vars, g)
+		}
+	}
+	return vars
+}
+
+func sortVarsBySlot(vars []*Var) {
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && vars[j].Slot < vars[j-1].Slot; j-- {
+			vars[j], vars[j-1] = vars[j-1], vars[j]
+		}
+	}
+}
+
+func (lw *lowerer) lowerFunc(fd *minic.FuncDecl) (*Func, error) {
+	fn := &Func{Name: fd.Name, Ret: fd.Ret}
+	lw.fn = fn
+	lw.scopes = []map[string]*Var{{}}
+	fn.Entry = lw.newBlock()
+	lw.cur = fn.Entry
+	for _, p := range fd.Params {
+		v := lw.declare(p.Name, p.Type, false)
+		fn.Params = append(fn.Params, v)
+	}
+	if err := lw.lowerBlock(fd.Body); err != nil {
+		return nil, err
+	}
+	lw.seal(&Ret{}) // implicit return at fall-through
+	lw.prune()
+	return fn, nil
+}
+
+// prune drops unreachable blocks and renumbers.
+func (lw *lowerer) prune() {
+	reach := Reachable(lw.fn)
+	var kept []*Block
+	for _, b := range lw.fn.Blocks {
+		if reach[b] {
+			b.ID = len(kept)
+			kept = append(kept, b)
+		}
+	}
+	lw.fn.Blocks = kept
+}
+
+func (lw *lowerer) lowerBlock(b *minic.Block) error {
+	lw.scopes = append(lw.scopes, map[string]*Var{})
+	defer func() { lw.scopes = lw.scopes[:len(lw.scopes)-1] }()
+	for _, s := range b.Stmts {
+		if err := lw.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) lowerStmt(s minic.Stmt) error {
+	switch x := s.(type) {
+	case *minic.Block:
+		return lw.lowerBlock(x)
+	case *minic.VarDecl:
+		return lw.lowerVarDecl(x)
+	case *minic.AssignStmt:
+		return lw.lowerAssign(x)
+	case *minic.ExprStmt:
+		return lw.lowerExprStmt(x)
+	case *minic.IfStmt:
+		return lw.lowerIf(x)
+	case *minic.WhileStmt:
+		return lw.lowerWhile(x)
+	case *minic.ForStmt:
+		return lw.lowerFor(x)
+	case *minic.ReturnStmt:
+		var e Expr
+		if x.X != nil {
+			var err error
+			e, err = lw.lowerExpr(x.X)
+			if err != nil {
+				return err
+			}
+		}
+		lw.seal(&Ret{X: e})
+		lw.cur = lw.newBlock() // dead code region
+		return nil
+	case *minic.BreakStmt:
+		lc := lw.loops[len(lw.loops)-1]
+		lw.seal(&Goto{To: lc.breakTo})
+		lw.cur = lw.newBlock()
+		return nil
+	case *minic.ContinueStmt:
+		lc := lw.loops[len(lw.loops)-1]
+		lw.seal(&Goto{To: lc.continueTo, BackEdge: lc.continueBack})
+		lw.cur = lw.newBlock()
+		return nil
+	}
+	return &LowerError{Msg: "unknown statement"}
+}
+
+func (lw *lowerer) lowerVarDecl(x *minic.VarDecl) error {
+	// Lower the initializer before declaring, so "int x = x;" cannot see
+	// the new variable.
+	var init Expr
+	if x.Init != nil {
+		if call, ok := x.Init.(*minic.CallExpr); ok && call.Callee != "assert" {
+			v := lw.declare(x.Name, x.Type, false)
+			if err := lw.lowerCallInto(call, v); err != nil {
+				return err
+			}
+			lw.afterAssignHook(v, x.Pos)
+			return nil
+		}
+		var err error
+		init, err = lw.lowerExpr(x.Init)
+		if err != nil {
+			return err
+		}
+	}
+	v := lw.declare(x.Name, x.Type, false)
+	if init == nil {
+		init = zeroValue(x.Type)
+	}
+	lw.emit(&Assign{LV: &VarRef{V: v}, X: init, Pos: x.Pos})
+	if x.Init != nil {
+		lw.afterAssignHook(v, x.Pos)
+	}
+	return nil
+}
+
+func zeroValue(t *minic.Type) Expr {
+	if t.IsPointer() || t.Kind == minic.TypeStruct {
+		return &Null{}
+	}
+	if t.Kind == minic.TypeStr {
+		return &StrConst{S: ""}
+	}
+	return &Const{V: 0}
+}
+
+func (lw *lowerer) afterAssignHook(v *Var, pos minic.Pos) {
+	if lw.inst == nil || v.Temp || !v.Type.IsScalar() {
+		return
+	}
+	lw.emitSites(lw.inst.AfterAssign(lw.fn, v, lw.scopeVars(), pos))
+}
+
+func (lw *lowerer) lowerAssign(x *minic.AssignStmt) error {
+	// Direct call result into a named variable: v = f(...).
+	if id, ok := x.LHS.(*minic.Ident); ok && x.Op == "=" {
+		if call, ok := x.RHS.(*minic.CallExpr); ok && call.Callee != "assert" {
+			v := lw.lookup(id.Name)
+			if v == nil {
+				return &LowerError{Pos: id.Pos, Msg: fmt.Sprintf("undefined variable %q", id.Name)}
+			}
+			if err := lw.lowerCallInto(call, v); err != nil {
+				return err
+			}
+			lw.afterAssignHook(v, x.Pos)
+			return nil
+		}
+	}
+
+	rhs, err := lw.lowerExpr(x.RHS)
+	if err != nil {
+		return err
+	}
+	lv, loadLV, v, err := lw.lowerLValue(x.LHS)
+	if err != nil {
+		return err
+	}
+	if x.Op != "=" {
+		op := x.Op[:1] // "+=" -> "+"
+		rhs = &Bin{Op: op, X: loadLV, Y: rhs, Pos: x.Pos}
+	}
+	lw.emit(&Assign{LV: lv, X: rhs, Pos: x.Pos})
+	if v != nil {
+		lw.afterAssignHook(v, x.Pos)
+	}
+	return nil
+}
+
+// lowerLValue lowers an assignment target. It returns the LValue, an
+// equivalent load expression (for compound assignments), and the target
+// Var when the target is a plain variable.
+func (lw *lowerer) lowerLValue(e minic.Expr) (LValue, Expr, *Var, error) {
+	switch x := e.(type) {
+	case *minic.Ident:
+		v := lw.lookup(x.Name)
+		if v == nil {
+			return nil, nil, nil, &LowerError{Pos: x.Pos, Msg: fmt.Sprintf("undefined variable %q", x.Name)}
+		}
+		return &VarRef{V: v}, &VarUse{V: v}, v, nil
+	case *minic.IndexExpr:
+		ptr, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		idx, err := lw.lowerExpr(x.I)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ptr, idx = lw.materialize(ptr, minicPtrType(lw, x.X)), lw.materializeInt(idx)
+		lw.memAccessHook(ptr, idx, x.Pos)
+		return &CellRef{Ptr: ptr, Idx: idx, Pos: x.Pos}, &Load{Ptr: ptr, Idx: idx, Pos: x.Pos}, nil, nil
+	case *minic.UnaryExpr: // *p = ...
+		ptr, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ptr = lw.materialize(ptr, minicPtrType(lw, x.X))
+		idx := Expr(&Const{V: 0})
+		lw.memAccessHook(ptr, idx, x.Pos)
+		return &CellRef{Ptr: ptr, Idx: idx, Pos: x.Pos}, &Load{Ptr: ptr, Idx: idx, Pos: x.Pos}, nil, nil
+	case *minic.FieldExpr:
+		ptr, fieldIdx, err := lw.lowerFieldBase(x)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ptr = lw.materialize(ptr, nil)
+		idx := Expr(&Const{V: int64(fieldIdx)})
+		lw.memAccessHook(ptr, idx, x.Pos)
+		return &CellRef{Ptr: ptr, Idx: idx, Pos: x.Pos}, &Load{Ptr: ptr, Idx: idx, Pos: x.Pos}, nil, nil
+	}
+	return nil, nil, nil, &LowerError{Pos: e.ExprPos(), Msg: "not an lvalue"}
+}
+
+func minicPtrType(lw *lowerer, e minic.Expr) *minic.Type {
+	t, err := minic.TypeOfExpr(e, lw)
+	if err != nil {
+		return nil
+	}
+	return t
+}
+
+// materialize ensures the expression is a trivially re-evaluable atom
+// (variable or constant), assigning it to a temp otherwise. Used when an
+// expression will be evaluated more than once (compound assignment,
+// memory-access probes).
+func (lw *lowerer) materialize(e Expr, t *minic.Type) Expr {
+	switch e.(type) {
+	case *VarUse, *Const, *StrConst, *Null:
+		return e
+	}
+	if t == nil {
+		t = minic.PtrTo(minic.IntType)
+	}
+	v := lw.newTemp(t)
+	lw.emit(&Assign{LV: &VarRef{V: v}, X: e})
+	return &VarUse{V: v}
+}
+
+func (lw *lowerer) materializeInt(e Expr) Expr { return lw.materialize(e, minic.IntType) }
+
+func (lw *lowerer) memAccessHook(ptr, idx Expr, pos minic.Pos) {
+	if lw.inst == nil {
+		return
+	}
+	lw.emitSites(lw.inst.AtMemAccess(lw.fn, ptr, idx, pos))
+}
+
+func (lw *lowerer) lowerExprStmt(x *minic.ExprStmt) error {
+	call, ok := x.X.(*minic.CallExpr)
+	if !ok {
+		// Pure expression statement: evaluate for effect-free value.
+		e, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return err
+		}
+		_ = e // no effect; traps were the only observable behaviour
+		return nil
+	}
+	if call.Callee == "assert" {
+		return lw.lowerAssert(call)
+	}
+	ret := lw.CallRet(call.Callee)
+	var dst *Var
+	if ret != nil && ret.IsScalar() && lw.inst != nil && lw.inst.NeedsReturnValues() {
+		dst = lw.newTemp(ret)
+	}
+	return lw.lowerCallInto(call, dst)
+}
+
+func (lw *lowerer) lowerAssert(call *minic.CallExpr) error {
+	cond, err := lw.lowerExpr(call.Args[0])
+	if err != nil {
+		return err
+	}
+	if lw.inst != nil {
+		if sites := lw.inst.AtAssert(lw.fn, cond, call.Pos); len(sites) > 0 {
+			lw.emitSites(sites)
+			return nil
+		}
+	}
+	lw.emit(&Call{Callee: "assert", Args: []Expr{cond}, Builtin: true, Pos: call.Pos})
+	return nil
+}
+
+// lowerCallInto lowers a call storing the result in dst (nil to discard),
+// firing the AfterCall hook.
+func (lw *lowerer) lowerCallInto(call *minic.CallExpr, dst *Var) error {
+	if ret := lw.CallRet(call.Callee); dst != nil && (ret == nil || ret.Kind == minic.TypeVoid) {
+		return &LowerError{Pos: call.Pos, Msg: fmt.Sprintf("void call %q used as value", call.Callee)}
+	}
+	var args []Expr
+	for _, a := range call.Args {
+		e, err := lw.lowerExpr(a)
+		if err != nil {
+			return err
+		}
+		args = append(args, e)
+	}
+	_, isBuiltin := lw.prog.Builtins[call.Callee]
+	lw.emit(&Call{Dst: dst, Callee: call.Callee, Args: args, Builtin: isBuiltin, Pos: call.Pos})
+	ret := lw.CallRet(call.Callee)
+	if lw.inst != nil && dst != nil && ret != nil && ret.IsScalar() {
+		lw.emitSites(lw.inst.AfterCall(lw.fn, call.Callee, ret, dst, call.Pos))
+	}
+	return nil
+}
+
+func (lw *lowerer) lowerIf(x *minic.IfStmt) error {
+	cond, err := lw.lowerExpr(x.Cond)
+	if err != nil {
+		return err
+	}
+	if lw.inst != nil {
+		lw.emitSites(lw.inst.AtBranch(lw.fn, cond, x.Pos))
+	}
+	thenB := lw.newBlock()
+	elseB := lw.newBlock()
+	exit := elseB
+	if x.Else != nil {
+		exit = lw.newBlock()
+	}
+	lw.seal(&If{Cond: cond, Then: thenB, Else: elseB})
+	lw.cur = thenB
+	if err := lw.lowerStmt(x.Then); err != nil {
+		return err
+	}
+	lw.seal(&Goto{To: exit})
+	if x.Else != nil {
+		lw.cur = elseB
+		if err := lw.lowerStmt(x.Else); err != nil {
+			return err
+		}
+		lw.seal(&Goto{To: exit})
+	}
+	lw.cur = exit
+	return nil
+}
+
+func (lw *lowerer) lowerWhile(x *minic.WhileStmt) error {
+	head := lw.newBlock()
+	head.LoopHead = true
+	lw.seal(&Goto{To: head})
+	lw.cur = head
+	cond, err := lw.lowerExpr(x.Cond)
+	if err != nil {
+		return err
+	}
+	if lw.inst != nil {
+		lw.emitSites(lw.inst.AtBranch(lw.fn, cond, x.Pos))
+	}
+	body := lw.newBlock()
+	exit := lw.newBlock()
+	lw.seal(&If{Cond: cond, Then: body, Else: exit})
+	lw.loops = append(lw.loops, loopCtx{continueTo: head, breakTo: exit, continueBack: true})
+	lw.cur = body
+	if err := lw.lowerStmt(x.Body); err != nil {
+		return err
+	}
+	lw.seal(&Goto{To: head, BackEdge: true})
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	lw.cur = exit
+	return nil
+}
+
+func (lw *lowerer) lowerFor(x *minic.ForStmt) error {
+	lw.scopes = append(lw.scopes, map[string]*Var{})
+	defer func() { lw.scopes = lw.scopes[:len(lw.scopes)-1] }()
+	if x.Init != nil {
+		if err := lw.lowerStmt(x.Init); err != nil {
+			return err
+		}
+	}
+	head := lw.newBlock()
+	head.LoopHead = true
+	lw.seal(&Goto{To: head})
+	lw.cur = head
+	body := lw.newBlock()
+	exit := lw.newBlock()
+	if x.Cond != nil {
+		cond, err := lw.lowerExpr(x.Cond)
+		if err != nil {
+			return err
+		}
+		if lw.inst != nil {
+			lw.emitSites(lw.inst.AtBranch(lw.fn, cond, x.Pos))
+		}
+		lw.seal(&If{Cond: cond, Then: body, Else: exit})
+	} else {
+		lw.seal(&Goto{To: body})
+	}
+	post := lw.newBlock()
+	lw.loops = append(lw.loops, loopCtx{continueTo: post, breakTo: exit})
+	lw.cur = body
+	if err := lw.lowerStmt(x.Body); err != nil {
+		return err
+	}
+	lw.seal(&Goto{To: post})
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	lw.cur = post
+	if x.Post != nil {
+		if err := lw.lowerStmt(x.Post); err != nil {
+			return err
+		}
+	}
+	lw.seal(&Goto{To: head, BackEdge: true})
+	lw.cur = exit
+	return nil
+}
+
+// ----------------------------------------------------------------------------
+// Expressions
+
+func (lw *lowerer) lowerExpr(e minic.Expr) (Expr, error) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return &Const{V: x.Value}, nil
+	case *minic.StrLit:
+		return &StrConst{S: x.Value}, nil
+	case *minic.NullLit:
+		return &Null{}, nil
+	case *minic.Ident:
+		v := lw.lookup(x.Name)
+		if v == nil {
+			return nil, &LowerError{Pos: x.Pos, Msg: fmt.Sprintf("undefined variable %q", x.Name)}
+		}
+		return &VarUse{V: v}, nil
+	case *minic.UnaryExpr:
+		if x.Op == "*" {
+			ptr, err := lw.lowerExpr(x.X)
+			if err != nil {
+				return nil, err
+			}
+			ptr = lw.materialize(ptr, minicPtrType(lw, x.X))
+			idx := Expr(&Const{V: 0})
+			lw.memAccessHook(ptr, idx, x.Pos)
+			return &Load{Ptr: ptr, Idx: idx, Pos: x.Pos}, nil
+		}
+		sub, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Op: x.Op, X: sub}, nil
+	case *minic.BinaryExpr:
+		if x.Op == "&&" || x.Op == "||" {
+			return lw.lowerShortCircuit(x)
+		}
+		a, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		b, err := lw.lowerExpr(x.Y)
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: x.Op, X: a, Y: b, Pos: x.Pos}, nil
+	case *minic.CallExpr:
+		if x.Callee == "assert" {
+			if err := lw.lowerAssert(x); err != nil {
+				return nil, err
+			}
+			return &Const{V: 0}, nil
+		}
+		ret := lw.CallRet(x.Callee)
+		if ret == nil || ret.Kind == minic.TypeVoid {
+			return nil, &LowerError{Pos: x.Pos, Msg: fmt.Sprintf("void call %q used as value", x.Callee)}
+		}
+		dst := lw.newTemp(ret)
+		if err := lw.lowerCallInto(x, dst); err != nil {
+			return nil, err
+		}
+		return &VarUse{V: dst}, nil
+	case *minic.IndexExpr:
+		ptr, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := lw.lowerExpr(x.I)
+		if err != nil {
+			return nil, err
+		}
+		ptr = lw.materialize(ptr, minicPtrType(lw, x.X))
+		idx = lw.materializeInt(idx)
+		lw.memAccessHook(ptr, idx, x.Pos)
+		return &Load{Ptr: ptr, Idx: idx, Pos: x.Pos}, nil
+	case *minic.FieldExpr:
+		ptr, fieldIdx, err := lw.lowerFieldBase(x)
+		if err != nil {
+			return nil, err
+		}
+		ptr = lw.materialize(ptr, nil)
+		idx := Expr(&Const{V: int64(fieldIdx)})
+		lw.memAccessHook(ptr, idx, x.Pos)
+		return &Load{Ptr: ptr, Idx: idx, Pos: x.Pos}, nil
+	case *minic.NewExpr:
+		si := lw.prog.Structs[x.StructName]
+		if si == nil {
+			return nil, &LowerError{Pos: x.Pos, Msg: fmt.Sprintf("unknown struct %q", x.StructName)}
+		}
+		return &NewObj{StructName: x.StructName, NumFields: len(si.Fields)}, nil
+	}
+	return nil, &LowerError{Msg: "unknown expression"}
+}
+
+// lowerFieldBase resolves p->f and (*p).f to a base pointer expression and
+// a field index.
+func (lw *lowerer) lowerFieldBase(x *minic.FieldExpr) (Expr, int, error) {
+	base := x.X
+	if !x.Arrow {
+		un, ok := base.(*minic.UnaryExpr)
+		if !ok || un.Op != "*" {
+			return nil, 0, &LowerError{Pos: x.Pos, Msg: "field access requires a pointer (use -> or (*p).f)"}
+		}
+		base = un.X
+	}
+	bt, err := minic.TypeOfExpr(base, lw)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !bt.IsPointer() || bt.Elem.Kind != minic.TypeStruct {
+		return nil, 0, &LowerError{Pos: x.Pos, Msg: fmt.Sprintf("field access on non struct pointer %s", bt)}
+	}
+	si := lw.prog.Structs[bt.Elem.StructName]
+	if si == nil {
+		return nil, 0, &LowerError{Pos: x.Pos, Msg: fmt.Sprintf("unknown struct %q", bt.Elem.StructName)}
+	}
+	idx, ok := si.Index[x.Name]
+	if !ok {
+		return nil, 0, &LowerError{Pos: x.Pos, Msg: fmt.Sprintf("struct %s has no field %q", si.Name, x.Name)}
+	}
+	ptr, err := lw.lowerExpr(base)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ptr, idx, nil
+}
+
+// lowerShortCircuit expands && and || into control flow so that the right
+// operand is only evaluated when needed (it may trap or call).
+func (lw *lowerer) lowerShortCircuit(x *minic.BinaryExpr) (Expr, error) {
+	res := lw.newTemp(minic.IntType)
+	a, err := lw.lowerExpr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	rhsB := lw.newBlock()
+	exit := lw.newBlock()
+	if x.Op == "&&" {
+		lw.emit(&Assign{LV: &VarRef{V: res}, X: &Const{V: 0}})
+		lw.seal(&If{Cond: a, Then: rhsB, Else: exit})
+	} else {
+		lw.emit(&Assign{LV: &VarRef{V: res}, X: &Const{V: 1}})
+		lw.seal(&If{Cond: a, Then: exit, Else: rhsB})
+	}
+	lw.cur = rhsB
+	b, err := lw.lowerExpr(x.Y)
+	if err != nil {
+		return nil, err
+	}
+	lw.emit(&Assign{LV: &VarRef{V: res}, X: &Un{Op: "!", X: &Un{Op: "!", X: b}}})
+	lw.seal(&Goto{To: exit})
+	lw.cur = exit
+	return &VarUse{V: res}, nil
+}

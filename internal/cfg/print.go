@@ -1,0 +1,137 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DumpProgram renders the whole program's CFG as text.
+func DumpProgram(p *Program) string {
+	var sb strings.Builder
+	for _, fn := range p.FuncList {
+		sb.WriteString(DumpFunc(fn))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// DumpFunc renders one function's CFG as text, one block per paragraph.
+// Threshold checks and countdown operations introduced by the sampling
+// transformation are shown explicitly, making the dump a textual analogue
+// of the paper's Figure 1 code-layout diagram.
+func DumpFunc(fn *Func) string {
+	var sb strings.Builder
+	attrs := ""
+	if fn.Weightless {
+		attrs += " [weightless]"
+	}
+	if fn.LocalCountdown {
+		attrs += " [local countdown]"
+	}
+	fmt.Fprintf(&sb, "func %s (sites=%d)%s:\n", fn.Name, fn.NumSites, attrs)
+	for _, b := range fn.Blocks {
+		head := fmt.Sprintf("  b%d:", b.ID)
+		if b.LoopHead {
+			head += " (loop head)"
+		}
+		sb.WriteString(head + "\n")
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "    %s\n", FormatInstr(in))
+		}
+		fmt.Fprintf(&sb, "    %s\n", FormatTerm(b.Term))
+	}
+	return sb.String()
+}
+
+// FormatInstr renders a single instruction.
+func FormatInstr(in Instr) string {
+	switch x := in.(type) {
+	case *Assign:
+		return fmt.Sprintf("%s = %s", FormatLValue(x.LV), FormatExpr(x.X))
+	case *Call:
+		dst := ""
+		if x.Dst != nil {
+			dst = x.Dst.Name + " = "
+		}
+		var args []string
+		for _, a := range x.Args {
+			args = append(args, FormatExpr(a))
+		}
+		return fmt.Sprintf("%s%s(%s)", dst, x.Callee, strings.Join(args, ", "))
+	case *SiteInstr:
+		return fmt.Sprintf("site#%d %s {%s}", x.Site.ID, x.Site.Kind, x.Site.Text)
+	case *GuardedSite:
+		return fmt.Sprintf("if (--countdown == 0) { site#%d %s {%s}; countdown = next() }",
+			x.Site.ID, x.Site.Kind, x.Site.Text)
+	case *CountdownDec:
+		return fmt.Sprintf("countdown -= %d", x.N)
+	case *CDImport:
+		return "countdown = global_countdown"
+	case *CDExport:
+		return "global_countdown = countdown"
+	default:
+		return "<unknown instr>"
+	}
+}
+
+// FormatTerm renders a terminator.
+func FormatTerm(t Term) string {
+	switch x := t.(type) {
+	case *Goto:
+		s := fmt.Sprintf("goto b%d", x.To.ID)
+		if x.BackEdge {
+			s += " (back edge)"
+		}
+		return s
+	case *If:
+		return fmt.Sprintf("if %s goto b%d else b%d", FormatExpr(x.Cond), x.Then.ID, x.Else.ID)
+	case *Ret:
+		if x.X == nil {
+			return "return"
+		}
+		return "return " + FormatExpr(x.X)
+	case *Threshold:
+		return fmt.Sprintf("if countdown > %d goto b%d (fast) else b%d (slow)",
+			x.Weight, x.Fast.ID, x.Slow.ID)
+	case nil:
+		return "<no terminator>"
+	default:
+		return "<unknown terminator>"
+	}
+}
+
+// FormatExpr renders a pure expression.
+func FormatExpr(e Expr) string {
+	switch x := e.(type) {
+	case *Const:
+		return fmt.Sprintf("%d", x.V)
+	case *StrConst:
+		return fmt.Sprintf("%q", x.S)
+	case *Null:
+		return "null"
+	case *VarUse:
+		return x.V.Name
+	case *Un:
+		return x.Op + FormatExpr(x.X)
+	case *Bin:
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(x.X), x.Op, FormatExpr(x.Y))
+	case *Load:
+		return fmt.Sprintf("%s[%s]", FormatExpr(x.Ptr), FormatExpr(x.Idx))
+	case *NewObj:
+		return "new " + x.StructName
+	default:
+		return "<unknown expr>"
+	}
+}
+
+// FormatLValue renders an assignment target.
+func FormatLValue(lv LValue) string {
+	switch x := lv.(type) {
+	case *VarRef:
+		return x.V.Name
+	case *CellRef:
+		return fmt.Sprintf("%s[%s]", FormatExpr(x.Ptr), FormatExpr(x.Idx))
+	default:
+		return "<unknown lvalue>"
+	}
+}

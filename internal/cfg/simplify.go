@@ -1,0 +1,164 @@
+package cfg
+
+// Simplify is a cleanup pass over lowered (or transformed) functions:
+//
+//  1. jump threading: edges into an empty block whose only content is an
+//     unconditional Goto are redirected to its target;
+//  2. block merging: a block whose single successor has no other
+//     predecessors is fused with it;
+//  3. constant branch folding: If terminators with constant conditions
+//     become Gotos.
+//
+// Lowering and the sampling transformation both create empty connector
+// blocks (loop exits, short-circuit joins, zero-weight checkpoint stubs);
+// removing them reduces interpreter dispatch work for every configuration
+// equally, so overhead ratios are unaffected while absolute run time
+// improves. The pass never crosses Threshold terminators, whose targets
+// are semantically meaningful (fast/slow entry points).
+func Simplify(fn *Func) {
+	changed := true
+	for changed {
+		changed = false
+		prune(fn) // merge decisions below assume only live blocks remain
+		if threadJumps(fn) {
+			changed = true
+		}
+		if foldConstBranches(fn) {
+			changed = true
+		}
+		if mergeBlocks(fn) {
+			changed = true
+		}
+	}
+	prune(fn)
+}
+
+// SimplifyProgram runs Simplify on every function.
+func SimplifyProgram(p *Program) {
+	for _, fn := range p.FuncList {
+		Simplify(fn)
+	}
+}
+
+// threadJumps redirects edges that point at empty forwarding blocks.
+func threadJumps(fn *Func) bool {
+	target := func(b *Block) *Block {
+		// Follow chains of empty Goto blocks (bounded to avoid cycles of
+		// empty blocks, which structured lowering cannot produce but a
+		// hostile CFG could).
+		seen := 0
+		for len(b.Instrs) == 0 && seen < 64 {
+			g, ok := b.Term.(*Goto)
+			if !ok || g.To == b {
+				break
+			}
+			// Preserve loop-head identity: the sampling transformation
+			// needs back-edge targets intact, so do not thread through
+			// loop heads.
+			if b.LoopHead {
+				break
+			}
+			b = g.To
+			seen++
+		}
+		return b
+	}
+	changed := false
+	redirect := func(b **Block, back *bool) {
+		nt := target(*b)
+		if nt != *b {
+			// Threading a back edge keeps its back-edge nature only if
+			// the new target is the loop head; lowering never creates
+			// back edges into empty forwarders, so drop the flag risk by
+			// skipping back edges entirely.
+			if back != nil && *back {
+				return
+			}
+			*b = nt
+			changed = true
+		}
+	}
+	for _, b := range fn.Blocks {
+		switch t := b.Term.(type) {
+		case *Goto:
+			redirect(&t.To, &t.BackEdge)
+		case *If:
+			redirect(&t.Then, &t.ThenBack)
+			redirect(&t.Else, &t.ElseBack)
+		case *Threshold:
+			// Threshold targets are clone entry points; leave them.
+		}
+	}
+	return changed
+}
+
+// foldConstBranches turns If terminators with constant conditions into
+// unconditional jumps.
+func foldConstBranches(fn *Func) bool {
+	changed := false
+	for _, b := range fn.Blocks {
+		t, ok := b.Term.(*If)
+		if !ok {
+			continue
+		}
+		c, ok := t.Cond.(*Const)
+		if !ok {
+			continue
+		}
+		if c.V != 0 {
+			b.Term = &Goto{To: t.Then, BackEdge: t.ThenBack}
+		} else {
+			b.Term = &Goto{To: t.Else, BackEdge: t.ElseBack}
+		}
+		changed = true
+	}
+	return changed
+}
+
+// mergeBlocks fuses straight-line pairs: b -> s where s has exactly one
+// predecessor and b's terminator is a plain forward Goto.
+func mergeBlocks(fn *Func) bool {
+	preds := map[*Block]int{}
+	for _, b := range fn.Blocks {
+		for _, s := range Succs(b.Term) {
+			preds[s]++
+		}
+	}
+	changed := false
+	dead := map[*Block]bool{} // blocks fused away this pass
+	for _, b := range fn.Blocks {
+		if dead[b] {
+			continue
+		}
+		for {
+			g, ok := b.Term.(*Goto)
+			if !ok || g.BackEdge || g.To == b || g.To == fn.Entry {
+				break
+			}
+			s := g.To
+			if preds[s] != 1 || s.LoopHead || dead[s] {
+				break
+			}
+			b.Instrs = append(b.Instrs, s.Instrs...)
+			b.Term = s.Term
+			s.Instrs = nil
+			s.Term = &Ret{} // orphaned; pruned before the next pass
+			dead[s] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// prune drops unreachable blocks and renumbers the survivors.
+func prune(fn *Func) {
+	reach := Reachable(fn)
+	var kept []*Block
+	for _, b := range fn.Blocks {
+		if reach[b] {
+			b.ID = len(kept)
+			kept = append(kept, b)
+		}
+	}
+	fn.Blocks = kept
+}

@@ -1,0 +1,71 @@
+package cfg
+
+import (
+	"testing"
+
+	"cbi/internal/minic"
+)
+
+func TestSimplifyReducesBlockCount(t *testing.T) {
+	srcs := []string{
+		"int f(int a, int b) { if (a > 0 && b > 0) { return 1; } return 0; }",
+		"int f(int n) { int s = 0; for (int i = 0; i < n; i++) { if (i % 2 == 0) { continue; } s++; } return s; }",
+		"int f(int c) { if (1) { return c; } return 0; }",
+	}
+	for _, src := range srcs {
+		p := build(t, src)
+		fn := p.Funcs["f"]
+		before := len(fn.Blocks)
+		Simplify(fn)
+		after := len(fn.Blocks)
+		if after > before {
+			t.Errorf("%q: simplify grew blocks %d -> %d", src, before, after)
+		}
+		// The constant-branch program must lose its dead arm entirely.
+		if src == srcs[2] && after >= before {
+			t.Errorf("constant fold did not shrink: %d -> %d\n%s", before, after, DumpFunc(fn))
+		}
+	}
+}
+
+func TestSimplifyPreservesLoopHeads(t *testing.T) {
+	p := build(t, "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }")
+	fn := p.Funcs["f"]
+	Simplify(fn)
+	heads := 0
+	for _, b := range fn.Blocks {
+		if b.LoopHead {
+			heads++
+		}
+	}
+	if heads != 1 {
+		t.Fatalf("loop head lost:\n%s", DumpFunc(fn))
+	}
+	if len(BackEdges(fn)) != 1 {
+		t.Fatalf("back edge lost:\n%s", DumpFunc(fn))
+	}
+}
+
+func TestSimplifyKeepsThresholdTargets(t *testing.T) {
+	// Build a program with a testInstrumenter, hand-run the simplifier on
+	// the unsampled form, and verify sites survive.
+	f, err := minic.Parse("t.mc", `
+int f() { int a = rand(5); int b = rand(7); return a + b; }
+int main() { return f(); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(f, nil, &testInstrumenter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SimplifyProgram(p)
+	sites := 0
+	for _, fn := range p.FuncList {
+		sites += len(FuncSites(fn))
+	}
+	if sites != len(p.Sites) {
+		t.Errorf("sites lost by simplify: %d of %d", sites, len(p.Sites))
+	}
+}

@@ -1,0 +1,209 @@
+// Package collect implements the remote-collection side of the
+// infrastructure: an HTTP server that receives encoded run reports from
+// deployed clients and either stores them or folds them into sufficient
+// statistics, and the client used by instrumented runs to phone home.
+package collect
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"cbi/internal/report"
+)
+
+// Mode selects how the server retains data.
+type Mode int
+
+const (
+	// StoreAll keeps every report (needed for logistic-regression
+	// training, which consumes per-run feature vectors).
+	StoreAll Mode = iota
+	// AggregateOnly folds each report into sufficient statistics and
+	// discards it (§5's privacy posture: a compromised collector cannot
+	// reveal any individual trace).
+	AggregateOnly
+)
+
+// Server is the central collection endpoint.
+type Server struct {
+	mode Mode
+
+	mu  sync.Mutex
+	db  *report.DB
+	agg *report.Aggregate
+
+	httpServer *http.Server
+	listener   net.Listener
+}
+
+// NewServer creates a collection server for one program build.
+func NewServer(program string, numCounters int, mode Mode) *Server {
+	return &Server{
+		mode: mode,
+		db:   report.NewDB(program, numCounters),
+		agg:  report.NewAggregate(program, numCounters),
+	}
+}
+
+// Handler returns the HTTP handler (also usable without a live listener).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rep, err := report.Decode(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.Submit(rep); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// Stats is the JSON summary served at /stats.
+type Stats struct {
+	Runs    int `json:"runs"`
+	Crashes int `json:"crashes"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := Stats{Runs: s.agg.Runs, Crashes: s.agg.Crashes}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(st); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Submit folds a report into the server state directly (used by in-process
+// fleets and by the HTTP handler).
+func (s *Server) Submit(rep *report.Report) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.agg.Fold(rep); err != nil {
+		return err
+	}
+	if s.mode == StoreAll {
+		return s.db.Add(rep)
+	}
+	return nil
+}
+
+// DB returns a snapshot of the stored reports (StoreAll mode).
+func (s *Server) DB() *report.DB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snapshot := *s.db
+	snapshot.Reports = append([]*report.Report(nil), s.db.Reports...)
+	return &snapshot
+}
+
+// Aggregate returns a snapshot of the sufficient statistics.
+func (s *Server) Aggregate() *report.Aggregate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := *s.agg
+	cp.NonzeroInSuccess = append([]bool(nil), s.agg.NonzeroInSuccess...)
+	cp.NonzeroInFailure = append([]bool(nil), s.agg.NonzeroInFailure...)
+	cp.Totals = append([]uint64(nil), s.agg.Totals...)
+	return &cp
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
+// until Stop. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.listener = ln
+	s.httpServer = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.httpServer.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Stop shuts the listener down.
+func (s *Server) Stop() error {
+	if s.httpServer == nil {
+		return nil
+	}
+	return s.httpServer.Close()
+}
+
+// Client submits reports to a remote collection server.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient creates a client for the server at baseURL
+// (e.g. "http://127.0.0.1:8123").
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Submit posts one report.
+func (c *Client) Submit(rep *report.Report) error {
+	resp, err := c.HTTP.Post(c.BaseURL+"/report", "application/octet-stream",
+		readerOf(rep.Encode()))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("collect: server rejected report: %s: %s", resp.Status, msg)
+	}
+	return nil
+}
+
+// Stats fetches the server's run summary.
+func (c *Client) Stats() (Stats, error) {
+	var st Stats
+	resp, err := c.HTTP.Get(c.BaseURL + "/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("collect: %s", resp.Status)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func readerOf(b []byte) io.Reader { return &byteReader{data: b} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}

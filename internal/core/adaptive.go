@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"cbi/internal/analysis/elim"
+	"cbi/internal/cfg"
+	"cbi/internal/instrument"
+	"cbi/internal/minic"
+	"cbi/internal/report"
+	"cbi/internal/workloads"
+)
+
+// Adaptive bug isolation: §3.1.2 observes that "given a suitable dynamic
+// instrumentation infrastructure, sites can be added or removed over time
+// as debugging needs and intermediate results warrant". This driver
+// implements that loop for the ccrypt study: each round deploys only the
+// sites still under suspicion, at a density that rises as the site
+// population shrinks (fewer sites -> the per-user budget affords denser
+// sampling of each).
+
+// AdaptiveRound records one deployment round.
+type AdaptiveRound struct {
+	Round      int
+	Sites      int
+	Density    float64
+	Runs       int
+	Crashes    int
+	Candidates int // UF ∧ SC survivors in this round's data
+}
+
+// AdaptiveResult is the outcome of an adaptive study.
+type AdaptiveResult struct {
+	Rounds    []AdaptiveRound
+	Survivors []Survivor
+}
+
+// AdaptiveConfig parameterizes RunAdaptiveCcrypt.
+type AdaptiveConfig struct {
+	Rounds       int
+	RunsPerRound int
+	// StartDensity is round 1's sampling density; each later round
+	// multiplies it by DensityGrowth (default 4) capped at 1.
+	StartDensity  float64
+	DensityGrowth float64
+	Seed          int64
+}
+
+// siteKey identifies a site stably across rebuilds of the same file.
+func siteKey(s *cfg.Site) string {
+	return fmt.Sprintf("%s|%s|%s", s.Pos, s.Fn, s.Text)
+}
+
+// RunAdaptiveCcrypt runs the multi-round adaptive isolation loop on the
+// ccrypt workload with the returns scheme.
+func RunAdaptiveCcrypt(conf AdaptiveConfig) (*AdaptiveResult, error) {
+	if conf.Rounds <= 0 {
+		conf.Rounds = 3
+	}
+	if conf.DensityGrowth <= 1 {
+		conf.DensityGrowth = 4
+	}
+	file, err := minic.Parse("ccrypt.mc", workloads.CcryptSource)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AdaptiveResult{}
+	var keep map[string]bool // nil = all sites
+	density := conf.StartDensity
+	var lastProg *cfg.Program
+	var lastCombined []bool
+
+	for round := 1; round <= conf.Rounds; round++ {
+		schemes := &instrument.Schemes{Set: instrument.SchemeSet{Returns: true}}
+		if keep != nil {
+			kept := keep
+			schemes.KeepSite = func(s *cfg.Site) bool { return kept[siteKey(s)] }
+		}
+		prog, err := cfg.Build(file, workloads.CcryptBuiltins(), schemes)
+		if err != nil {
+			return nil, err
+		}
+		sampled := instrument.Sample(prog, instrument.DefaultOptions())
+		db, err := workloads.CcryptFleet(sampled, workloads.FleetConfig{
+			Runs:     conf.RunsPerRound,
+			Density:  density,
+			SeedBase: conf.Seed + int64(round)*1_000_000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		agg := report.NewAggregate("ccrypt", prog.NumCounters)
+		if err := agg.FromDB(db); err != nil {
+			return nil, err
+		}
+		combined := elim.Intersect(elim.UniversalFalsehood(agg), elim.SuccessfulCounterexample(agg))
+
+		res.Rounds = append(res.Rounds, AdaptiveRound{
+			Round:      round,
+			Sites:      len(prog.Sites),
+			Density:    density,
+			Runs:       db.Len(),
+			Crashes:    len(db.Failures()),
+			Candidates: elim.Count(combined),
+		})
+		lastProg, lastCombined = prog, combined
+
+		// Next round: keep only the sites owning surviving counters.
+		keep = map[string]bool{}
+		for _, c := range elim.Indices(combined) {
+			if s := prog.SiteForCounter(c); s != nil {
+				keep[siteKey(s)] = true
+			}
+		}
+		if len(keep) == 0 {
+			// Nothing survived (e.g. no crash sampled this round): retry
+			// the same deployment next round rather than shipping an
+			// uninstrumented binary.
+			keep = nil
+		}
+		density *= conf.DensityGrowth
+		if density > 1 {
+			density = 1
+		}
+	}
+
+	for _, c := range elim.Indices(lastCombined) {
+		res.Survivors = append(res.Survivors, Survivor{Counter: c, Name: lastProg.PredicateName(c)})
+	}
+	return res, nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdaptiveCcryptNarrowsToSmokingGun(t *testing.T) {
+	res, err := RunAdaptiveCcrypt(AdaptiveConfig{
+		Rounds:       3,
+		RunsPerRound: 1500,
+		StartDensity: 1.0 / 100,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 3 {
+		t.Fatalf("rounds: %d", len(res.Rounds))
+	}
+	first, last := res.Rounds[0], res.Rounds[len(res.Rounds)-1]
+	// The deployed site population must shrink across rounds.
+	if last.Sites >= first.Sites {
+		t.Errorf("sites did not shrink: %+v", res.Rounds)
+	}
+	// Density must escalate as the population shrinks.
+	if last.Density <= first.Density {
+		t.Errorf("density did not escalate: %+v", res.Rounds)
+	}
+	// The final survivors include the smoking gun.
+	found := false
+	for _, s := range res.Survivors {
+		if strings.Contains(s.Name, "xreadline() return value == 0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("survivors: %+v", res.Survivors)
+	}
+	if len(res.Survivors) > 4 {
+		t.Errorf("adaptive loop should converge to few survivors: %+v", res.Survivors)
+	}
+	for _, r := range res.Rounds {
+		if r.Crashes == 0 {
+			t.Errorf("round %d saw no crashes", r.Round)
+		}
+	}
+}
+
+func TestAdaptiveDefaults(t *testing.T) {
+	res, err := RunAdaptiveCcrypt(AdaptiveConfig{RunsPerRound: 200, StartDensity: 1.0 / 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 3 { // default rounds
+		t.Errorf("default rounds: %d", len(res.Rounds))
+	}
+	// Density growth capped at 1.
+	if last := res.Rounds[len(res.Rounds)-1]; last.Density > 1 {
+		t.Errorf("density exceeded 1: %+v", last)
+	}
+}

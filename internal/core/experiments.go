@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cbi/internal/instrument"
+	"cbi/internal/interp"
+	"cbi/internal/stats"
+	"cbi/internal/workloads"
+)
+
+// Densities used throughout the evaluation (Table 2's columns).
+var Table2Densities = []float64{1.0 / 100, 1.0 / 1000, 1.0 / 10000, 1.0 / 1000000}
+
+// ----------------------------------------------------------------------------
+// Table 1: static metrics
+
+// Table1Row is one benchmark's static metrics.
+type Table1Row struct {
+	Benchmark string
+	Suite     string
+	Metrics   instrument.Metrics
+}
+
+// Table1 computes the static sampling-transformation metrics for every
+// benchmark under the bounds (CCured-check) scheme.
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, b := range workloads.All() {
+		built, err := workloads.BuildBenchmark(b.Name, instrument.SchemeSet{Bounds: true}, true)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", b.Name, err)
+		}
+		rows = append(rows, Table1Row{
+			Benchmark: b.Name,
+			Suite:     b.Suite,
+			Metrics:   instrument.ComputeMetrics(built.Program),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString(instrument.TableHeader() + "\n")
+	for _, r := range rows {
+		sb.WriteString(r.Metrics.Row(r.Benchmark) + "\n")
+	}
+	return sb.String()
+}
+
+// ----------------------------------------------------------------------------
+// Table 2 / Figure 4: runtime overhead
+
+// OverheadRow is one benchmark's relative cost under unconditional and
+// sampled instrumentation, as a ratio to the check-free baseline.
+// Ratios are computed over deterministic VM step counts; RatioWall
+// additionally reports wall-clock ratios when measured.
+type OverheadRow struct {
+	Benchmark     string
+	BaselineSteps uint64
+	Always        float64
+	Sampled       []float64 // parallel to the density list used
+	WallAlways    float64
+	WallSampled   []float64
+}
+
+// OverheadConfig controls the overhead measurements.
+type OverheadConfig struct {
+	Densities []float64
+	Scheme    instrument.SchemeSet
+	// Repeats averages wall-clock measurements; steps are deterministic.
+	Repeats int
+	// Wall enables wall-clock timing (slower; benches use it, tests not).
+	Wall bool
+	Seed int64
+}
+
+// MeasureOverhead runs one benchmark through baseline, unconditional, and
+// sampled configurations.
+func MeasureOverhead(name string, conf OverheadConfig) (OverheadRow, error) {
+	if len(conf.Densities) == 0 {
+		conf.Densities = Table2Densities
+	}
+	if conf.Repeats <= 0 {
+		conf.Repeats = 3
+	}
+	row := OverheadRow{Benchmark: name}
+
+	var base, uncond *Built
+	{
+		b, err := buildAny(name, instrument.SchemeSet{}, false, true)
+		if err != nil {
+			return row, err
+		}
+		base = b
+		u, err := buildAny(name, conf.Scheme, false, false)
+		if err != nil {
+			return row, err
+		}
+		uncond = u
+	}
+
+	run := func(prog *Built, density float64, cdSeed int64) (uint64, time.Duration, error) {
+		start := time.Now()
+		res := interp.Run(prog.Program, interp.Config{
+			Seed:          conf.Seed,
+			Density:       density,
+			CountdownSeed: cdSeed,
+			Fuel:          2_000_000_000,
+		})
+		if res.Outcome != interp.OutcomeOK {
+			return 0, 0, fmt.Errorf("overhead %s: crashed: %v", name, res.Trap)
+		}
+		return res.Steps, time.Since(start), nil
+	}
+
+	measure := func(prog *Built, density float64) (uint64, float64, error) {
+		var steps uint64
+		var wall time.Duration
+		reps := 1
+		if conf.Wall {
+			reps = conf.Repeats
+		}
+		for i := 0; i < reps; i++ {
+			s, w, err := run(prog, density, conf.Seed+int64(i))
+			if err != nil {
+				return 0, 0, err
+			}
+			steps = s
+			wall += w
+		}
+		return steps, float64(wall) / float64(reps), nil
+	}
+
+	baseSteps, baseWall, err := measure(base, 0)
+	if err != nil {
+		return row, err
+	}
+	row.BaselineSteps = baseSteps
+
+	alwaysSteps, alwaysWall, err := measure(uncond, 0)
+	if err != nil {
+		return row, err
+	}
+	row.Always = float64(alwaysSteps) / float64(baseSteps)
+	if conf.Wall && baseWall > 0 {
+		row.WallAlways = alwaysWall / baseWall
+	}
+
+	sampledBuilt, err := buildAny(name, conf.Scheme, true, false)
+	if err != nil {
+		return row, err
+	}
+	for _, d := range conf.Densities {
+		s, w, err := measure(sampledBuilt, d)
+		if err != nil {
+			return row, err
+		}
+		row.Sampled = append(row.Sampled, float64(s)/float64(baseSteps))
+		if conf.Wall && baseWall > 0 {
+			row.WallSampled = append(row.WallSampled, w/baseWall)
+		}
+	}
+	return row, nil
+}
+
+// Built is re-exported for the overhead helpers.
+type Built = workloads.Built
+
+// buildAny builds a Table 1 benchmark or one of the case studies.
+func buildAny(name string, set instrument.SchemeSet, sampled, baseline bool) (*Built, error) {
+	if baseline {
+		set = instrument.SchemeSet{}
+	}
+	switch name {
+	case "bc":
+		return workloads.BuildBC(set, sampled)
+	case "ccrypt":
+		return workloads.BuildCcrypt(set, sampled)
+	default:
+		return workloads.BuildBenchmark(name, set, sampled)
+	}
+}
+
+// Table2 measures every benchmark under the bounds scheme.
+func Table2(conf OverheadConfig) ([]OverheadRow, error) {
+	conf.Scheme = instrument.SchemeSet{Bounds: true}
+	var rows []OverheadRow
+	for _, b := range workloads.All() {
+		row, err := MeasureOverhead(b.Name, conf)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig4 measures bc with scalar-pairs instrumentation across densities —
+// the paper's Figure 4 (unconditional 1.13x; 1/1000 barely measurable).
+// bc's fuzzed input sometimes crashes; Fig4 retries seeds until the run
+// completes, since Figure 4 measures successful-run overhead.
+func Fig4(conf OverheadConfig) (OverheadRow, error) {
+	conf.Scheme = instrument.SchemeSet{ScalarPairs: true}
+	var row OverheadRow
+	var err error
+	for seed := conf.Seed; seed < conf.Seed+50; seed++ {
+		c := conf
+		c.Seed = seed
+		row, err = MeasureOverhead("bc", c)
+		if err == nil {
+			return row, nil
+		}
+	}
+	return row, err
+}
+
+// FormatOverheadRows renders a Table 2 style block.
+func FormatOverheadRows(rows []OverheadRow, densities []float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %8s", "benchmark", "always")
+	for _, d := range densities {
+		fmt.Fprintf(&sb, " %9s", fmt.Sprintf("1/%g", 1/d))
+	}
+	sb.WriteString("\n")
+	sb.WriteString(strings.Repeat("-", 12+10*(len(densities)+1)) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %8.2f", r.Benchmark, r.Always)
+		for _, v := range r.Sampled {
+			fmt.Fprintf(&sb, " %9.2f", v)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// ----------------------------------------------------------------------------
+// §3.1.2: statically selective sampling
+
+// SelectiveResult summarizes per-function instrumentation of one
+// benchmark: code growth and worst-function overhead.
+type SelectiveResult struct {
+	Benchmark          string
+	FullGrowth         float64 // code growth, whole-program instrumentation
+	AvgSelectiveGrowth float64 // mean growth across single-function builds
+	WorstOverhead      float64 // worst single-function slowdown at the density
+	FuncsMeasured      int
+}
+
+// Selective reproduces the §3.1.2 experiment for one benchmark at the
+// given density.
+func Selective(name string, density float64, seed int64) (SelectiveResult, error) {
+	out := SelectiveResult{Benchmark: name}
+	b, err := workloads.ByName(name)
+	if err != nil {
+		return out, err
+	}
+	f, err := b.Parse()
+	if err != nil {
+		return out, err
+	}
+	baseline, err := instrument.BuildBaseline(f, nil)
+	if err != nil {
+		return out, err
+	}
+	baseSize := instrument.CodeSize(baseline)
+	baseRes := interp.Run(baseline, interp.Config{Seed: seed, Fuel: 2_000_000_000})
+	if baseRes.Outcome != interp.OutcomeOK {
+		return out, fmt.Errorf("selective %s: baseline crashed", name)
+	}
+
+	full, err := instrument.Build(f, nil, instrument.SchemeSet{Bounds: true})
+	if err != nil {
+		return out, err
+	}
+	fullSampled := instrument.Sample(full, instrument.DefaultOptions())
+	out.FullGrowth = float64(instrument.CodeSize(fullSampled)) / float64(baseSize)
+
+	var growths []float64
+	for _, fn := range full.FuncList {
+		if fn.NumSites == 0 {
+			continue
+		}
+		fname := fn.Name
+		one, err := instrument.BuildFiltered(f, nil, instrument.SchemeSet{Bounds: true},
+			func(n string) bool { return n == fname })
+		if err != nil {
+			return out, err
+		}
+		oneSampled := instrument.Sample(one, instrument.DefaultOptions())
+		growths = append(growths, float64(instrument.CodeSize(oneSampled))/float64(baseSize))
+		res := interp.Run(oneSampled, interp.Config{
+			Seed: seed, Density: density, CountdownSeed: seed + 7, Fuel: 2_000_000_000,
+		})
+		if res.Outcome != interp.OutcomeOK {
+			return out, fmt.Errorf("selective %s/%s: crashed", name, fname)
+		}
+		ratio := float64(res.Steps) / float64(baseRes.Steps)
+		if ratio > out.WorstOverhead {
+			out.WorstOverhead = ratio
+		}
+		out.FuncsMeasured++
+	}
+	out.AvgSelectiveGrowth = stats.Mean(growths)
+	return out, nil
+}
+
+// ----------------------------------------------------------------------------
+// §3.1.3: confidence arithmetic
+
+// ConfidenceRow is one line of the §3.1.3 calculation.
+type ConfidenceRow struct {
+	Confidence float64
+	EventRate  float64
+	Density    float64
+	Runs       int64
+}
+
+// ConfidenceTable reproduces the §3.1.3 numbers, including the paper's
+// two worked examples.
+func ConfidenceTable() []ConfidenceRow {
+	var rows []ConfidenceRow
+	for _, c := range []struct{ conf, rate, dens float64 }{
+		{0.90, 1.0 / 100, 1.0 / 1000},
+		{0.99, 1.0 / 1000, 1.0 / 1000},
+		{0.90, 1.0 / 100, 1.0 / 100},
+		{0.99, 1.0 / 100, 1.0 / 1000},
+		{0.95, 1.0 / 1000, 1.0 / 100},
+	} {
+		rows = append(rows, ConfidenceRow{
+			Confidence: c.conf,
+			EventRate:  c.rate,
+			Density:    c.dens,
+			Runs:       stats.RunsNeeded(c.conf, c.rate, c.dens),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// The 2005-style Importance ranking must agree with the paper's analyses
+// on both case studies: on ccrypt the EOF predicate dominates; on bc the
+// top predicates sit inside more_arrays.
+func TestImportanceRankingCcrypt(t *testing.T) {
+	study, err := RunCcryptStudy(3000, 1.0/100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := study.ImportanceRanking(5)
+	if len(top) == 0 {
+		t.Fatal("no scored predicates")
+	}
+	if !strings.Contains(top[0].Name, "xreadline() return value == 0") {
+		t.Errorf("top importance predicate is %q, want the EOF smoking gun\n(full: %+v)", top[0].Name, top)
+	}
+	if top[0].Increase <= 0 || top[0].Importance <= 0 {
+		t.Errorf("scores: %+v", top[0])
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Importance > top[i-1].Importance {
+			t.Error("ranking not sorted")
+		}
+	}
+}
+
+func TestImportanceRankingBC(t *testing.T) {
+	study, err := RunBCStudy(BCStudyConfig{Runs: 1000, Density: 1.0 / 10, Seed: 5, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := study.ImportanceRanking(5)
+	if len(top) == 0 {
+		t.Fatal("no scored predicates")
+	}
+	// The top predicate should state the bug condition directly: inside
+	// more_arrays, the array pool is smaller than the variable pool.
+	site := study.Program.SiteForCounter(top[0].Counter)
+	if site == nil || site.Fn != "more_arrays" {
+		t.Errorf("top importance predicate not in more_arrays: %+v", top[0])
+	}
+	// And the top five should all be about a_count being anomalously
+	// small — comparisons against a_count or sites in more_arrays.
+	relevant := 0
+	for _, p := range top {
+		s := study.Program.SiteForCounter(p.Counter)
+		if (s != nil && s.Fn == "more_arrays") || strings.Contains(p.Name, "a_count") {
+			relevant++
+		}
+	}
+	if relevant < 4 {
+		t.Errorf("only %d of top 5 importance predicates involve the array pool: %+v", relevant, top)
+	}
+}

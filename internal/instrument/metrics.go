@@ -1,0 +1,82 @@
+package instrument
+
+import (
+	"fmt"
+	"strings"
+
+	"cbi/internal/cfg"
+)
+
+// FuncMetrics are the per-function static metrics of Table 1.
+type FuncMetrics struct {
+	Name            string
+	Weightless      bool
+	Sites           int
+	ThresholdChecks int
+	Weights         []int
+}
+
+// Metrics are the whole-program static metrics of Table 1.
+type Metrics struct {
+	Functions  int // total non-library functions
+	Weightless int
+	WithSites  int // functions directly containing at least one site
+	// Averages over the functions that directly contain sites.
+	AvgSitesPerFunc    float64
+	AvgChecksPerFunc   float64
+	AvgThresholdWeight float64
+	PerFunc            []FuncMetrics
+}
+
+// ComputeMetrics derives Table 1's static metrics from a sampled program
+// (apply Sample first; threshold data comes from the transformation).
+func ComputeMetrics(p *cfg.Program) Metrics {
+	var m Metrics
+	var totalSites, totalChecks, totalWeight, weightCount int
+	for _, fn := range p.FuncList {
+		fm := FuncMetrics{
+			Name:            fn.Name,
+			Weightless:      fn.Weightless,
+			Sites:           fn.NumSites,
+			ThresholdChecks: len(fn.ThresholdWeights),
+			Weights:         fn.ThresholdWeights,
+		}
+		m.PerFunc = append(m.PerFunc, fm)
+		m.Functions++
+		if fn.Weightless {
+			m.Weightless++
+		}
+		if fn.NumSites > 0 {
+			m.WithSites++
+			totalSites += fn.NumSites
+			totalChecks += fm.ThresholdChecks
+			for _, w := range fm.Weights {
+				totalWeight += w
+				weightCount++
+			}
+		}
+	}
+	if m.WithSites > 0 {
+		m.AvgSitesPerFunc = float64(totalSites) / float64(m.WithSites)
+		m.AvgChecksPerFunc = float64(totalChecks) / float64(m.WithSites)
+	}
+	if weightCount > 0 {
+		m.AvgThresholdWeight = float64(totalWeight) / float64(weightCount)
+	}
+	return m
+}
+
+// Row renders the metrics as a Table 1 row:
+// total weightless has-sites avg-sites avg-checks avg-weight.
+func (m Metrics) Row(benchmark string) string {
+	return fmt.Sprintf("%-10s %5d %10d %8d %9.1f %16.1f %16.1f",
+		benchmark, m.Functions, m.Weightless, m.WithSites,
+		m.AvgSitesPerFunc, m.AvgChecksPerFunc, m.AvgThresholdWeight)
+}
+
+// TableHeader returns the Table 1 column header matching Row's layout.
+func TableHeader() string {
+	return fmt.Sprintf("%-10s %5s %10s %8s %9s %16s %16s\n%s",
+		"benchmark", "total", "weightless", "sites", "avg sites", "threshold checks", "threshold weight",
+		strings.Repeat("-", 88))
+}

@@ -1,0 +1,115 @@
+package instrument
+
+import (
+	"testing"
+
+	"cbi/internal/cfg"
+	"cbi/internal/interp"
+	"cbi/internal/minic"
+)
+
+// buildPartition builds one partition of the site population.
+func buildPartition(t *testing.T, src string, set SchemeSet, idx, count int) *cfg.Program {
+	t.Helper()
+	f, err := minic.Parse("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cfg.Build(f, nil, &Schemes{Set: set, PartCount: count, PartIndex: idx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const partitionSrc = `
+int work(int* buf, int n) {
+	int total = 0;
+	for (int i = 0; i < n; i++) {
+		total += buf[i];
+		buf[i] = total % 100;
+	}
+	return total;
+}
+int main() {
+	int* buf = alloc(32);
+	for (int i = 0; i < 32; i++) { buf[i] = i; }
+	int r = 0;
+	for (int k = 0; k < 4; k++) { r = work(buf, 32); }
+	return r % 251;
+}
+`
+
+func TestPartitionsCoverAllSitesExactlyOnce(t *testing.T) {
+	set := SchemeSet{Bounds: true, Branches: true}
+	f, err := minic.Parse("t.mc", partitionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Build(f, nil, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullNames := map[string]int{}
+	for _, s := range full.Sites {
+		fullNames[s.PredicateName(-1)]++
+	}
+
+	const parts = 3
+	partNames := map[string]int{}
+	totalSites := 0
+	for idx := 0; idx < parts; idx++ {
+		p := buildPartition(t, partitionSrc, set, idx, parts)
+		totalSites += len(p.Sites)
+		for _, s := range p.Sites {
+			partNames[s.PredicateName(-1)]++
+		}
+		if len(p.Sites) >= len(full.Sites) {
+			t.Errorf("partition %d has %d sites, full build %d", idx, len(p.Sites), len(full.Sites))
+		}
+	}
+	if totalSites != len(full.Sites) {
+		t.Errorf("partitions hold %d sites, full build %d", totalSites, len(full.Sites))
+	}
+	for name, n := range fullNames {
+		if partNames[name] != n {
+			t.Errorf("site %q appears %d times across partitions, want %d", name, partNames[name], n)
+		}
+	}
+}
+
+func TestPartitionedProgramsPreserveSemantics(t *testing.T) {
+	f, err := minic.Parse("t.mc", partitionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := BuildBaseline(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := interp.Run(base, interp.Config{})
+	for idx := 0; idx < 3; idx++ {
+		p := buildPartition(t, partitionSrc, SchemeSet{Bounds: true}, idx, 3)
+		sp := Sample(p, DefaultOptions())
+		got := interp.Run(sp, interp.Config{Density: 1.0 / 10, CountdownSeed: int64(idx)})
+		if got.Outcome != interp.OutcomeOK || got.ExitCode != want.ExitCode {
+			t.Errorf("partition %d diverged: %v", idx, got.Trap)
+		}
+	}
+}
+
+func TestPartitionDisabledKeepsEverything(t *testing.T) {
+	p0 := buildPartition(t, partitionSrc, SchemeSet{Bounds: true}, 0, 0)
+	p1 := buildPartition(t, partitionSrc, SchemeSet{Bounds: true}, 0, 1)
+	f, err := minic.Parse("t.mc", partitionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Build(f, nil, SchemeSet{Bounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p0.Sites) != len(full.Sites) || len(p1.Sites) != len(full.Sites) {
+		t.Error("PartCount <= 1 must keep all sites")
+	}
+}

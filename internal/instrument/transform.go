@@ -1,0 +1,451 @@
+package instrument
+
+import (
+	"fmt"
+
+	"cbi/internal/cfg"
+)
+
+// Options configures the sampling transformation. The zero value disables
+// every optimization; use DefaultOptions for the paper's configuration.
+type Options struct {
+	// CoalesceDecrements merges fast-path countdown decrements within a
+	// block into a single adjustment (§2.4's hand-assisted optimization;
+	// the countdown cannot alias anything, so decrements move freely
+	// between reads).
+	CoalesceDecrements bool
+	// LocalizeCountdown keeps the countdown in a frame-local variable,
+	// importing from and exporting to the global around calls to
+	// non-weightless functions and at entry/exit (§2.4).
+	LocalizeCountdown bool
+	// SeparateCompilation disables the interprocedural weightless-function
+	// analysis: every call to a user function is conservatively assumed to
+	// change the countdown (§2.3's "callee compiled separately" case,
+	// which §3.2.5 notes applies to ccrypt's one-object-at-a-time build).
+	SeparateCompilation bool
+	// CheckPerSite disables fast-path/slow-path cloning and threshold
+	// checks entirely: every site individually decrements and tests the
+	// countdown. This is the "simpler but slower pattern" the
+	// transformation devolves to in the worst case (§3.2.5), kept as an
+	// ablation.
+	CheckPerSite bool
+}
+
+// DefaultOptions returns the paper's configuration: cloning with
+// threshold checks, coalesced decrements, localized countdown, and
+// whole-program weightless analysis.
+func DefaultOptions() Options {
+	return Options{CoalesceDecrements: true, LocalizeCountdown: true}
+}
+
+// Sample applies the sampling transformation (§2.2–2.4) to an
+// instrumented program, returning a new program whose functions are
+// rewritten into fast-path/slow-path form. The input program is not
+// modified; sites and counter numbering are shared.
+func Sample(p *cfg.Program, opt Options) *cfg.Program {
+	np := &cfg.Program{
+		File:        p.File,
+		Structs:     p.Structs,
+		Globals:     p.Globals,
+		Funcs:       map[string]*cfg.Func{},
+		Builtins:    p.Builtins,
+		Sites:       p.Sites,
+		NumCounters: p.NumCounters,
+		Sampled:     true,
+	}
+	weightless := weightlessSet(p, opt)
+	for _, fn := range p.FuncList {
+		nf := transformFunc(fn, opt, weightless)
+		np.Funcs[nf.Name] = nf
+		np.FuncList = append(np.FuncList, nf)
+	}
+	return np
+}
+
+// weightlessSet returns the per-function weightless verdicts used by the
+// transformation. In SeparateCompilation mode, callee bodies cannot be
+// examined, so only functions with no sites and no user-function calls at
+// all are weightless.
+func weightlessSet(p *cfg.Program, opt Options) map[string]bool {
+	wl := map[string]bool{}
+	for _, fn := range p.FuncList {
+		if !opt.SeparateCompilation {
+			wl[fn.Name] = fn.Weightless
+			continue
+		}
+		w := fn.NumSites == 0
+		if w {
+		scan:
+			for _, b := range fn.Blocks {
+				for _, in := range b.Instrs {
+					if c, ok := in.(*cfg.Call); ok && !c.Builtin {
+						w = false
+						break scan
+					}
+				}
+			}
+		}
+		wl[fn.Name] = w
+	}
+	return wl
+}
+
+func transformFunc(fn *cfg.Func, opt Options, weightless map[string]bool) *cfg.Func {
+	nf := &cfg.Func{
+		Name:       fn.Name,
+		Params:     fn.Params,
+		Locals:     fn.Locals,
+		Ret:        fn.Ret,
+		NumSites:   fn.NumSites,
+		Weightless: weightless[fn.Name],
+	}
+	if nf.Weightless {
+		// Weightless functions require no cloning or countdown management
+		// of any kind (§2.3); copy the body verbatim.
+		nf.Entry, nf.Blocks = copyBlocks(fn)
+		return nf
+	}
+	t := &transformer{fn: fn, nf: nf, opt: opt, weightless: weightless}
+	t.buildShape()
+	t.findCheckpoints()
+	if opt.CheckPerSite {
+		t.emitCheckPerSite()
+	} else {
+		t.computeWeights()
+		t.emitClones()
+	}
+	t.finish()
+	return nf
+}
+
+// copyBlocks deep-copies a function body without changes.
+func copyBlocks(fn *cfg.Func) (*cfg.Block, []*cfg.Block) {
+	m := map[*cfg.Block]*cfg.Block{}
+	for _, b := range fn.Blocks {
+		m[b] = &cfg.Block{ID: b.ID, LoopHead: b.LoopHead}
+	}
+	for _, b := range fn.Blocks {
+		nb := m[b]
+		nb.Instrs = append([]cfg.Instr(nil), b.Instrs...)
+		nb.Term = cloneTerm(b.Term, func(s *cfg.Block) *cfg.Block { return m[s] })
+	}
+	var blocks []*cfg.Block
+	for _, b := range fn.Blocks {
+		blocks = append(blocks, m[b])
+	}
+	return m[fn.Entry], blocks
+}
+
+func cloneTerm(t cfg.Term, remap func(*cfg.Block) *cfg.Block) cfg.Term {
+	switch x := t.(type) {
+	case *cfg.Goto:
+		return &cfg.Goto{To: remap(x.To), BackEdge: x.BackEdge}
+	case *cfg.If:
+		return &cfg.If{Cond: x.Cond, Then: remap(x.Then), Else: remap(x.Else),
+			ThenBack: x.ThenBack, ElseBack: x.ElseBack}
+	case *cfg.Ret:
+		return &cfg.Ret{X: x.X}
+	case *cfg.Threshold:
+		return &cfg.Threshold{Weight: x.Weight, Fast: remap(x.Fast), Slow: remap(x.Slow)}
+	default:
+		panic(fmt.Sprintf("unknown terminator %T", t))
+	}
+}
+
+// transformer carries the per-function transformation state.
+type transformer struct {
+	fn         *cfg.Func
+	nf         *cfg.Func
+	opt        Options
+	weightless map[string]bool
+
+	shape      []*cfg.Block // blocks after splitting at calls
+	entryShape *cfg.Block
+	postCall   map[*cfg.Block]bool // shape blocks entered by returning calls
+	checkpoint map[*cfg.Block]bool
+	weights    map[*cfg.Block]int
+}
+
+func (t *transformer) countdownAffectingCall(in cfg.Instr) (*cfg.Call, bool) {
+	c, ok := in.(*cfg.Call)
+	if !ok || c.Builtin || t.weightless[c.Callee] {
+		return nil, false
+	}
+	return c, true
+}
+
+// buildShape deep-copies the body, splitting each block after every call
+// to a non-weightless function: the callee consumes an unknown amount of
+// countdown, so the acyclic region cannot extend below the call (§2.3).
+func (t *transformer) buildShape() {
+	t.postCall = map[*cfg.Block]bool{}
+	first := map[*cfg.Block]*cfg.Block{}
+	type pending struct {
+		last *cfg.Block
+		term cfg.Term
+	}
+	var pendings []pending
+	for _, b := range t.fn.Blocks {
+		cur := &cfg.Block{LoopHead: b.LoopHead}
+		first[b] = cur
+		t.shape = append(t.shape, cur)
+		for _, in := range b.Instrs {
+			cur.Instrs = append(cur.Instrs, in)
+			if _, split := t.countdownAffectingCall(in); split {
+				next := &cfg.Block{}
+				t.postCall[next] = true
+				cur.Term = &cfg.Goto{To: next}
+				t.shape = append(t.shape, next)
+				cur = next
+			}
+		}
+		pendings = append(pendings, pending{last: cur, term: b.Term})
+	}
+	for _, p := range pendings {
+		p.term = cloneTerm(p.term, func(s *cfg.Block) *cfg.Block { return first[s] })
+		p.last.Term = p.term
+	}
+	t.entryShape = first[t.fn.Entry]
+	for i, b := range t.shape {
+		b.ID = i
+	}
+}
+
+// findCheckpoints marks threshold-check locations: function entry, back
+// edge targets (one check per loop, §2.2), and post-call continuations.
+func (t *transformer) findCheckpoints() {
+	t.checkpoint = map[*cfg.Block]bool{t.entryShape: true}
+	for b := range t.postCall {
+		t.checkpoint[b] = true
+	}
+	tmp := &cfg.Func{Entry: t.entryShape, Blocks: t.shape}
+	byID := map[int]*cfg.Block{}
+	for _, b := range t.shape {
+		byID[b.ID] = b
+	}
+	for e := range cfg.BackEdges(tmp) {
+		t.checkpoint[byID[e[1]]] = true
+	}
+}
+
+// computeWeights assigns each checkpoint the maximum number of sites on
+// any path from it to the next checkpoint (§2.2). Because every cycle
+// contains a checkpoint, the traversal is acyclic.
+func (t *transformer) computeWeights() {
+	t.weights = map[*cfg.Block]int{}
+	state := map[*cfg.Block]int{} // 1 = visiting, 2 = done
+	var walk func(b *cfg.Block) int
+	walk = func(b *cfg.Block) int {
+		if state[b] == 2 {
+			return t.weights[b]
+		}
+		if state[b] == 1 {
+			panic("instrument: cycle without checkpoint")
+		}
+		state[b] = 1
+		w := cfg.CountSites(b)
+		best := 0
+		for _, s := range cfg.Succs(b.Term) {
+			if t.checkpoint[s] {
+				continue
+			}
+			if v := walk(s); v > best {
+				best = v
+			}
+		}
+		state[b] = 2
+		t.weights[b] = w + best
+		return t.weights[b]
+	}
+	for b := range t.checkpoint {
+		walk(b)
+	}
+}
+
+// emitClones produces the fast and slow clones of every shape block and
+// joins them with threshold-check blocks (§2.2, Figure 1).
+func (t *transformer) emitClones() {
+	localize := t.opt.LocalizeCountdown
+	fast := map[*cfg.Block]*cfg.Block{}
+	slow := map[*cfg.Block]*cfg.Block{}
+	for _, b := range t.shape {
+		fast[b] = &cfg.Block{LoopHead: b.LoopHead}
+		slow[b] = &cfg.Block{LoopHead: b.LoopHead}
+	}
+
+	// Checkpoint blocks decide fast vs slow. Zero-weight checks are
+	// discarded (§2.2): no sample can land before the next checkpoint, so
+	// jump straight to the fast path.
+	check := map[*cfg.Block]*cfg.Block{}
+	for _, b := range t.shape { // shape order keeps the layout deterministic
+		if !t.checkpoint[b] {
+			continue
+		}
+		cb := &cfg.Block{}
+		if localize && (t.postCall[b] || b == t.entryShape) {
+			cb.Instrs = append(cb.Instrs, &cfg.CDImport{})
+		}
+		w := t.weights[b]
+		if w == 0 {
+			cb.Term = &cfg.Goto{To: fast[b]}
+		} else {
+			cb.Term = &cfg.Threshold{Weight: w, Fast: fast[b], Slow: slow[b]}
+			t.nf.ThresholdWeights = append(t.nf.ThresholdWeights, w)
+		}
+		check[b] = cb
+	}
+
+	remapTo := func(variant map[*cfg.Block]*cfg.Block) func(*cfg.Block) *cfg.Block {
+		return func(s *cfg.Block) *cfg.Block {
+			if t.checkpoint[s] {
+				return check[s]
+			}
+			return variant[s]
+		}
+	}
+
+	for _, b := range t.shape {
+		fb, sb := fast[b], slow[b]
+		for _, in := range b.Instrs {
+			switch x := in.(type) {
+			case *cfg.SiteInstr:
+				fb.Instrs = append(fb.Instrs, &cfg.CountdownDec{N: 1})
+				sb.Instrs = append(sb.Instrs, &cfg.GuardedSite{Site: x.Site})
+			default:
+				if _, affects := t.countdownAffectingCall(in); affects && localize {
+					fb.Instrs = append(fb.Instrs, &cfg.CDExport{})
+					sb.Instrs = append(sb.Instrs, &cfg.CDExport{})
+				}
+				fb.Instrs = append(fb.Instrs, in)
+				sb.Instrs = append(sb.Instrs, in)
+			}
+		}
+		if _, isRet := b.Term.(*cfg.Ret); isRet && localize {
+			fb.Instrs = append(fb.Instrs, &cfg.CDExport{})
+			sb.Instrs = append(sb.Instrs, &cfg.CDExport{})
+		}
+		fb.Term = cloneTerm(b.Term, remapTo(fast))
+		sb.Term = cloneTerm(b.Term, remapTo(slow))
+	}
+
+	if t.opt.CoalesceDecrements {
+		for _, b := range fast {
+			coalesceDecrements(b)
+		}
+	}
+
+	t.nf.Entry = check[t.entryShape]
+	t.nf.LocalCountdown = localize
+	t.nf.Blocks = append(t.nf.Blocks, t.nf.Entry)
+	for _, b := range t.shape {
+		if cb, ok := check[b]; ok && b != t.entryShape {
+			t.nf.Blocks = append(t.nf.Blocks, cb)
+		}
+	}
+	for _, b := range t.shape {
+		t.nf.Blocks = append(t.nf.Blocks, fast[b], slow[b])
+	}
+}
+
+// emitCheckPerSite produces the degenerate transformation: one countdown
+// test per site, no cloning, no thresholds (§3.2.5's fallback pattern).
+func (t *transformer) emitCheckPerSite() {
+	localize := t.opt.LocalizeCountdown
+	out := map[*cfg.Block]*cfg.Block{}
+	for _, b := range t.shape {
+		out[b] = &cfg.Block{LoopHead: b.LoopHead}
+	}
+	for _, b := range t.shape {
+		nb := out[b]
+		if localize && (t.postCall[b] || b == t.entryShape) {
+			nb.Instrs = append(nb.Instrs, &cfg.CDImport{})
+		}
+		for _, in := range b.Instrs {
+			switch x := in.(type) {
+			case *cfg.SiteInstr:
+				nb.Instrs = append(nb.Instrs, &cfg.GuardedSite{Site: x.Site})
+			default:
+				if _, affects := t.countdownAffectingCall(in); affects && localize {
+					nb.Instrs = append(nb.Instrs, &cfg.CDExport{})
+				}
+				nb.Instrs = append(nb.Instrs, in)
+			}
+		}
+		if _, isRet := b.Term.(*cfg.Ret); isRet && localize {
+			nb.Instrs = append(nb.Instrs, &cfg.CDExport{})
+		}
+		nb.Term = cloneTerm(b.Term, func(s *cfg.Block) *cfg.Block { return out[s] })
+	}
+	t.nf.Entry = out[t.entryShape]
+	t.nf.LocalCountdown = localize
+	for _, b := range t.shape {
+		t.nf.Blocks = append(t.nf.Blocks, out[b])
+	}
+}
+
+// finish prunes unreachable blocks (zero-weight regions leave orphaned
+// slow clones) and renumbers.
+func (t *transformer) finish() {
+	reach := cfg.Reachable(t.nf)
+	var kept []*cfg.Block
+	for _, b := range t.nf.Blocks {
+		if reach[b] {
+			b.ID = len(kept)
+			kept = append(kept, b)
+		}
+	}
+	t.nf.Blocks = kept
+}
+
+// coalesceDecrements merges CountdownDec instructions within a block,
+// deferring the accumulated adjustment until just before an instruction
+// that observes the countdown (a CDExport) or the end of the block. The
+// countdown is invisible to ordinary instructions, so this motion is
+// always sound — exactly the liberty §2.4 laments that a conventional C
+// compiler will not take with a global countdown.
+func coalesceDecrements(b *cfg.Block) {
+	var out []cfg.Instr
+	pending := 0
+	flush := func() {
+		if pending > 0 {
+			out = append(out, &cfg.CountdownDec{N: pending})
+			pending = 0
+		}
+	}
+	for _, in := range b.Instrs {
+		switch x := in.(type) {
+		case *cfg.CountdownDec:
+			pending += x.N
+		case *cfg.CDExport, *cfg.CDImport, *cfg.GuardedSite, *cfg.SiteInstr:
+			flush()
+			out = append(out, in)
+		case *cfg.Call:
+			// In localized mode a CDExport precedes any countdown-visible
+			// call; a bare call cannot observe the countdown. In global
+			// mode non-weightless calls read the global, but those calls
+			// are always preceded by the end of the region (a checkpoint
+			// follows), so flushing at block end suffices. Flush anyway
+			// for non-builtin calls to stay conservative.
+			if !x.Builtin {
+				flush()
+			}
+			out = append(out, in)
+		default:
+			out = append(out, in)
+		}
+	}
+	flush()
+	b.Instrs = out
+}
+
+// CodeSize returns the total number of instructions and terminators in
+// the program: the static code-growth measure of §3.1.2.
+func CodeSize(p *cfg.Program) int {
+	n := 0
+	for _, fn := range p.FuncList {
+		for _, b := range fn.Blocks {
+			n += len(b.Instrs) + 1
+		}
+	}
+	return n
+}

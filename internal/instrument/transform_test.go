@@ -1,0 +1,474 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"cbi/internal/cfg"
+	"cbi/internal/minic"
+)
+
+const loopProgram = `
+int work(int* buf, int n) {
+	int total = 0;
+	for (int i = 0; i < n; i++) {
+		total += buf[i];
+	}
+	return total;
+}
+
+int main() {
+	int* buf = alloc(8);
+	for (int i = 0; i < 8; i++) {
+		buf[i] = i;
+	}
+	return work(buf, 8);
+}
+`
+
+func buildInstrumented(t *testing.T, src string, set SchemeSet) *cfg.Program {
+	t.Helper()
+	f, err := minic.Parse("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(f, nil, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBoundsSchemePlacesSitesAtHeapAccesses(t *testing.T) {
+	p := buildInstrumented(t, loopProgram, SchemeSet{Bounds: true})
+	// work: buf[i] load; main: buf[i] store. Two sites.
+	if len(p.Sites) != 2 {
+		t.Fatalf("sites: %d", len(p.Sites))
+	}
+	for _, s := range p.Sites {
+		if s.Kind != cfg.SiteBounds || s.NumCounters != 2 {
+			t.Errorf("site: %+v", s)
+		}
+	}
+}
+
+func TestReturnsSchemeObservesCalls(t *testing.T) {
+	p := buildInstrumented(t, loopProgram, SchemeSet{Returns: true})
+	// alloc() and work() both return scalars.
+	if len(p.Sites) != 2 {
+		t.Fatalf("sites: %d (%v)", len(p.Sites), siteTexts(p))
+	}
+	name := p.PredicateName(p.Sites[1].CounterBase + 2)
+	if !strings.Contains(name, "work() return value > 0") {
+		t.Errorf("predicate: %q", name)
+	}
+}
+
+func TestScalarPairsScheme(t *testing.T) {
+	p := buildInstrumented(t, `
+int g1 = 5;
+void f(int a, int* q) {
+	int b = 3;
+	int c = a;
+	int* r = q;
+}
+`, SchemeSet{ScalarPairs: true})
+	// b=3: pairs with a, g1 (int), not q (int*). -> 2 sites
+	// c=a: pairs with a, b, g1 -> 3 sites
+	// r=q: pairs with q (int*), plus null check -> 2 sites
+	var pair, null int
+	for _, s := range p.Sites {
+		switch s.Kind {
+		case cfg.SiteScalarPair:
+			pair++
+		case cfg.SiteNullCheck:
+			null++
+		}
+	}
+	if pair != 6 || null != 1 {
+		t.Errorf("pair=%d null=%d, want 6/1\n%v", pair, null, siteTexts(p))
+	}
+}
+
+func TestBranchesAndAssertsSchemes(t *testing.T) {
+	p := buildInstrumented(t, `
+void f(int n) {
+	assert(n >= 0);
+	if (n > 2) { n = 2; }
+	while (n > 0) { n--; }
+}
+`, SchemeSet{Branches: true, Asserts: true})
+	var branch, asserts int
+	for _, s := range p.Sites {
+		switch s.Kind {
+		case cfg.SiteBranch:
+			branch++
+		case cfg.SiteAssert:
+			asserts++
+		}
+	}
+	if branch != 2 || asserts != 1 {
+		t.Errorf("branch=%d assert=%d\n%v", branch, asserts, siteTexts(p))
+	}
+}
+
+func TestFilterRestrictsInstrumentation(t *testing.T) {
+	f, err := minic.Parse("t.mc", loopProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildFiltered(f, nil, SchemeSet{Bounds: true}, func(fn string) bool { return fn == "work" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Sites) != 1 || p.Sites[0].Fn != "work" {
+		t.Fatalf("sites: %v", siteTexts(p))
+	}
+	if p.Funcs["main"].NumSites != 0 {
+		t.Error("main should be uninstrumented")
+	}
+}
+
+func siteTexts(p *cfg.Program) []string {
+	var out []string
+	for _, s := range p.Sites {
+		out = append(out, s.Fn+": "+s.Text)
+	}
+	return out
+}
+
+// ----------------------------------------------------------------------------
+// Transformation structure
+
+func TestSampleCreatesThresholds(t *testing.T) {
+	p := buildInstrumented(t, loopProgram, SchemeSet{Bounds: true})
+	sp := Sample(p, DefaultOptions())
+	if !sp.Sampled {
+		t.Error("Sampled flag")
+	}
+	work := sp.Funcs["work"]
+	if work.Weightless {
+		t.Error("work has sites")
+	}
+	if len(work.ThresholdWeights) == 0 {
+		t.Fatalf("work has no threshold checks:\n%s", cfg.DumpFunc(work))
+	}
+	// The loop back edge gives a threshold check with weight >= 1.
+	for _, w := range work.ThresholdWeights {
+		if w < 1 {
+			t.Errorf("threshold weight %d", w)
+		}
+	}
+	// Fast path must contain countdown decrements, slow path guarded sites.
+	dump := cfg.DumpFunc(work)
+	if !strings.Contains(dump, "countdown -=") {
+		t.Errorf("no fast-path decrement:\n%s", dump)
+	}
+	if !strings.Contains(dump, "if (--countdown == 0)") {
+		t.Errorf("no slow-path guard:\n%s", dump)
+	}
+	if !strings.Contains(dump, "if countdown >") {
+		t.Errorf("no threshold check:\n%s", dump)
+	}
+}
+
+func TestSampleWeightlessFunctionsUntouched(t *testing.T) {
+	p := buildInstrumented(t, `
+int helper(int x) { return x + 1; }
+int main() { int* b = alloc(2); b[0] = helper(1); return b[0]; }
+`, SchemeSet{Bounds: true})
+	sp := Sample(p, DefaultOptions())
+	helper := sp.Funcs["helper"]
+	if !helper.Weightless {
+		t.Fatal("helper should be weightless")
+	}
+	dump := cfg.DumpFunc(helper)
+	for _, bad := range []string{"countdown", "site#"} {
+		if strings.Contains(dump, bad) {
+			t.Errorf("weightless body mentions %q:\n%s", bad, dump)
+		}
+	}
+}
+
+func TestSampleSplitsAfterNonWeightlessCalls(t *testing.T) {
+	p := buildInstrumented(t, `
+int noisy() { int* p = alloc(1); p[0] = 1; return p[0]; }
+int main() {
+	int a = noisy();
+	int b = noisy();
+	return a + b;
+}
+`, SchemeSet{Bounds: true})
+	sp := Sample(p, DefaultOptions())
+	main := sp.Funcs["main"]
+	// main has no sites of its own but calls non-weightless noisy():
+	// it must not be weightless, and must re-import the countdown after
+	// each call in localized mode.
+	if main.Weightless {
+		t.Fatal("main calls non-weightless noisy()")
+	}
+	dump := cfg.DumpFunc(main)
+	imports := strings.Count(dump, "countdown = global_countdown")
+	if imports < 3 { // entry + after 2 calls
+		t.Errorf("imports: %d\n%s", imports, dump)
+	}
+	exports := strings.Count(dump, "global_countdown = countdown")
+	if exports < 3 { // before 2 calls + before return
+		t.Errorf("exports: %d\n%s", exports, dump)
+	}
+}
+
+func TestSampleEveryCycleHasCheckpoint(t *testing.T) {
+	srcs := []string{
+		loopProgram,
+		`int f(int n) { int s = 0; while (n > 0) { int* p = alloc(1); p[0] = n; s += p[0]; n--; } return s; }`,
+		`int f(int n) { int s = 0; for (int i = 0; i < n; i++) { for (int j = 0; j < i; j++) { int* p = alloc(1); p[j % 1] = j; s += p[0]; } } return s; }`,
+	}
+	for _, src := range srcs {
+		p := buildInstrumented(t, src, SchemeSet{Bounds: true})
+		sp := Sample(p, DefaultOptions())
+		for _, fn := range sp.FuncList {
+			assertCyclesSafe(t, fn)
+		}
+	}
+}
+
+// assertCyclesSafe verifies the key invariant of §2.2: starting from any
+// threshold check and walking forward, only a bounded number of sites is
+// crossed before the next threshold check; equivalently, no cycle
+// consists solely of non-threshold blocks containing sites.
+func assertCyclesSafe(t *testing.T, fn *cfg.Func) {
+	t.Helper()
+	// Any cycle among blocks must pass through a Threshold terminator or a
+	// block with zero guarded sites... stronger: walk: from every block,
+	// following edges that do not enter a threshold block, we must not be
+	// able to return to the starting block if any block on the path has a
+	// site.
+	isCheck := func(b *cfg.Block) bool {
+		_, ok := b.Term.(*cfg.Threshold)
+		return ok
+	}
+	// For countdown-safety we need: every cycle containing a GuardedSite
+	// or CountdownDec passes through a Threshold. Find strongly-connected
+	// behaviour via simple DFS cycle enumeration on the "no-threshold"
+	// subgraph.
+	var hasCountdownOp = func(b *cfg.Block) bool {
+		for _, in := range b.Instrs {
+			switch in.(type) {
+			case *cfg.GuardedSite, *cfg.CountdownDec:
+				return true
+			}
+		}
+		return false
+	}
+	// Build subgraph excluding threshold blocks; look for reachable cycles
+	// containing countdown ops.
+	state := map[*cfg.Block]int{}
+	var stack []*cfg.Block
+	var dfs func(b *cfg.Block)
+	dfs = func(b *cfg.Block) {
+		state[b] = 1
+		stack = append(stack, b)
+		for _, s := range cfg.Succs(b.Term) {
+			if isCheck(s) {
+				continue
+			}
+			switch state[s] {
+			case 0:
+				dfs(s)
+			case 1:
+				// Found a cycle s..b; check for countdown ops.
+				for i := len(stack) - 1; i >= 0; i-- {
+					if hasCountdownOp(stack[i]) {
+						t.Errorf("%s: cycle without threshold check contains countdown ops:\n%s",
+							fn.Name, cfg.DumpFunc(fn))
+						return
+					}
+					if stack[i] == s {
+						break
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[b] = 2
+	}
+	for _, b := range fn.Blocks {
+		if state[b] == 0 && !isCheck(b) {
+			dfs(b)
+		}
+	}
+}
+
+func TestSampleCheckPerSiteMode(t *testing.T) {
+	p := buildInstrumented(t, loopProgram, SchemeSet{Bounds: true})
+	opt := DefaultOptions()
+	opt.CheckPerSite = true
+	sp := Sample(p, opt)
+	work := sp.Funcs["work"]
+	dump := cfg.DumpFunc(work)
+	if strings.Contains(dump, "if countdown >") {
+		t.Errorf("check-per-site mode must not create thresholds:\n%s", dump)
+	}
+	if !strings.Contains(dump, "if (--countdown == 0)") {
+		t.Errorf("sites must be individually guarded:\n%s", dump)
+	}
+	if len(work.ThresholdWeights) != 0 {
+		t.Error("no threshold weights expected")
+	}
+}
+
+func TestSampleGlobalCountdownMode(t *testing.T) {
+	p := buildInstrumented(t, loopProgram, SchemeSet{Bounds: true})
+	opt := DefaultOptions()
+	opt.LocalizeCountdown = false
+	sp := Sample(p, opt)
+	dump := cfg.DumpProgram(sp)
+	if strings.Contains(dump, "global_countdown") {
+		t.Errorf("global mode should not import/export:\n%s", dump)
+	}
+	if sp.Funcs["work"].LocalCountdown {
+		t.Error("LocalCountdown flag should be false")
+	}
+}
+
+func TestCoalescingMergesDecrements(t *testing.T) {
+	src := `
+void f(int* p) {
+	p[0] = 1;
+	p[1] = 2;
+	p[2] = 3;
+	p[3] = 4;
+}
+void g() { int* b = alloc(4); f(b); }
+`
+	p := buildInstrumented(t, src, SchemeSet{Bounds: true})
+
+	on := Sample(p, DefaultOptions())
+	fnOn := on.Funcs["f"]
+	maxDec := 0
+	for _, b := range fnOn.Blocks {
+		for _, in := range b.Instrs {
+			if d, ok := in.(*cfg.CountdownDec); ok && d.N > maxDec {
+				maxDec = d.N
+			}
+		}
+	}
+	if maxDec != 4 {
+		t.Errorf("coalesced decrement: %d, want 4:\n%s", maxDec, cfg.DumpFunc(fnOn))
+	}
+
+	p2 := buildInstrumented(t, src, SchemeSet{Bounds: true})
+	opt := DefaultOptions()
+	opt.CoalesceDecrements = false
+	off := Sample(p2, opt)
+	for _, b := range off.Funcs["f"].Blocks {
+		for _, in := range b.Instrs {
+			if d, ok := in.(*cfg.CountdownDec); ok && d.N != 1 {
+				t.Errorf("uncoalesced mode has merged decrement %d", d.N)
+			}
+		}
+	}
+}
+
+func TestSeparateCompilationIsConservative(t *testing.T) {
+	src := `
+int pureLeaf(int x) { return x * 2; }
+int caller() { return pureLeaf(21); }
+`
+	f, err := minic.Parse("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instrument nothing at all: both functions are weightless under
+	// whole-program analysis.
+	p, err := Build(f, nil, SchemeSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := Sample(p, DefaultOptions())
+	if !whole.Funcs["caller"].Weightless {
+		t.Error("whole-program: caller should be weightless")
+	}
+	opt := DefaultOptions()
+	opt.SeparateCompilation = true
+	sep := Sample(p, opt)
+	if sep.Funcs["caller"].Weightless {
+		t.Error("separate compilation: caller must be conservative")
+	}
+	if !sep.Funcs["pureLeaf"].Weightless {
+		t.Error("pureLeaf has no calls and no sites; still weightless")
+	}
+}
+
+func TestWeightBoundsSitesOnPaths(t *testing.T) {
+	// A diamond: one arm has 3 sites, the other 1; the entry threshold
+	// weight must be the max path weight plus any shared sites.
+	src := `
+void f(int* p, int c) {
+	if (c) {
+		p[0] = 1;
+		p[1] = 2;
+		p[2] = 3;
+	} else {
+		p[0] = 9;
+	}
+}
+`
+	p := buildInstrumented(t, src, SchemeSet{Bounds: true})
+	sp := Sample(p, DefaultOptions())
+	fn := sp.Funcs["f"]
+	if len(fn.ThresholdWeights) != 1 {
+		t.Fatalf("weights: %v\n%s", fn.ThresholdWeights, cfg.DumpFunc(fn))
+	}
+	if fn.ThresholdWeights[0] != 3 {
+		t.Errorf("entry weight %d, want 3 (max path)", fn.ThresholdWeights[0])
+	}
+}
+
+func TestMetricsComputation(t *testing.T) {
+	p := buildInstrumented(t, loopProgram, SchemeSet{Bounds: true})
+	sp := Sample(p, DefaultOptions())
+	m := ComputeMetrics(sp)
+	if m.Functions != 2 {
+		t.Errorf("functions: %d", m.Functions)
+	}
+	if m.WithSites != 2 {
+		t.Errorf("with sites: %d", m.WithSites)
+	}
+	if m.AvgSitesPerFunc != 1 {
+		t.Errorf("avg sites: %f", m.AvgSitesPerFunc)
+	}
+	if m.AvgChecksPerFunc <= 0 || m.AvgThresholdWeight <= 0 {
+		t.Errorf("averages: %+v", m)
+	}
+	row := m.Row("loop")
+	if !strings.HasPrefix(row, "loop") {
+		t.Errorf("row: %q", row)
+	}
+	if TableHeader() == "" {
+		t.Error("header")
+	}
+}
+
+func TestCodeSizeGrowth(t *testing.T) {
+	f, err := minic.Parse("t.mc", loopProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := BuildBaseline(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Build(f, nil, SchemeSet{Bounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := Sample(inst, DefaultOptions())
+	if !(CodeSize(base) < CodeSize(inst)) {
+		t.Error("instrumentation should grow code")
+	}
+	if !(CodeSize(inst) < CodeSize(sp)) {
+		t.Error("sampling transformation should grow code further (two clones)")
+	}
+}

@@ -1,0 +1,82 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+
+	"cbi/internal/minic"
+)
+
+// callBuiltin dispatches the standard intrinsics and any host-provided
+// ones from Config.Intrinsics.
+func (vm *VM) callBuiltin(name string, args []Value, pos minic.Pos) (Value, error) {
+	switch name {
+	case "print":
+		for _, a := range args {
+			fmt.Fprint(vm.out, a.String())
+		}
+		return Value{}, nil
+	case "printi":
+		fmt.Fprintf(vm.out, "%d\n", args[0].I)
+		return Value{}, nil
+	case "alloc":
+		n := int(args[0].I)
+		if args[0].Kind != KInt || n < 0 {
+			return Value{}, &Trap{Kind: TrapBadProgram, Pos: pos, Msg: "alloc with bad size"}
+		}
+		return vm.alloc(n), nil
+	case "free":
+		if args[0].Kind == KPtr {
+			args[0].Obj.Freed = true
+		}
+		return Value{}, nil
+	case "streq":
+		return boolVal(args[0].Kind == KStr && args[1].Kind == KStr && args[0].S == args[1].S), nil
+	case "strlen":
+		return IntVal(int64(len(args[0].S))), nil
+	case "strget":
+		i := int(args[1].I)
+		if args[0].Kind != KStr || i < 0 || i >= len(args[0].S) {
+			return Value{}, &Trap{Kind: TrapOutOfBounds, Pos: pos, Msg: "strget"}
+		}
+		return IntVal(int64(args[0].S[i])), nil
+	case "rand":
+		n := args[0].I
+		if n <= 0 {
+			return IntVal(0), nil
+		}
+		return IntVal(vm.rng.Int63n(n)), nil
+	case "abort":
+		msg := ""
+		if len(args) > 0 {
+			msg = args[0].String()
+		}
+		return Value{}, &Trap{Kind: TrapAbort, Pos: pos, Msg: msg}
+	case "assert":
+		if !args[0].Truthy() {
+			return Value{}, &Trap{Kind: TrapAssertFailed, Pos: pos}
+		}
+		return Value{}, nil
+	case "min":
+		if args[0].I < args[1].I {
+			return args[0], nil
+		}
+		return args[1], nil
+	case "max":
+		if args[0].I > args[1].I {
+			return args[0], nil
+		}
+		return args[1], nil
+	}
+	if fn, ok := vm.intr[name]; ok {
+		return fn(vm, args)
+	}
+	return Value{}, &Trap{Kind: TrapBadProgram, Pos: pos, Msg: "unknown builtin " + name}
+}
+
+// Out exposes the VM's output writer to intrinsics.
+func (vm *VM) Out() io.Writer { return vm.out }
+
+// Alloc exposes heap allocation to intrinsics (e.g. a virtual readline
+// returning a character buffer).
+func (vm *VM) Alloc(n int) Value { return vm.alloc(n) }

@@ -1,0 +1,176 @@
+// Package interp executes lowered MiniC programs. It is the "deployed
+// machine" of the reproduction: it runs baseline, unconditionally
+// instrumented, and sampled programs, maintains the next-sample countdown
+// and the predicate counter vector, and models the memory behaviour the
+// case studies need — in particular allocator slack, which makes buffer
+// overruns only sometimes fatal ("C programs can get lucky", §3.3.3).
+package interp
+
+import (
+	"fmt"
+
+	"cbi/internal/minic"
+)
+
+// Kind discriminates runtime values.
+type Kind int
+
+const (
+	// KInt is a 64-bit integer (also the result of comparisons).
+	KInt Kind = iota
+	// KStr is an immutable host string.
+	KStr
+	// KNull is the null pointer.
+	KNull
+	// KPtr is a pointer into a heap object, with an element offset.
+	KPtr
+)
+
+// Value is a runtime value.
+type Value struct {
+	Kind Kind
+	I    int64
+	S    string
+	Obj  *Object
+	Off  int
+}
+
+// Object is a heap allocation. Size is the logical (requested) extent;
+// len(Data) is the physical capacity including allocator slack. Accesses
+// beyond Size but within capacity succeed silently — the "lucky" overruns
+// of §3.3.3 — while accesses beyond capacity trap.
+type Object struct {
+	ID    int64
+	Data  []Value
+	Size  int
+	Freed bool
+}
+
+// IntVal makes an integer value.
+func IntVal(i int64) Value { return Value{Kind: KInt, I: i} }
+
+// StrVal makes a string value.
+func StrVal(s string) Value { return Value{Kind: KStr, S: s} }
+
+// NullVal makes the null pointer.
+func NullVal() Value { return Value{Kind: KNull} }
+
+// PtrVal makes a pointer to obj at offset off.
+func PtrVal(obj *Object, off int) Value { return Value{Kind: KPtr, Obj: obj, Off: off} }
+
+// Truthy reports C-style truthiness.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KInt:
+		return v.I != 0
+	case KStr:
+		return v.S != ""
+	case KNull:
+		return false
+	case KPtr:
+		return true
+	}
+	return false
+}
+
+// Sign classifies a value for the returns scheme (§3.2.1): negative,
+// zero, or positive. Pointers are positive, null is zero.
+func (v Value) Sign() int {
+	switch v.Kind {
+	case KInt:
+		switch {
+		case v.I < 0:
+			return -1
+		case v.I == 0:
+			return 0
+		default:
+			return 1
+		}
+	case KNull:
+		return 0
+	case KPtr:
+		return 1
+	case KStr:
+		if v.S == "" {
+			return 0
+		}
+		return 1
+	}
+	return 0
+}
+
+// Equal reports value equality (C ==): integers by value, pointers by
+// object identity and offset, strings by contents, null equal to null
+// and to no non-null pointer.
+func (v Value) Equal(o Value) bool {
+	switch {
+	case v.Kind == KInt && o.Kind == KInt:
+		return v.I == o.I
+	case v.Kind == KStr && o.Kind == KStr:
+		return v.S == o.S
+	case v.Kind == KNull && o.Kind == KNull:
+		return true
+	case v.Kind == KPtr && o.Kind == KPtr:
+		return v.Obj == o.Obj && v.Off == o.Off
+	case v.Kind == KNull && o.Kind == KInt:
+		return o.I == 0
+	case v.Kind == KInt && o.Kind == KNull:
+		return v.I == 0
+	default:
+		return false
+	}
+}
+
+// Less imposes the deterministic total order used for scalar comparisons:
+// integers by value; null below every non-null pointer; pointers by
+// allocation sequence then offset; strings lexicographically. Mixed
+// int/pointer comparisons treat null/0 uniformly.
+func (v Value) Less(o Value) bool {
+	switch {
+	case v.Kind == KInt && o.Kind == KInt:
+		return v.I < o.I
+	case v.Kind == KStr && o.Kind == KStr:
+		return v.S < o.S
+	case v.Kind == KNull:
+		return o.Kind == KPtr || (o.Kind == KInt && o.I > 0)
+	case o.Kind == KNull:
+		return v.Kind == KInt && v.I < 0
+	case v.Kind == KPtr && o.Kind == KPtr:
+		if v.Obj != o.Obj {
+			return v.Obj.ID < o.Obj.ID
+		}
+		return v.Off < o.Off
+	default:
+		return false
+	}
+}
+
+// String renders the value for diagnostics and print output.
+func (v Value) String() string {
+	switch v.Kind {
+	case KInt:
+		return fmt.Sprintf("%d", v.I)
+	case KStr:
+		return v.S
+	case KNull:
+		return "null"
+	case KPtr:
+		return fmt.Sprintf("ptr#%d+%d", v.Obj.ID, v.Off)
+	}
+	return "<bad value>"
+}
+
+// ZeroFor returns the zero value of a declared type.
+func ZeroFor(t *minic.Type) Value {
+	if t == nil {
+		return IntVal(0)
+	}
+	switch t.Kind {
+	case minic.TypePtr, minic.TypeStruct:
+		return NullVal()
+	case minic.TypeStr:
+		return StrVal("")
+	default:
+		return IntVal(0)
+	}
+}

@@ -1,0 +1,697 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"cbi/internal/cfg"
+	"cbi/internal/minic"
+	"cbi/internal/sampler"
+)
+
+// TrapKind classifies run-terminating faults.
+type TrapKind int
+
+const (
+	TrapNullDeref TrapKind = iota
+	TrapOutOfBounds
+	TrapUseAfterFree
+	TrapDivByZero
+	TrapAssertFailed
+	TrapAbort
+	TrapStackOverflow
+	TrapFuelExhausted
+	TrapBadProgram // internal inconsistency (missing main, bad callee, ...)
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapNullDeref:
+		return "null dereference"
+	case TrapOutOfBounds:
+		return "out-of-bounds access"
+	case TrapUseAfterFree:
+		return "use after free"
+	case TrapDivByZero:
+		return "division by zero"
+	case TrapAssertFailed:
+		return "assertion failed"
+	case TrapAbort:
+		return "abort"
+	case TrapStackOverflow:
+		return "stack overflow"
+	case TrapFuelExhausted:
+		return "fuel exhausted"
+	case TrapBadProgram:
+		return "bad program"
+	default:
+		return "unknown trap"
+	}
+}
+
+// Trap is the fatal-signal analogue: it terminates the run and marks the
+// report as a crash.
+type Trap struct {
+	Kind TrapKind
+	Pos  minic.Pos
+	Msg  string
+}
+
+func (t *Trap) Error() string {
+	if t.Msg != "" {
+		return fmt.Sprintf("%s: %s: %s", t.Pos, t.Kind, t.Msg)
+	}
+	return fmt.Sprintf("%s: %s", t.Pos, t.Kind)
+}
+
+// Intrinsic is a host-provided builtin. Implementations may return a Trap
+// to crash the run.
+type Intrinsic func(vm *VM, args []Value) (Value, error)
+
+// Config configures one run.
+type Config struct {
+	// Seed drives the program-visible rand() builtin.
+	Seed int64
+	// Density is the sampling density for sampled programs (e.g. 1.0/1000).
+	Density float64
+	// CountdownSeed seeds the geometric countdown bank; the paper varies
+	// this per run ("each run used a different pre-generated bank").
+	CountdownSeed int64
+	// BankSize is the countdown bank size (default 1024, as in §3.1.1).
+	BankSize int
+	// Source overrides the countdown source entirely (e.g. a Periodic
+	// sampler for the fairness ablation). Density/CountdownSeed are then
+	// ignored.
+	Source sampler.Source
+	// Fuel bounds the number of VM steps (default 200M).
+	Fuel uint64
+	// MaxDepth bounds the call stack (default 4096).
+	MaxDepth int
+	// Stdout receives print output; nil discards it into the Result.
+	Stdout io.Writer
+	// Intrinsics supplies host builtins beyond the standard set. Keys
+	// must match the builtins the program was checked against.
+	Intrinsics map[string]Intrinsic
+	// AbortOnBoundsViolation makes a sampled bounds probe (§3.1) abort
+	// the program when it observes a violation, like a CCured check.
+	AbortOnBoundsViolation bool
+	// TraceCapacity, when positive, keeps an ordered ring buffer of the
+	// last N sampled probe firings (site IDs). The paper defers ordered
+	// partial traces to future work (§2.5); this is the minimal version:
+	// a bounded flight recorder whose memory cost is fixed, preserving
+	// the §2.5 scalability constraint.
+	TraceCapacity int
+}
+
+// Outcome is the final disposition of a run.
+type Outcome int
+
+const (
+	// OutcomeOK means main returned normally.
+	OutcomeOK Outcome = iota
+	// OutcomeCrash means the run died on a trap (the "aborted by a fatal
+	// signal" flag of §3.3.1).
+	OutcomeCrash
+)
+
+// Result summarizes one run: the §2.5 report vector plus diagnostics.
+type Result struct {
+	Outcome  Outcome
+	Trap     *Trap
+	ExitCode int64
+	// Counters is the predicate counter vector (one per counter across
+	// all sites; order matches Program.Sites).
+	Counters []uint64
+	Steps    uint64
+	Output   string
+	// SamplesTaken counts probe firings, for fairness diagnostics.
+	SamplesTaken uint64
+	// Trace holds the site IDs of the last TraceCapacity sampled probe
+	// firings, oldest first (empty unless Config.TraceCapacity > 0).
+	Trace []int
+}
+
+// VM executes one program run.
+type VM struct {
+	prog          *cfg.Program
+	globals       []Value
+	counters      []uint64
+	rng           *rand.Rand
+	source        sampler.Source
+	cd            int64 // global countdown
+	out           io.Writer
+	buf           *strings.Builder
+	fuel          uint64
+	steps         uint64
+	samples       uint64
+	maxDepth      int
+	depth         int
+	intr          map[string]Intrinsic
+	nextObj       int64
+	abortOnBounds bool
+	trace         []int // ring buffer of sampled site IDs
+	traceLen      int
+	traceNext     int
+}
+
+type frame struct {
+	fn     *cfg.Func
+	locals []Value
+	cd     int64
+}
+
+// Run executes prog's main function under cfg.
+func Run(prog *cfg.Program, conf Config) Result {
+	vm := New(prog, conf)
+	return vm.Run()
+}
+
+// New prepares a VM without running it (used by harnesses that install
+// intrinsics referring to the VM).
+func New(prog *cfg.Program, conf Config) *VM {
+	vm := &VM{
+		prog:          prog,
+		counters:      make([]uint64, prog.NumCounters),
+		rng:           rand.New(rand.NewSource(conf.Seed)),
+		fuel:          conf.Fuel,
+		maxDepth:      conf.MaxDepth,
+		intr:          conf.Intrinsics,
+		out:           conf.Stdout,
+		abortOnBounds: conf.AbortOnBoundsViolation,
+	}
+	if vm.fuel == 0 {
+		vm.fuel = 200_000_000
+	}
+	if vm.maxDepth == 0 {
+		vm.maxDepth = 4096
+	}
+	if vm.out == nil {
+		vm.buf = &strings.Builder{}
+		vm.out = vm.buf
+	}
+	if conf.TraceCapacity > 0 {
+		vm.trace = make([]int, conf.TraceCapacity)
+	}
+	src := conf.Source
+	if src == nil && conf.Density > 0 {
+		bankSize := conf.BankSize
+		if bankSize == 0 {
+			bankSize = 1024
+		}
+		src = sampler.NewBank(sampler.NewGeometric(conf.CountdownSeed, conf.Density), bankSize)
+	}
+	if src == nil {
+		src = sampler.NewGeometric(0, 0) // never sample
+	}
+	vm.source = src
+	vm.cd = src.Next()
+	vm.globals = make([]Value, len(prog.Globals))
+	for i, g := range prog.Globals {
+		vm.globals[i] = ZeroFor(g.Type)
+	}
+	for i, g := range prog.File.Globals {
+		if g.Init != nil {
+			vm.globals[i] = vm.constValue(cfg.LowerGlobalInit(g.Init))
+		}
+	}
+	return vm
+}
+
+func (vm *VM) constValue(e cfg.Expr) Value {
+	switch x := e.(type) {
+	case *cfg.Const:
+		return IntVal(x.V)
+	case *cfg.StrConst:
+		return StrVal(x.S)
+	default:
+		return NullVal()
+	}
+}
+
+// Counters exposes the live counter vector (for sufficient-statistics
+// collection modes).
+func (vm *VM) Counters() []uint64 { return vm.counters }
+
+// Rand exposes the program-visible RNG to intrinsics.
+func (vm *VM) Rand() *rand.Rand { return vm.rng }
+
+// Run executes main and builds the report.
+func (vm *VM) Run() Result {
+	res := Result{}
+	main := vm.prog.Funcs["main"]
+	if main == nil {
+		res.Outcome = OutcomeCrash
+		res.Trap = &Trap{Kind: TrapBadProgram, Msg: "no main function"}
+		return vm.finish(res)
+	}
+	v, err := vm.call(main, nil)
+	if err != nil {
+		res.Outcome = OutcomeCrash
+		if tr, ok := err.(*Trap); ok {
+			res.Trap = tr
+		} else {
+			res.Trap = &Trap{Kind: TrapBadProgram, Msg: err.Error()}
+		}
+		return vm.finish(res)
+	}
+	res.Outcome = OutcomeOK
+	if v.Kind == KInt {
+		res.ExitCode = v.I
+	}
+	return vm.finish(res)
+}
+
+func (vm *VM) finish(res Result) Result {
+	res.Counters = vm.counters
+	res.Steps = vm.steps
+	res.SamplesTaken = vm.samples
+	if vm.traceLen > 0 {
+		res.Trace = make([]int, 0, vm.traceLen)
+		start := 0
+		if vm.traceLen == len(vm.trace) {
+			start = vm.traceNext
+		}
+		for i := 0; i < vm.traceLen; i++ {
+			res.Trace = append(res.Trace, vm.trace[(start+i)%len(vm.trace)])
+		}
+	}
+	if vm.buf != nil {
+		res.Output = vm.buf.String()
+	}
+	return res
+}
+
+func (vm *VM) step(pos minic.Pos) error {
+	vm.steps++
+	if vm.steps > vm.fuel {
+		return &Trap{Kind: TrapFuelExhausted, Pos: pos}
+	}
+	return nil
+}
+
+// call runs fn with args and returns its value.
+func (vm *VM) call(fn *cfg.Func, args []Value) (Value, error) {
+	vm.depth++
+	defer func() { vm.depth-- }()
+	if vm.depth > vm.maxDepth {
+		return Value{}, &Trap{Kind: TrapStackOverflow, Msg: fn.Name}
+	}
+	fr := &frame{fn: fn, locals: make([]Value, len(fn.Locals))}
+	for i, l := range fn.Locals {
+		fr.locals[i] = ZeroFor(l.Type)
+	}
+	for i, p := range fn.Params {
+		if i < len(args) {
+			fr.locals[p.Slot] = args[i]
+		}
+	}
+	b := fn.Entry
+	for {
+		for _, in := range b.Instrs {
+			if err := vm.execInstr(fr, in); err != nil {
+				return Value{}, err
+			}
+		}
+		if err := vm.step(minic.Pos{}); err != nil {
+			return Value{}, err
+		}
+		switch t := b.Term.(type) {
+		case *cfg.Goto:
+			b = t.To
+		case *cfg.If:
+			v, err := vm.eval(fr, t.Cond)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.Truthy() {
+				b = t.Then
+			} else {
+				b = t.Else
+			}
+		case *cfg.Ret:
+			if t.X == nil {
+				return IntVal(0), nil
+			}
+			return vm.eval(fr, t.X)
+		case *cfg.Threshold:
+			if vm.cdGet(fr) > int64(t.Weight) {
+				b = t.Fast
+			} else {
+				b = t.Slow
+			}
+		default:
+			return Value{}, &Trap{Kind: TrapBadProgram, Msg: "missing terminator"}
+		}
+	}
+}
+
+func (vm *VM) cdGet(fr *frame) int64 {
+	if fr.fn.LocalCountdown {
+		return fr.cd
+	}
+	return vm.cd
+}
+
+func (vm *VM) cdSet(fr *frame, v int64) {
+	if fr.fn.LocalCountdown {
+		fr.cd = v
+	} else {
+		vm.cd = v
+	}
+}
+
+func (vm *VM) execInstr(fr *frame, in cfg.Instr) error {
+	if err := vm.step(minic.Pos{}); err != nil {
+		return err
+	}
+	switch x := in.(type) {
+	case *cfg.Assign:
+		v, err := vm.eval(fr, x.X)
+		if err != nil {
+			return err
+		}
+		return vm.store(fr, x.LV, v, x.Pos)
+	case *cfg.Call:
+		return vm.execCall(fr, x)
+	case *cfg.SiteInstr:
+		return vm.fireProbe(fr, x.Site)
+	case *cfg.GuardedSite:
+		cd := vm.cdGet(fr) - 1
+		if cd == 0 {
+			if err := vm.fireProbe(fr, x.Site); err != nil {
+				return err
+			}
+			cd = vm.source.Next()
+		}
+		vm.cdSet(fr, cd)
+		return nil
+	case *cfg.CountdownDec:
+		vm.cdSet(fr, vm.cdGet(fr)-int64(x.N))
+		return nil
+	case *cfg.CDImport:
+		fr.cd = vm.cd
+		return nil
+	case *cfg.CDExport:
+		vm.cd = fr.cd
+		return nil
+	default:
+		return &Trap{Kind: TrapBadProgram, Msg: fmt.Sprintf("unknown instruction %T", in)}
+	}
+}
+
+func (vm *VM) execCall(fr *frame, c *cfg.Call) error {
+	args := make([]Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := vm.eval(fr, a)
+		if err != nil {
+			return err
+		}
+		args[i] = v
+	}
+	var ret Value
+	var err error
+	if c.Builtin {
+		ret, err = vm.callBuiltin(c.Callee, args, c.Pos)
+	} else {
+		callee := vm.prog.Funcs[c.Callee]
+		if callee == nil {
+			return &Trap{Kind: TrapBadProgram, Pos: c.Pos, Msg: "unknown function " + c.Callee}
+		}
+		ret, err = vm.call(callee, args)
+	}
+	if err != nil {
+		return err
+	}
+	if c.Dst != nil {
+		if c.Dst.Global {
+			vm.globals[c.Dst.Slot] = ret
+		} else {
+			fr.locals[c.Dst.Slot] = ret
+		}
+	}
+	return nil
+}
+
+// fireProbe executes a site's probe and bumps the chosen counter (§2.5:
+// the report is a vector of predicate counters).
+func (vm *VM) fireProbe(fr *frame, s *cfg.Site) error {
+	vm.samples++
+	if vm.trace != nil {
+		vm.trace[vm.traceNext] = s.ID
+		vm.traceNext = (vm.traceNext + 1) % len(vm.trace)
+		if vm.traceLen < len(vm.trace) {
+			vm.traceLen++
+		}
+	}
+	args := make([]Value, len(s.Args))
+	for i, a := range s.Args {
+		v, err := vm.eval(fr, a)
+		if err != nil {
+			return err
+		}
+		args[i] = v
+	}
+	bump := func(i int) { vm.counters[s.CounterBase+i]++ }
+	switch s.Kind {
+	case cfg.SiteReturns:
+		switch args[0].Sign() {
+		case -1:
+			bump(0)
+		case 0:
+			bump(1)
+		default:
+			bump(2)
+		}
+	case cfg.SiteScalarPair:
+		a, b := args[0], args[1]
+		switch {
+		case a.Less(b):
+			bump(0)
+		case a.Equal(b):
+			bump(1)
+		default:
+			bump(2)
+		}
+	case cfg.SiteNullCheck:
+		if args[0].Kind == KNull {
+			bump(0)
+		} else {
+			bump(1)
+		}
+	case cfg.SiteBranch:
+		if args[0].Truthy() {
+			bump(1)
+		} else {
+			bump(0)
+		}
+	case cfg.SiteBounds:
+		ptr, idx := args[0], args[1]
+		switch {
+		case ptr.Kind == KNull:
+			bump(0)
+			if vm.abortOnBounds {
+				return &Trap{Kind: TrapNullDeref, Pos: s.Pos, Msg: "bounds check"}
+			}
+		case ptr.Kind == KPtr && idx.Kind == KInt &&
+			(ptr.Off+int(idx.I) < 0 || ptr.Off+int(idx.I) >= ptr.Obj.Size):
+			bump(1)
+			if vm.abortOnBounds {
+				return &Trap{Kind: TrapOutOfBounds, Pos: s.Pos, Msg: "bounds check"}
+			}
+		}
+	case cfg.SiteAssert:
+		if args[0].Truthy() {
+			bump(0)
+		} else {
+			bump(1)
+			return &Trap{Kind: TrapAssertFailed, Pos: s.Pos, Msg: s.Text}
+		}
+	}
+	return nil
+}
+
+// store writes v into an lvalue.
+func (vm *VM) store(fr *frame, lv cfg.LValue, v Value, pos minic.Pos) error {
+	switch x := lv.(type) {
+	case *cfg.VarRef:
+		if x.V.Global {
+			vm.globals[x.V.Slot] = v
+		} else {
+			fr.locals[x.V.Slot] = v
+		}
+		return nil
+	case *cfg.CellRef:
+		cell, err := vm.cell(fr, x.Ptr, x.Idx, pos)
+		if err != nil {
+			return err
+		}
+		*cell = v
+		return nil
+	default:
+		return &Trap{Kind: TrapBadProgram, Pos: pos, Msg: "unknown lvalue"}
+	}
+}
+
+// cell resolves a heap cell address, enforcing the slack-capacity memory
+// model: indices within physical capacity succeed even past the logical
+// size; beyond capacity (or on null/freed objects) the run traps.
+func (vm *VM) cell(fr *frame, ptrE, idxE cfg.Expr, pos minic.Pos) (*Value, error) {
+	ptr, err := vm.eval(fr, ptrE)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := vm.eval(fr, idxE)
+	if err != nil {
+		return nil, err
+	}
+	if ptr.Kind == KNull {
+		return nil, &Trap{Kind: TrapNullDeref, Pos: pos}
+	}
+	if ptr.Kind != KPtr {
+		return nil, &Trap{Kind: TrapBadProgram, Pos: pos, Msg: "indexing non-pointer"}
+	}
+	if ptr.Obj.Freed {
+		return nil, &Trap{Kind: TrapUseAfterFree, Pos: pos}
+	}
+	if idx.Kind != KInt {
+		return nil, &Trap{Kind: TrapBadProgram, Pos: pos, Msg: "non-integer index"}
+	}
+	off := ptr.Off + int(idx.I)
+	if off < 0 || off >= len(ptr.Obj.Data) {
+		return nil, &Trap{Kind: TrapOutOfBounds, Pos: pos,
+			Msg: fmt.Sprintf("offset %d outside capacity %d", off, len(ptr.Obj.Data))}
+	}
+	return &ptr.Obj.Data[off], nil
+}
+
+// alloc creates a heap object with allocator slack: capacity is the
+// request rounded up to the next power of two (minimum 4), like common
+// size-class allocators. The gap between Size and capacity is what lets
+// small overruns go unnoticed.
+func (vm *VM) alloc(n int) Value {
+	capacity := 4
+	for capacity < n {
+		capacity *= 2
+	}
+	vm.nextObj++
+	obj := &Object{ID: vm.nextObj, Data: make([]Value, capacity), Size: n}
+	for i := range obj.Data {
+		obj.Data[i] = IntVal(0)
+	}
+	return PtrVal(obj, 0)
+}
+
+// eval evaluates a pure expression.
+func (vm *VM) eval(fr *frame, e cfg.Expr) (Value, error) {
+	vm.steps++
+	switch x := e.(type) {
+	case *cfg.Const:
+		return IntVal(x.V), nil
+	case *cfg.StrConst:
+		return StrVal(x.S), nil
+	case *cfg.Null:
+		return NullVal(), nil
+	case *cfg.VarUse:
+		if x.V.Global {
+			return vm.globals[x.V.Slot], nil
+		}
+		return fr.locals[x.V.Slot], nil
+	case *cfg.Un:
+		v, err := vm.eval(fr, x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case "-":
+			return IntVal(-v.I), nil
+		case "!":
+			if v.Truthy() {
+				return IntVal(0), nil
+			}
+			return IntVal(1), nil
+		}
+		return Value{}, &Trap{Kind: TrapBadProgram, Msg: "unary " + x.Op}
+	case *cfg.Bin:
+		return vm.evalBin(fr, x)
+	case *cfg.Load:
+		cell, err := vm.cell(fr, x.Ptr, x.Idx, x.Pos)
+		if err != nil {
+			return Value{}, err
+		}
+		return *cell, nil
+	case *cfg.NewObj:
+		v := vm.alloc(x.NumFields)
+		// Structs get exactly their field count: field access cannot
+		// overrun, matching C struct semantics.
+		v.Obj.Data = v.Obj.Data[:x.NumFields]
+		v.Obj.Size = x.NumFields
+		return v, nil
+	}
+	return Value{}, &Trap{Kind: TrapBadProgram, Msg: fmt.Sprintf("unknown expression %T", e)}
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+func (vm *VM) evalBin(fr *frame, x *cfg.Bin) (Value, error) {
+	a, err := vm.eval(fr, x.X)
+	if err != nil {
+		return Value{}, err
+	}
+	b, err := vm.eval(fr, x.Y)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.Op {
+	case "==":
+		return boolVal(a.Equal(b)), nil
+	case "!=":
+		return boolVal(!a.Equal(b)), nil
+	case "<":
+		return boolVal(a.Less(b)), nil
+	case "<=":
+		return boolVal(a.Less(b) || a.Equal(b)), nil
+	case ">":
+		return boolVal(b.Less(a)), nil
+	case ">=":
+		return boolVal(b.Less(a) || a.Equal(b)), nil
+	}
+	// Pointer arithmetic.
+	if a.Kind == KPtr && b.Kind == KInt {
+		switch x.Op {
+		case "+":
+			return PtrVal(a.Obj, a.Off+int(b.I)), nil
+		case "-":
+			return PtrVal(a.Obj, a.Off-int(b.I)), nil
+		}
+	}
+	if a.Kind != KInt || b.Kind != KInt {
+		return Value{}, &Trap{Kind: TrapBadProgram, Pos: x.Pos,
+			Msg: fmt.Sprintf("operator %s on %s and %s", x.Op, a, b)}
+	}
+	switch x.Op {
+	case "+":
+		return IntVal(a.I + b.I), nil
+	case "-":
+		return IntVal(a.I - b.I), nil
+	case "*":
+		return IntVal(a.I * b.I), nil
+	case "/":
+		if b.I == 0 {
+			return Value{}, &Trap{Kind: TrapDivByZero, Pos: x.Pos}
+		}
+		return IntVal(a.I / b.I), nil
+	case "%":
+		if b.I == 0 {
+			return Value{}, &Trap{Kind: TrapDivByZero, Pos: x.Pos}
+		}
+		return IntVal(a.I % b.I), nil
+	}
+	return Value{}, &Trap{Kind: TrapBadProgram, Pos: x.Pos, Msg: "operator " + x.Op}
+}

@@ -1,0 +1,483 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"cbi/internal/cfg"
+	"cbi/internal/instrument"
+	"cbi/internal/minic"
+)
+
+func run(t *testing.T, src string, conf Config) Result {
+	t.Helper()
+	p := buildProg(t, src, nil)
+	return Run(p, conf)
+}
+
+func buildProg(t *testing.T, src string, inst cfg.Instrumenter) *cfg.Program {
+	t.Helper()
+	f, err := minic.Parse("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cfg.Build(f, nil, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunArithmetic(t *testing.T) {
+	res := run(t, `
+int main() {
+	int a = 6;
+	int b = 7;
+	return a * b - 2 + 10 / 5 - 8 % 3;
+}`, Config{})
+	if res.Outcome != OutcomeOK || res.ExitCode != 40 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestRunControlFlow(t *testing.T) {
+	res := run(t, `
+int fib(int n) {
+	if (n <= 1) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }`, Config{})
+	if res.ExitCode != 144 {
+		t.Fatalf("fib(12) = %d", res.ExitCode)
+	}
+}
+
+func TestRunLoopsAndArrays(t *testing.T) {
+	res := run(t, `
+int main() {
+	int* buf = alloc(10);
+	for (int i = 0; i < 10; i++) { buf[i] = i * i; }
+	int s = 0;
+	int i = 0;
+	while (i < 10) { s += buf[i]; i++; }
+	return s;
+}`, Config{})
+	if res.ExitCode != 285 {
+		t.Fatalf("sum of squares = %d", res.ExitCode)
+	}
+}
+
+func TestRunStructsAndLists(t *testing.T) {
+	res := run(t, `
+struct node { int val; struct node* next; };
+int main() {
+	struct node* head = null;
+	for (int i = 1; i <= 5; i++) {
+		struct node* n = new node;
+		n->val = i;
+		n->next = head;
+		head = n;
+	}
+	int s = 0;
+	while (head != null) {
+		s += head->val;
+		head = head->next;
+	}
+	return s;
+}`, Config{})
+	if res.ExitCode != 15 {
+		t.Fatalf("list sum = %d", res.ExitCode)
+	}
+}
+
+func TestRunShortCircuit(t *testing.T) {
+	// p[0] must not be evaluated when p is null.
+	res := run(t, `
+int main() {
+	int* p = null;
+	if (p != null && p[0] == 3) { return 1; }
+	if (p == null || p[1] == 9) { return 7; }
+	return 2;
+}`, Config{})
+	if res.Outcome != OutcomeOK || res.ExitCode != 7 {
+		t.Fatalf("%+v %v", res, res.Trap)
+	}
+}
+
+func TestRunOutput(t *testing.T) {
+	res := run(t, `
+int main() {
+	print("x=", 0 + 3, "\n");
+	printi(42);
+	return 0;
+}`, Config{})
+	if res.Output != "x=3\n42\n" {
+		t.Fatalf("output: %q", res.Output)
+	}
+}
+
+func TestRunStringBuiltins(t *testing.T) {
+	res := run(t, `
+int main() {
+	string s = "hello";
+	if (streq(s, "hello") && strlen(s) == 5 && strget(s, 1) == 'e') { return 0; }
+	return 1;
+}`, Config{})
+	if res.ExitCode != 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestTraps(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TrapKind
+	}{
+		{"int main() { int* p = null; return p[0]; }", TrapNullDeref},
+		{"int main() { int* p = alloc(4); return p[100]; }", TrapOutOfBounds},
+		{"int main() { int* p = alloc(4); free(p); return p[0]; }", TrapUseAfterFree},
+		{"int main() { int z = 0; return 5 / z; }", TrapDivByZero},
+		{"int main() { int z = 0; return 5 % z; }", TrapDivByZero},
+		{"int main() { assert(1 == 2); return 0; }", TrapAssertFailed},
+		{"int main() { abort(); return 0; }", TrapAbort},
+		{"int r(int n) { return r(n + 1); } int main() { return r(0); }", TrapStackOverflow},
+		{"int main() { while (1) { } return 0; }", TrapFuelExhausted},
+	}
+	for _, tc := range cases {
+		conf := Config{}
+		if tc.kind == TrapFuelExhausted {
+			conf.Fuel = 10000
+		}
+		res := run(t, tc.src, conf)
+		if res.Outcome != OutcomeCrash || res.Trap == nil || res.Trap.Kind != tc.kind {
+			t.Errorf("%q: got %+v, want trap %v", tc.src, res.Trap, tc.kind)
+		}
+	}
+}
+
+func TestAllocatorSlackAllowsLuckyOverrun(t *testing.T) {
+	// alloc(5) has capacity 8: indices 5..7 are silent overruns, index 8
+	// crashes. This is the §3.3.3 "C programs can get lucky" model.
+	res := run(t, `
+int main() {
+	int* p = alloc(5);
+	p[6] = 1;
+	return p[6];
+}`, Config{})
+	if res.Outcome != OutcomeOK || res.ExitCode != 1 {
+		t.Fatalf("lucky overrun crashed: %+v %v", res, res.Trap)
+	}
+	res = run(t, `
+int main() {
+	int* p = alloc(5);
+	p[8] = 1;
+	return 0;
+}`, Config{})
+	if res.Outcome != OutcomeCrash || res.Trap.Kind != TrapOutOfBounds {
+		t.Fatalf("unlucky overrun did not crash: %+v", res)
+	}
+}
+
+func TestPointerArithmeticAndComparison(t *testing.T) {
+	res := run(t, `
+int main() {
+	int* p = alloc(8);
+	int* q = p + 3;
+	*q = 11;
+	if (p < q && q > p && p != q && p == q - 3) { return p[3]; }
+	return -1;
+}`, Config{})
+	if res.ExitCode != 11 {
+		t.Fatalf("%+v %v", res, res.Trap)
+	}
+}
+
+func TestRandDeterministicPerSeed(t *testing.T) {
+	src := "int main() { return rand(1000000); }"
+	a := run(t, src, Config{Seed: 5})
+	b := run(t, src, Config{Seed: 5})
+	c := run(t, src, Config{Seed: 6})
+	if a.ExitCode != b.ExitCode {
+		t.Error("same seed should repeat")
+	}
+	if a.ExitCode == c.ExitCode {
+		t.Error("different seeds should differ (almost surely)")
+	}
+}
+
+func TestIntrinsics(t *testing.T) {
+	f, err := minic.Parse("t.mc", "int main() { return magic(); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtins := minic.DefaultBuiltins()
+	builtins["magic"] = minic.BuiltinSig{Ret: minic.IntType}
+	p, err := cfg.Build(f, builtins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(p, Config{Intrinsics: map[string]Intrinsic{
+		"magic": func(vm *VM, args []Value) (Value, error) { return IntVal(99), nil },
+	}})
+	if res.ExitCode != 99 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestGlobalsInitialization(t *testing.T) {
+	res := run(t, `
+int g = 41;
+int* gp;
+string gs = "ok";
+int main() {
+	if (gp == null && streq(gs, "ok")) { g++; }
+	return g;
+}`, Config{})
+	if res.ExitCode != 42 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Instrumented execution
+
+const probeProgram = `
+int work(int* buf, int n) {
+	int total = 0;
+	for (int i = 0; i < n; i++) {
+		total += buf[i];
+	}
+	return total;
+}
+int main() {
+	int* buf = alloc(64);
+	for (int i = 0; i < 64; i++) {
+		buf[i] = i - 32;
+	}
+	int r = 0;
+	for (int k = 0; k < 100; k++) {
+		r = work(buf, 64);
+	}
+	return r;
+}
+`
+
+func instrumented(t *testing.T, src string, set instrument.SchemeSet) *cfg.Program {
+	t.Helper()
+	f, err := minic.Parse("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := instrument.Build(f, nil, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestUnconditionalCountersAreExact(t *testing.T) {
+	p := instrumented(t, probeProgram, instrument.SchemeSet{Bounds: true})
+	res := Run(p, Config{})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("%+v %v", res, res.Trap)
+	}
+	// Total bounds probes: 64 stores + 100*64 loads = 6464 observations,
+	// none violating, so all counters stay zero but samples fire.
+	if res.SamplesTaken != 6464 {
+		t.Errorf("samples: %d, want 6464", res.SamplesTaken)
+	}
+	for i, c := range res.Counters {
+		if c != 0 {
+			t.Errorf("counter %d (%s) = %d on a correct program", i, p.PredicateName(i), c)
+		}
+	}
+}
+
+func TestReturnsCountersObserveSigns(t *testing.T) {
+	p := instrumented(t, `
+int f(int x) { return x; }
+int main() {
+	int a = f(-5);
+	int b = f(0);
+	int c = f(3);
+	int d = f(9);
+	return a + b + c + d;
+}`, instrument.SchemeSet{Returns: true})
+	res := Run(p, Config{})
+	// Sites: 4 calls to f. Each has 3 counters. Find per-sign totals.
+	var neg, zero, pos uint64
+	for _, s := range p.Sites {
+		neg += res.Counters[s.CounterBase]
+		zero += res.Counters[s.CounterBase+1]
+		pos += res.Counters[s.CounterBase+2]
+	}
+	if neg != 1 || zero != 1 || pos != 2 {
+		t.Errorf("neg=%d zero=%d pos=%d", neg, zero, pos)
+	}
+}
+
+func TestSampledExecutionPreservesSemantics(t *testing.T) {
+	srcs := []string{
+		probeProgram,
+		`int main() { int* p = alloc(3); p[0] = 7; int i = 1; while (i < 3) { p[i] = p[i-1] * 2; i++; } return p[2]; }`,
+		`struct n { int v; struct n* nx; };
+		 int main() {
+			struct n* h = null;
+			for (int i = 0; i < 20; i++) { struct n* x = new n; x->v = i; x->nx = h; h = x; }
+			int s = 0;
+			while (h != null) { s += h->v; h = h->nx; }
+			return s;
+		 }`,
+	}
+	for _, src := range srcs {
+		f, err := minic.Parse("t.mc", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := instrument.BuildBaseline(f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Run(base, Config{Seed: 1})
+		if want.Outcome != OutcomeOK {
+			t.Fatalf("baseline crashed: %v", want.Trap)
+		}
+
+		uncond, err := instrument.Build(f, nil, instrument.SchemeSet{Bounds: true, ScalarPairs: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotU := Run(uncond, Config{Seed: 1})
+		if gotU.Outcome != OutcomeOK || gotU.ExitCode != want.ExitCode || gotU.Output != want.Output {
+			t.Errorf("unconditional changed semantics: %d vs %d", gotU.ExitCode, want.ExitCode)
+		}
+
+		for _, density := range []float64{1, 1.0 / 3, 1.0 / 100} {
+			for seed := int64(0); seed < 4; seed++ {
+				sp := instrument.Sample(uncond, instrument.DefaultOptions())
+				got := Run(sp, Config{Seed: 1, Density: density, CountdownSeed: seed})
+				if got.Outcome != OutcomeOK || got.ExitCode != want.ExitCode || got.Output != want.Output {
+					t.Errorf("density %g seed %d changed semantics: exit %d vs %d (trap %v)",
+						density, seed, got.ExitCode, want.ExitCode, got.Trap)
+				}
+			}
+		}
+	}
+}
+
+func TestSampledCountersApproximateDensityTimesOccurrences(t *testing.T) {
+	p := instrumented(t, probeProgram, instrument.SchemeSet{Bounds: true})
+	sp := instrument.Sample(p, instrument.DefaultOptions())
+	const runs = 300
+	density := 1.0 / 10
+	var total uint64
+	for seed := int64(0); seed < runs; seed++ {
+		res := Run(sp, Config{Seed: 1, Density: density, CountdownSeed: seed})
+		if res.Outcome != OutcomeOK {
+			t.Fatalf("crash: %v", res.Trap)
+		}
+		total += res.SamplesTaken
+	}
+	// 6464 dynamic site crossings per run; expect ~646 samples per run.
+	mean := float64(total) / runs
+	want := 6464 * density
+	if mean < want*0.9 || mean > want*1.1 {
+		t.Errorf("mean samples per run %.1f, want ~%.1f", mean, want)
+	}
+}
+
+func TestSampledVariantsAgree(t *testing.T) {
+	// All transformation variants must preserve semantics and sample at
+	// statistically similar rates.
+	p := instrumented(t, probeProgram, instrument.SchemeSet{Bounds: true})
+	variants := map[string]instrument.Options{
+		"default":    instrument.DefaultOptions(),
+		"nocoalesce": {LocalizeCountdown: true},
+		"global":     {CoalesceDecrements: true},
+		"separate":   {CoalesceDecrements: true, LocalizeCountdown: true, SeparateCompilation: true},
+		"persite":    {LocalizeCountdown: true, CheckPerSite: true},
+	}
+	wantExit := Run(p, Config{Seed: 1}).ExitCode
+	density := 1.0 / 7
+	const runs = 120
+	totals := map[string]float64{}
+	for name, opt := range variants {
+		sp := instrument.Sample(p, opt)
+		var samples uint64
+		for seed := int64(0); seed < runs; seed++ {
+			res := Run(sp, Config{Seed: 1, Density: density, CountdownSeed: seed})
+			if res.Outcome != OutcomeOK || res.ExitCode != wantExit {
+				t.Fatalf("%s: semantics broken: exit %d want %d (%v)", name, res.ExitCode, wantExit, res.Trap)
+			}
+			samples += res.SamplesTaken
+		}
+		totals[name] = float64(samples) / runs
+	}
+	want := 6464 * density
+	for name, mean := range totals {
+		if mean < want*0.85 || mean > want*1.15 {
+			t.Errorf("%s: mean samples %.1f, want ~%.1f", name, mean, want)
+		}
+	}
+}
+
+func TestAssertSchemeSampledAbortsOnViolation(t *testing.T) {
+	src := `
+int main() {
+	for (int i = 0; i < 1000; i++) {
+		assert(i < 990);
+	}
+	return 0;
+}`
+	p := instrumented(t, src, instrument.SchemeSet{Asserts: true})
+	// Unconditional: the assert fires eagerly.
+	res := Run(p, Config{})
+	if res.Outcome != OutcomeCrash || res.Trap.Kind != TrapAssertFailed {
+		t.Fatalf("unconditional assert: %+v", res)
+	}
+	// Sampled at density 1: every probe fires, still crashes.
+	sp := instrument.Sample(p, instrument.DefaultOptions())
+	res = Run(sp, Config{Density: 1})
+	if res.Outcome != OutcomeCrash || res.Trap.Kind != TrapAssertFailed {
+		t.Fatalf("density-1 sampled assert: %+v", res)
+	}
+	// Sampled sparsely: usually survives (10 violating iterations out of
+	// 1000, density 1/1000 -> ~1% crash chance per run).
+	sp2 := instrument.Sample(p, instrument.DefaultOptions())
+	crashes := 0
+	for seed := int64(0); seed < 50; seed++ {
+		r := Run(sp2, Config{Density: 1.0 / 1000, CountdownSeed: seed})
+		if r.Outcome == OutcomeCrash {
+			crashes++
+		}
+	}
+	if crashes > 25 {
+		t.Errorf("sparse sampling crashed %d/50 runs; assertions are not being skipped", crashes)
+	}
+}
+
+func TestNoMainIsBadProgram(t *testing.T) {
+	res := run(t, "int f() { return 0; }", Config{})
+	if res.Outcome != OutcomeCrash || res.Trap.Kind != TrapBadProgram {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestOutputGoesToConfiguredWriter(t *testing.T) {
+	f, err := minic.Parse("t.mc", `int main() { print("hi"); return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cfg.Build(f, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res := Run(p, Config{Stdout: &sb})
+	if sb.String() != "hi" {
+		t.Errorf("writer got %q", sb.String())
+	}
+	if res.Output != "" {
+		t.Errorf("result should not duplicate output: %q", res.Output)
+	}
+}

@@ -1,0 +1,454 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ----------------------------------------------------------------------------
+// Types
+
+// TypeKind classifies MiniC types.
+type TypeKind int
+
+const (
+	TypeVoid TypeKind = iota
+	TypeInt
+	TypeStr    // host string handle (immutable)
+	TypePtr    // pointer to Elem
+	TypeStruct // named struct
+)
+
+// Type is a MiniC type. Types are compared structurally; the scalar-pairs
+// instrumentation scheme uses Type.Equal to find "other variables of the
+// same type in scope" exactly as §3.3.1 of the paper specifies.
+type Type struct {
+	Kind       TypeKind
+	Elem       *Type  // for TypePtr
+	StructName string // for TypeStruct
+}
+
+// Convenience singletons for the non-parameterized types.
+var (
+	VoidType = &Type{Kind: TypeVoid}
+	IntType  = &Type{Kind: TypeInt}
+	StrType  = &Type{Kind: TypeStr}
+)
+
+// PtrTo returns the pointer type *t.
+func PtrTo(t *Type) *Type { return &Type{Kind: TypePtr, Elem: t} }
+
+// StructType returns the named struct type.
+func StructType(name string) *Type { return &Type{Kind: TypeStruct, StructName: name} }
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TypePtr:
+		return t.Elem.Equal(o.Elem)
+	case TypeStruct:
+		return t.StructName == o.StructName
+	default:
+		return true
+	}
+}
+
+// IsScalar reports whether t is a scalar for instrumentation purposes.
+// The paper's scalar-pairs scheme covers "arithmetic types as well as
+// pointers"; in MiniC that is int and every pointer type.
+func (t *Type) IsScalar() bool {
+	return t != nil && (t.Kind == TypeInt || t.Kind == TypePtr)
+}
+
+// IsPointer reports whether t is a pointer type.
+func (t *Type) IsPointer() bool { return t != nil && t.Kind == TypePtr }
+
+// String renders the type in C-like syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeStr:
+		return "string"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	case TypeStruct:
+		return "struct " + t.StructName
+	default:
+		return "<bad type>"
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Declarations
+
+// File is a parsed MiniC translation unit.
+type File struct {
+	Name    string
+	Structs []*StructDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function with the given name, or nil.
+func (f *File) Func(name string) *FuncDecl {
+	for _, fn := range f.Funcs {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// Struct returns the struct declaration with the given name, or nil.
+func (f *File) Struct(name string) *StructDecl {
+	for _, s := range f.Structs {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// StructDecl declares a struct with named fields.
+type StructDecl struct {
+	Name   string
+	Fields []Field
+	Pos    Pos
+}
+
+// FieldIndex returns the index of the named field, or -1.
+func (s *StructDecl) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Field is a single struct field.
+type Field struct {
+	Name string
+	Type *Type
+	Pos  Pos
+}
+
+// FuncDecl declares a function with a body.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    *Type
+	Body   *Block
+	Pos    Pos
+}
+
+// Param is a formal parameter.
+type Param struct {
+	Name string
+	Type *Type
+	Pos  Pos
+}
+
+// ----------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	stmtNode()
+	StmtPos() Pos
+}
+
+// Block is a brace-delimited statement list introducing a scope.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// VarDecl declares a variable, optionally initialized. It appears both as a
+// statement (locals) and in File.Globals.
+type VarDecl struct {
+	Name string
+	Type *Type
+	Init Expr // may be nil
+	Pos  Pos
+}
+
+// AssignStmt assigns RHS to an lvalue. Op is "=" or a compound operator
+// ("+=", "-=", "*=", "/=", "%="); the parser also desugars x++ / x-- here.
+type AssignStmt struct {
+	Op  string
+	LHS Expr // must be an lvalue form: Ident, Index, Field, Unary(*)
+	RHS Expr
+	Pos Pos
+}
+
+// ExprStmt evaluates an expression for effect (typically a call).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// IfStmt is a conditional with optional else branch.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Pos  Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Pos  Pos
+}
+
+// ForStmt is a C-style for loop. Init and Post are restricted to
+// assignment or expression statements (or nil); Cond may be nil (infinite).
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+	Pos  Pos
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	X   Expr // nil for bare return
+	Pos Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+func (*Block) stmtNode()        {}
+func (*VarDecl) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+func (s *Block) StmtPos() Pos        { return s.Pos }
+func (s *VarDecl) StmtPos() Pos      { return s.Pos }
+func (s *AssignStmt) StmtPos() Pos   { return s.Pos }
+func (s *ExprStmt) StmtPos() Pos     { return s.Pos }
+func (s *IfStmt) StmtPos() Pos       { return s.Pos }
+func (s *WhileStmt) StmtPos() Pos    { return s.Pos }
+func (s *ForStmt) StmtPos() Pos      { return s.Pos }
+func (s *ReturnStmt) StmtPos() Pos   { return s.Pos }
+func (s *BreakStmt) StmtPos() Pos    { return s.Pos }
+func (s *ContinueStmt) StmtPos() Pos { return s.Pos }
+
+// ----------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	ExprPos() Pos
+}
+
+// IntLit is an integer (or character) literal.
+type IntLit struct {
+	Value int64
+	Pos   Pos
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Value string
+	Pos   Pos
+}
+
+// NullLit is the null pointer literal.
+type NullLit struct{ Pos Pos }
+
+// Ident references a variable by name.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// UnaryExpr applies a prefix operator: "-", "!", or "*" (dereference).
+type UnaryExpr struct {
+	Op  string
+	X   Expr
+	Pos Pos
+}
+
+// BinaryExpr applies a binary operator. "&&" and "||" short-circuit.
+type BinaryExpr struct {
+	Op   string
+	X, Y Expr
+	Pos  Pos
+}
+
+// CallExpr calls a named function or builtin.
+type CallExpr struct {
+	Callee string
+	Args   []Expr
+	Pos    Pos
+}
+
+// IndexExpr indexes a pointer: X[I].
+type IndexExpr struct {
+	X, I Expr
+	Pos  Pos
+}
+
+// FieldExpr selects a struct field: X.Name or X->Name (Arrow).
+type FieldExpr struct {
+	X     Expr
+	Name  string
+	Arrow bool
+	Pos   Pos
+}
+
+// NewExpr allocates a struct on the heap: new name.
+type NewExpr struct {
+	StructName string
+	Pos        Pos
+}
+
+func (*IntLit) exprNode()     {}
+func (*StrLit) exprNode()     {}
+func (*NullLit) exprNode()    {}
+func (*Ident) exprNode()      {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+func (*FieldExpr) exprNode()  {}
+func (*NewExpr) exprNode()    {}
+
+func (e *IntLit) ExprPos() Pos     { return e.Pos }
+func (e *StrLit) ExprPos() Pos     { return e.Pos }
+func (e *NullLit) ExprPos() Pos    { return e.Pos }
+func (e *Ident) ExprPos() Pos      { return e.Pos }
+func (e *UnaryExpr) ExprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) ExprPos() Pos { return e.Pos }
+func (e *CallExpr) ExprPos() Pos   { return e.Pos }
+func (e *IndexExpr) ExprPos() Pos  { return e.Pos }
+func (e *FieldExpr) ExprPos() Pos  { return e.Pos }
+func (e *NewExpr) ExprPos() Pos    { return e.Pos }
+
+// IsLValue reports whether e is a syntactically valid assignment target.
+func IsLValue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return true
+	case *IndexExpr:
+		return true
+	case *FieldExpr:
+		return true
+	case *UnaryExpr:
+		return x.Op == "*"
+	default:
+		return false
+	}
+}
+
+// QuoteString renders s as a MiniC string literal, using only the escape
+// sequences the lexer understands (\n \t \r \0 \\ \" — not Go's \x
+// escapes). All other bytes are emitted raw; the lexer accepts any byte
+// inside a string except a newline or an unescaped quote.
+func QuoteString(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case 0:
+			sb.WriteString(`\0`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// ExprString renders an expression in compact C-like syntax. It is used for
+// predicate names in analysis reports.
+func ExprString(e Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e)
+	return sb.String()
+}
+
+func writeExpr(sb *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *IntLit:
+		fmt.Fprintf(sb, "%d", x.Value)
+	case *StrLit:
+		sb.WriteString(QuoteString(x.Value))
+	case *NullLit:
+		sb.WriteString("null")
+	case *Ident:
+		sb.WriteString(x.Name)
+	case *UnaryExpr:
+		sb.WriteString(x.Op)
+		writeExpr(sb, x.X)
+	case *BinaryExpr:
+		sb.WriteString("(")
+		writeExpr(sb, x.X)
+		sb.WriteString(" " + x.Op + " ")
+		writeExpr(sb, x.Y)
+		sb.WriteString(")")
+	case *CallExpr:
+		sb.WriteString(x.Callee + "(")
+		for i, a := range x.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, a)
+		}
+		sb.WriteString(")")
+	case *IndexExpr:
+		writeExpr(sb, x.X)
+		sb.WriteString("[")
+		writeExpr(sb, x.I)
+		sb.WriteString("]")
+	case *FieldExpr:
+		writeExpr(sb, x.X)
+		if x.Arrow {
+			sb.WriteString("->")
+		} else {
+			sb.WriteString(".")
+		}
+		sb.WriteString(x.Name)
+	case *NewExpr:
+		sb.WriteString("new " + x.StructName)
+	default:
+		sb.WriteString("<bad expr>")
+	}
+}

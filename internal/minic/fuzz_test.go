@@ -1,0 +1,63 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics, and that whenever it
+// accepts an input, printing and reparsing converge (print ∘ parse is
+// idempotent). Run with `go test -fuzz=FuzzParse ./internal/minic` for a
+// live fuzzing session; the seed corpus runs in ordinary `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"int x;",
+		"int f() { return 0; }",
+		"struct s { int x; }; int g(struct s* p) { return p->x; }",
+		"void f(int n) { while (n) { n--; } }",
+		"void f() { for (int i = 0; i < 3; i++) { if (i == 1) { continue; } } }",
+		`int main() { print("hi\n"); return streq("a", "b"); }`,
+		"int f(int* p) { return p != null && p[0] > 'a'; }",
+		"int f() { return 0x10 % 3; }",
+		"/* comment */ int x = -5; // trailing",
+		"int f( { }",
+		"int f() { return (1 + ; }",
+		"\"unterminated",
+		"int \xff;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse("fuzz.mc", src)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		out1 := Print(file)
+		file2, err := Parse("fuzz.mc", out1)
+		if err != nil {
+			t.Fatalf("printed output does not reparse: %v\ninput: %q\nprinted:\n%s", err, src, out1)
+		}
+		out2 := Print(file2)
+		if out1 != out2 {
+			t.Fatalf("print not idempotent:\nfirst:\n%s\nsecond:\n%s", out1, out2)
+		}
+	})
+}
+
+// FuzzLexer checks the lexer never panics and always terminates.
+func FuzzLexer(f *testing.F) {
+	for _, s := range []string{"int x;", "'\\", "\"\\q\"", "0x", "a+++++b", strings.Repeat("(", 100)} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := LexAll("fuzz.mc", src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatal("token stream must end with EOF")
+		}
+	})
+}

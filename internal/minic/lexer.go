@@ -1,0 +1,253 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lexer turns MiniC source text into a token stream. It supports //- and
+// /* */-style comments, decimal and hexadecimal integer literals, character
+// literals with the usual escapes, and string literals.
+type Lexer struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src. The file name is recorded in token
+// positions and flows through to predicate names in analysis output.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// LexError describes a lexical error at a specific position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func (l *Lexer) pos() Pos { return Pos{File: l.file, Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &LexError{Pos: start, Msg: "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// multi-character punctuation, longest first.
+var punct2 = []string{"==", "!=", "<=", ">=", "&&", "||", "->", "+=", "-=", "*=", "/=", "%=", "++", "--"}
+
+// Next returns the next token, or an error for malformed input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: p}, nil
+	}
+	c := l.peek()
+	switch {
+	case isDigit(c):
+		return l.lexNumber(p)
+	case isAlpha(c):
+		start := l.off
+		for l.off < len(l.src) && isAlnum(l.peek()) {
+			l.advance()
+		}
+		word := l.src[start:l.off]
+		if kw, ok := keywords[word]; ok {
+			return Token{Kind: kw, Text: word, Pos: p}, nil
+		}
+		return Token{Kind: TokIdent, Text: word, Pos: p}, nil
+	case c == '"':
+		return l.lexString(p)
+	case c == '\'':
+		return l.lexChar(p)
+	}
+	// Punctuation: try two-character operators first.
+	if l.off+1 < len(l.src) {
+		two := l.src[l.off : l.off+2]
+		for _, op := range punct2 {
+			if two == op {
+				l.advance()
+				l.advance()
+				return Token{Kind: TokPunct, Text: op, Pos: p}, nil
+			}
+		}
+	}
+	if strings.IndexByte("+-*/%<>=!&|(){}[];,.", c) >= 0 {
+		l.advance()
+		return Token{Kind: TokPunct, Text: string(c), Pos: p}, nil
+	}
+	return Token{}, &LexError{Pos: p, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+func (l *Lexer) lexNumber(p Pos) (Token, error) {
+	start := l.off
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && (isDigit(l.peek()) || (l.peek() >= 'a' && l.peek() <= 'f') || (l.peek() >= 'A' && l.peek() <= 'F')) {
+			l.advance()
+		}
+	} else {
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	text := l.src[start:l.off]
+	v, err := strconv.ParseInt(text, 0, 64)
+	if err != nil {
+		return Token{}, &LexError{Pos: p, Msg: fmt.Sprintf("bad integer literal %q", text)}
+	}
+	return Token{Kind: TokInt, Text: text, Int: v, Pos: p}, nil
+}
+
+func (l *Lexer) decodeEscape(p Pos) (byte, error) {
+	if l.off >= len(l.src) {
+		return 0, &LexError{Pos: p, Msg: "unterminated escape"}
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return c, nil
+	default:
+		return 0, &LexError{Pos: p, Msg: fmt.Sprintf("unknown escape \\%c", c)}
+	}
+}
+
+func (l *Lexer) lexString(p Pos) (Token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return Token{}, &LexError{Pos: p, Msg: "unterminated string literal"}
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\n' {
+			return Token{}, &LexError{Pos: p, Msg: "newline in string literal"}
+		}
+		if c == '\\' {
+			e, err := l.decodeEscape(p)
+			if err != nil {
+				return Token{}, err
+			}
+			sb.WriteByte(e)
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return Token{Kind: TokStr, Str: sb.String(), Pos: p}, nil
+}
+
+func (l *Lexer) lexChar(p Pos) (Token, error) {
+	l.advance() // opening quote
+	if l.off >= len(l.src) {
+		return Token{}, &LexError{Pos: p, Msg: "unterminated character literal"}
+	}
+	c := l.advance()
+	if c == '\\' {
+		e, err := l.decodeEscape(p)
+		if err != nil {
+			return Token{}, err
+		}
+		c = e
+	}
+	if l.off >= len(l.src) || l.advance() != '\'' {
+		return Token{}, &LexError{Pos: p, Msg: "unterminated character literal"}
+	}
+	return Token{Kind: TokChar, Int: int64(c), Pos: p}, nil
+}
+
+// LexAll tokenizes the whole input, ending with a TokEOF token.
+func LexAll(file, src string) ([]Token, error) {
+	l := NewLexer(file, src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := LexAll("t.mc", `int x = 42; // comment
+/* block
+   comment */
+struct s { int y; };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	want := []TokKind{
+		TokKwInt, TokIdent, TokPunct, TokInt, TokPunct,
+		TokKwStruct, TokIdent, TokPunct, TokKwInt, TokIdent, TokPunct, TokPunct, TokPunct,
+		TokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d: got kind %d, want %d (%s)", i, kinds[i], want[i], toks[i])
+		}
+	}
+}
+
+func TestLexIntLiterals(t *testing.T) {
+	cases := map[string]int64{
+		"0":      0,
+		"42":     42,
+		"0x10":   16,
+		"0xff":   255,
+		"123456": 123456,
+	}
+	for src, want := range cases {
+		toks, err := LexAll("t.mc", src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if toks[0].Kind != TokInt || toks[0].Int != want {
+			t.Errorf("%q: got %v, want %d", src, toks[0], want)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := LexAll("t.mc", `"a\nb\t\"q\\"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Str != "a\nb\t\"q\\" {
+		t.Errorf("got %q", toks[0].Str)
+	}
+}
+
+func TestLexCharLiterals(t *testing.T) {
+	cases := map[string]int64{
+		`'a'`:  'a',
+		`'\n'`: '\n',
+		`'\0'`: 0,
+		`'\''`: '\'',
+	}
+	for src, want := range cases {
+		toks, err := LexAll("t.mc", src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if toks[0].Kind != TokChar || toks[0].Int != want {
+			t.Errorf("%q: got %v, want %d", src, toks[0], want)
+		}
+	}
+}
+
+func TestLexTwoCharOperators(t *testing.T) {
+	toks, err := LexAll("t.mc", "== != <= >= && || -> += -= ++ --")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"==", "!=", "<=", ">=", "&&", "||", "->", "+=", "-=", "++", "--"}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("token %d: got %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("f.mc", "int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("int at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x at %v, want 2:3", toks[1].Pos)
+	}
+	if got := toks[1].Pos.String(); got != "f.mc:2:3" {
+		t.Errorf("Pos.String() = %q", got)
+	}
+	if got := toks[1].Pos.LineString(); got != "f.mc:2" {
+		t.Errorf("Pos.LineString() = %q", got)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		"\"unterminated",
+		"'a",
+		"/* open",
+		"@",
+		"\"bad\\qescape\"",
+	}
+	for _, src := range cases {
+		if _, err := LexAll("t.mc", src); err == nil {
+			t.Errorf("%q: want error, got none", src)
+		}
+	}
+}
+
+func TestLexErrorMentionsPosition(t *testing.T) {
+	_, err := LexAll("t.mc", "int x = @;")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "t.mc:1:9") {
+		t.Errorf("error %q should contain position t.mc:1:9", err)
+	}
+}

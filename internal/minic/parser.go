@@ -1,0 +1,604 @@
+package minic
+
+import (
+	"fmt"
+)
+
+// Parser is a recursive-descent parser for MiniC.
+//
+// Grammar sketch (see DESIGN.md for the full language description):
+//
+//	file      = { structDecl | funcDecl | globalVar } .
+//	structDecl= "struct" IDENT "{" { type IDENT ";" } "}" ";" .
+//	funcDecl  = type IDENT "(" [ param { "," param } ] ")" block .
+//	globalVar = type IDENT [ "=" expr ] ";" .
+//	type      = ( "int" | "string" | "void" | "struct" IDENT ) { "*" } .
+//	stmt      = varDecl | ifStmt | whileStmt | forStmt | returnStmt
+//	          | "break" ";" | "continue" ";" | block | simpleStmt ";" .
+//	simple    = lvalue asgOp expr | lvalue "++" | lvalue "--" | expr .
+//
+// Expressions use standard C precedence with short-circuit && and ||.
+type Parser struct {
+	toks []Token
+	pos  int
+	file string
+}
+
+// ParseError describes a syntax error.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parse lexes and parses a MiniC source file.
+func Parse(file, src string) (*File, error) {
+	toks, err := LexAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, file: file}
+	return p.parseFile()
+}
+
+// MustParse is Parse but panics on error. Intended for embedded workload
+// sources and tests, where the source is a compile-time constant.
+func MustParse(file, src string) *File {
+	f, err := Parse(file, src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) errf(pos Pos, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == TokPunct && t.Text == s
+}
+
+func (p *Parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf(p.cur().Pos, "expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *Parser) expectIdent() (Token, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return Token{}, p.errf(t.Pos, "expected identifier, found %s", t)
+	}
+	p.pos++
+	return t, nil
+}
+
+// atType reports whether the current token starts a type.
+func (p *Parser) atType() bool {
+	switch p.cur().Kind {
+	case TokKwInt, TokKwVoid, TokKwStruct:
+		return true
+	case TokIdent:
+		return p.cur().Text == "string"
+	}
+	return false
+}
+
+func (p *Parser) parseType() (*Type, error) {
+	var base *Type
+	t := p.cur()
+	switch t.Kind {
+	case TokKwInt:
+		p.pos++
+		base = IntType
+	case TokKwVoid:
+		p.pos++
+		base = VoidType
+	case TokIdent:
+		if t.Text != "string" {
+			return nil, p.errf(t.Pos, "expected type, found %s", t)
+		}
+		p.pos++
+		base = StrType
+	case TokKwStruct:
+		p.pos++
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		base = StructType(name.Text)
+	default:
+		return nil, p.errf(t.Pos, "expected type, found %s", t)
+	}
+	for p.acceptPunct("*") {
+		base = PtrTo(base)
+	}
+	return base, nil
+}
+
+func (p *Parser) parseFile() (*File, error) {
+	f := &File{Name: p.file}
+	for p.cur().Kind != TokEOF {
+		// struct declaration vs "struct X *name" global/function.
+		if p.cur().Kind == TokKwStruct && p.toks[p.pos+1].Kind == TokIdent &&
+			p.toks[p.pos+2].Kind == TokPunct && p.toks[p.pos+2].Text == "{" {
+			sd, err := p.parseStructDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Structs = append(f.Structs, sd)
+			continue
+		}
+		typPos := p.cur().Pos
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if p.isPunct("(") {
+			fn, err := p.parseFuncRest(typ, name)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+			continue
+		}
+		if typ.Kind == TypeVoid {
+			return nil, p.errf(typPos, "global %s cannot have void type", name.Text)
+		}
+		g := &VarDecl{Name: name.Text, Type: typ, Pos: name.Pos}
+		if p.acceptPunct("=") {
+			g.Init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		f.Globals = append(f.Globals, g)
+	}
+	return f, nil
+}
+
+func (p *Parser) parseStructDecl() (*StructDecl, error) {
+	kw := p.next() // struct
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	sd := &StructDecl{Name: name.Text, Pos: kw.Pos}
+	for !p.isPunct("}") {
+		ft, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		sd.Fields = append(sd.Fields, Field{Name: fname.Text, Type: ft, Pos: fname.Pos})
+	}
+	p.pos++ // }
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return sd, nil
+}
+
+func (p *Parser) parseFuncRest(ret *Type, name Token) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name.Text, Ret: ret, Pos: name.Pos}
+	p.pos++ // (
+	if !p.isPunct(")") {
+		for {
+			pt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			pname, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, Param{Name: pname.Text, Type: pt, Pos: pname.Pos})
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*Block, error) {
+	start := p.cur().Pos
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: start}
+	for !p.isPunct("}") {
+		if p.cur().Kind == TokEOF {
+			return nil, p.errf(start, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.pos++ // }
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.isPunct("{"):
+		return p.parseBlock()
+	case t.Kind == TokKwIf:
+		return p.parseIf()
+	case t.Kind == TokKwWhile:
+		return p.parseWhile()
+	case t.Kind == TokKwFor:
+		return p.parseFor()
+	case t.Kind == TokKwReturn:
+		p.pos++
+		rs := &ReturnStmt{Pos: t.Pos}
+		if !p.isPunct(";") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.X = x
+		}
+		return rs, p.expectPunct(";")
+	case t.Kind == TokKwBreak:
+		p.pos++
+		return &BreakStmt{Pos: t.Pos}, p.expectPunct(";")
+	case t.Kind == TokKwContinue:
+		p.pos++
+		return &ContinueStmt{Pos: t.Pos}, p.expectPunct(";")
+	case p.atType():
+		vd, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		return vd, p.expectPunct(";")
+	}
+	s, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	return s, p.expectPunct(";")
+}
+
+func (p *Parser) parseVarDecl() (*VarDecl, error) {
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if typ.Kind == TypeVoid {
+		return nil, p.errf(p.cur().Pos, "variable cannot have void type")
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	vd := &VarDecl{Name: name.Text, Type: typ, Pos: name.Pos}
+	if p.acceptPunct("=") {
+		vd.Init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return vd, nil
+}
+
+var compoundOps = map[string]string{"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%"}
+
+// parseSimpleStmt parses an assignment, increment/decrement, or bare
+// expression statement, without the trailing semicolon.
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	start := p.cur().Pos
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.isPunct("="):
+		p.pos++
+		if !IsLValue(x) {
+			return nil, p.errf(start, "left side of assignment is not an lvalue")
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Op: "=", LHS: x, RHS: rhs, Pos: start}, nil
+	case p.cur().Kind == TokPunct && compoundOps[p.cur().Text] != "":
+		op := p.next().Text
+		if !IsLValue(x) {
+			return nil, p.errf(start, "left side of %s is not an lvalue", op)
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Op: op, LHS: x, RHS: rhs, Pos: start}, nil
+	case p.isPunct("++"), p.isPunct("--"):
+		op := p.next().Text
+		if !IsLValue(x) {
+			return nil, p.errf(start, "operand of %s is not an lvalue", op)
+		}
+		bin := "+"
+		if op == "--" {
+			bin = "-"
+		}
+		return &AssignStmt{Op: bin + "=", LHS: x, RHS: &IntLit{Value: 1, Pos: start}, Pos: start}, nil
+	default:
+		return &ExprStmt{X: x, Pos: start}, nil
+	}
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	kw := p.next()
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	is := &IfStmt{Cond: cond, Then: then, Pos: kw.Pos}
+	if p.cur().Kind == TokKwElse {
+		p.pos++
+		is.Else, err = p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return is, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	kw := p.next()
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos: kw.Pos}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	kw := p.next()
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	fs := &ForStmt{Pos: kw.Pos}
+	var err error
+	if !p.isPunct(";") {
+		if p.atType() {
+			fs.Init, err = p.parseVarDecl()
+		} else {
+			fs.Init, err = p.parseSimpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(";") {
+		fs.Cond, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(")") {
+		fs.Post, err = p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	fs.Body, err = p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// ----------------------------------------------------------------------------
+// Expression parsing (precedence climbing)
+
+// binary operator precedence, higher binds tighter.
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, "<=": 4, ">": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: t.Text, X: lhs, Y: rhs, Pos: t.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct && (t.Text == "-" || t.Text == "!" || t.Text == "*") {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Text, X: x, Pos: t.Pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isPunct("["):
+			lb := p.next()
+			i, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{X: x, I: i, Pos: lb.Pos}
+		case p.isPunct("."):
+			dot := p.next()
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &FieldExpr{X: x, Name: name.Text, Pos: dot.Pos}
+		case p.isPunct("->"):
+			arrow := p.next()
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &FieldExpr{X: x, Name: name.Text, Arrow: true, Pos: arrow.Pos}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt, TokChar:
+		p.pos++
+		return &IntLit{Value: t.Int, Pos: t.Pos}, nil
+	case TokStr:
+		p.pos++
+		return &StrLit{Value: t.Str, Pos: t.Pos}, nil
+	case TokKwNull:
+		p.pos++
+		return &NullLit{Pos: t.Pos}, nil
+	case TokKwNew:
+		p.pos++
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &NewExpr{StructName: name.Text, Pos: t.Pos}, nil
+	case TokIdent:
+		p.pos++
+		if p.isPunct("(") {
+			p.pos++
+			call := &CallExpr{Callee: t.Text, Pos: t.Pos}
+			if !p.isPunct(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.acceptPunct(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.Text, Pos: t.Pos}, nil
+	}
+	if p.isPunct("(") {
+		p.pos++
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expectPunct(")")
+	}
+	return nil, p.errf(t.Pos, "expected expression, found %s", t)
+}

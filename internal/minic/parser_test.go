@@ -1,0 +1,359 @@
+package minic
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleProgram = `
+struct node {
+	int val;
+	struct node* next;
+};
+
+int counter = 0;
+
+int length(struct node* head) {
+	int n = 0;
+	while (head != null) {
+		n++;
+		head = head->next;
+	}
+	return n;
+}
+
+int main() {
+	struct node* a = new node;
+	a->val = 1;
+	a->next = null;
+	int* buf = alloc(10);
+	for (int i = 0; i < 10; i++) {
+		buf[i] = i * 2;
+	}
+	if (length(a) == 1 && buf[3] >= 6) {
+		return 0;
+	}
+	return 1;
+}
+`
+
+func TestParseSampleProgram(t *testing.T) {
+	f, err := Parse("sample.mc", sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Structs) != 1 || f.Structs[0].Name != "node" {
+		t.Fatalf("structs: %+v", f.Structs)
+	}
+	if len(f.Globals) != 1 || f.Globals[0].Name != "counter" {
+		t.Fatalf("globals: %+v", f.Globals)
+	}
+	if len(f.Funcs) != 2 {
+		t.Fatalf("funcs: %d", len(f.Funcs))
+	}
+	if f.Func("length") == nil || f.Func("main") == nil {
+		t.Fatal("missing function")
+	}
+	if f.Func("nope") != nil {
+		t.Fatal("unexpected function")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := MustParse("t.mc", "int f() { return 1 + 2 * 3 < 4 && 5 == 6 || 7 != 8; }")
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	// Top node must be ||.
+	or, ok := ret.X.(*BinaryExpr)
+	if !ok || or.Op != "||" {
+		t.Fatalf("top operator: %v", ExprString(ret.X))
+	}
+	and, ok := or.X.(*BinaryExpr)
+	if !ok || and.Op != "&&" {
+		t.Fatalf("second operator: %v", ExprString(or.X))
+	}
+	want := "(((1 + (2 * 3)) < 4) && (5 == 6))"
+	if got := ExprString(and); got != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestParseUnaryAndPostfix(t *testing.T) {
+	f := MustParse("t.mc", "int f(int* p) { return -p[1] + !*p; }")
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	if got := ExprString(ret.X); got != "(-p[1] + !*p)" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestParseDesugarsIncDec(t *testing.T) {
+	f := MustParse("t.mc", "void f() { int x = 0; x++; x--; x += 3; }")
+	body := f.Funcs[0].Body.Stmts
+	inc := body[1].(*AssignStmt)
+	if inc.Op != "+=" {
+		t.Errorf("x++ desugared to %q", inc.Op)
+	}
+	dec := body[2].(*AssignStmt)
+	if dec.Op != "-=" {
+		t.Errorf("x-- desugared to %q", dec.Op)
+	}
+	cmp := body[3].(*AssignStmt)
+	if cmp.Op != "+=" {
+		t.Errorf("x += 3 parsed as %q", cmp.Op)
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	srcs := []string{
+		"void f() { for (;;) { break; } }",
+		"void f() { for (int i = 0; i < 10; i++) {} }",
+		"void f() { int i; for (i = 0; i < 10; i = i + 2) {} }",
+		"void f() { for (; 1;) { break; } }",
+	}
+	for _, src := range srcs {
+		if _, err := Parse("t.mc", src); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+	}
+}
+
+func TestParseDanglingElse(t *testing.T) {
+	f := MustParse("t.mc", "void f(int a, int b) { if (a) if (b) return; else return; }")
+	outer := f.Funcs[0].Body.Stmts[0].(*IfStmt)
+	if outer.Else != nil {
+		t.Fatal("else bound to outer if; want inner")
+	}
+	inner := outer.Then.(*IfStmt)
+	if inner.Else == nil {
+		t.Fatal("inner if lost its else")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int f( { }",
+		"int f() { return 1 }",
+		"int f() { 1 = x; }",
+		"int f() { if 1 {} }",
+		"int 3x;",
+		"void v; ",
+		"int f() { break; }",
+		"struct s { int x };", // missing ;
+		"int f() { x+; }",
+	}
+	for _, src := range cases {
+		f, err := Parse("t.mc", src)
+		if err == nil {
+			err = Check(f, DefaultBuiltins())
+		}
+		if err == nil {
+			t.Errorf("%q: want error, got none", src)
+		}
+	}
+}
+
+func TestParseTypes(t *testing.T) {
+	f := MustParse("t.mc", "struct s { int x; }; struct s** g; int* p; string msg;")
+	if got := f.Globals[0].Type.String(); got != "struct s**" {
+		t.Errorf("g: %s", got)
+	}
+	if got := f.Globals[1].Type.String(); got != "int*" {
+		t.Errorf("p: %s", got)
+	}
+	if got := f.Globals[2].Type.String(); got != "string" {
+		t.Errorf("msg: %s", got)
+	}
+}
+
+func TestTypeEqualAndScalar(t *testing.T) {
+	if !PtrTo(IntType).Equal(PtrTo(IntType)) {
+		t.Error("int* != int*")
+	}
+	if PtrTo(IntType).Equal(IntType) {
+		t.Error("int* == int")
+	}
+	if !StructType("a").Equal(StructType("a")) || StructType("a").Equal(StructType("b")) {
+		t.Error("struct equality broken")
+	}
+	if !IntType.IsScalar() || !PtrTo(StructType("n")).IsScalar() {
+		t.Error("scalar classification broken")
+	}
+	if StrType.IsScalar() || VoidType.IsScalar() {
+		t.Error("non-scalars classified as scalar")
+	}
+}
+
+// Round-trip: parse, print, parse again; the two ASTs must be identical
+// modulo positions. We compare via a position-free re-print.
+func TestPrintRoundTrip(t *testing.T) {
+	srcs := []string{
+		sampleProgram,
+		"void f() { for (;;) { if (1) { continue; } else { break; } } }",
+		"int g(int a) { int b = a; b *= 2; return b % 7; }",
+		`int h() { print("hi\n", 1); return streq("a", "b"); }`,
+		"struct t { int x; struct t* n; }; void f(struct t* p) { p->n->x = (*p).x; }",
+	}
+	for _, src := range srcs {
+		f1, err := Parse("t.mc", src)
+		if err != nil {
+			t.Fatalf("parse 1: %v\n%s", err, src)
+		}
+		out1 := Print(f1)
+		f2, err := Parse("t.mc", out1)
+		if err != nil {
+			t.Fatalf("parse 2: %v\n%s", err, out1)
+		}
+		out2 := Print(f2)
+		if out1 != out2 {
+			t.Errorf("round trip mismatch:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+		}
+	}
+}
+
+func TestSemaAcceptsSample(t *testing.T) {
+	f := MustParse("sample.mc", sampleProgram)
+	if err := Check(f, DefaultBuiltins()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemaRejects(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"int f() { return y; }", "undefined variable"},
+		{"int f() { g(); return 0; }", "undefined function"},
+		{"int g(int a) { return a; } int f() { return g(); }", "1 args? no"},
+		{"void f() { return 1; }", "returns a value"},
+		{"int f() { int x; int x; return 0; }", "duplicate declaration"},
+		{"struct s { int x; int x; };", "duplicate field"},
+		{"int f() { continue; return 0; }", "continue outside loop"},
+		{"struct s { struct t y; };", "unknown struct"},
+		{"int f(int x) { return x.f; }", "non-struct"},
+		{"int f(int x) { return *x; }", "non-pointer"},
+		{"int f(int* p) { return p[0][0]; }", "cannot index"},
+		{"struct s { int x; }; int f(struct s* p) { return p->y; }", "no field"},
+		{"int print;", ""}, // global named like builtin is fine
+	}
+	for _, tc := range cases {
+		f, err := Parse("t.mc", tc.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.src, err)
+		}
+		err = Check(f, DefaultBuiltins())
+		if tc.src == "int print;" {
+			if err != nil {
+				t.Errorf("%q: unexpected error %v", tc.src, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%q: want error", tc.src)
+			continue
+		}
+		if tc.wantSub == "1 args? no" {
+			if !strings.Contains(err.Error(), "0 args, want 1") {
+				t.Errorf("%q: error %q", tc.src, err)
+			}
+			continue
+		}
+		if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%q: error %q does not contain %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+func TestSemaRejectsBuiltinShadowAndArity(t *testing.T) {
+	if err := Check(MustParse("t.mc", "int alloc(int n) { return n; }"), DefaultBuiltins()); err == nil {
+		t.Error("shadowing builtin should fail")
+	}
+	if err := Check(MustParse("t.mc", "void f() { alloc(1, 2); }"), DefaultBuiltins()); err == nil {
+		t.Error("alloc arity should fail")
+	}
+}
+
+func TestTypeOfExprViaChecker(t *testing.T) {
+	f := MustParse("t.mc", `
+struct n { int v; struct n* next; };
+struct n* g;
+int f(int a, int* p, struct n* q) { return 0; }
+`)
+	c := &checker{file: f, builtins: DefaultBuiltins()}
+	c.scopes = []map[string]*Type{{
+		"a": IntType, "p": PtrTo(IntType), "q": PtrTo(StructType("n")), "g": PtrTo(StructType("n")),
+	}}
+	cases := map[string]string{
+		"a":        "int",
+		"p":        "int*",
+		"p[2]":     "int",
+		"*p":       "int",
+		"q->next":  "struct n*",
+		"q->v":     "int",
+		"a + 1":    "int",
+		"p + 1":    "int*",
+		"a < 3":    "int",
+		"null":     "int*",
+		"new n":    "struct n*",
+		"alloc(4)": "int*",
+		"f(1,p,q)": "int",
+		`"x"`:      "string",
+	}
+	for src, want := range cases {
+		toks, err := LexAll("e.mc", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp := &Parser{toks: toks}
+		e, err := pp.parseExpr()
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		typ, err := TypeOfExpr(e, c)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if typ.String() != want {
+			t.Errorf("%q: got %s, want %s", src, typ, want)
+		}
+	}
+}
+
+func TestIsLValue(t *testing.T) {
+	lv := []Expr{
+		&Ident{Name: "x"},
+		&IndexExpr{X: &Ident{Name: "p"}, I: &IntLit{Value: 0}},
+		&FieldExpr{X: &Ident{Name: "s"}, Name: "f"},
+		&UnaryExpr{Op: "*", X: &Ident{Name: "p"}},
+	}
+	for _, e := range lv {
+		if !IsLValue(e) {
+			t.Errorf("%s should be lvalue", ExprString(e))
+		}
+	}
+	notLV := []Expr{
+		&IntLit{Value: 3},
+		&BinaryExpr{Op: "+", X: &IntLit{}, Y: &IntLit{}},
+		&UnaryExpr{Op: "-", X: &Ident{Name: "x"}},
+		&CallExpr{Callee: "f"},
+	}
+	for _, e := range notLV {
+		if IsLValue(e) {
+			t.Errorf("%s should not be lvalue", ExprString(e))
+		}
+	}
+}
+
+func TestASTDeepStructure(t *testing.T) {
+	f := MustParse("t.mc", "int f(int n) { if (n <= 1) { return 1; } return n * f(n - 1); }")
+	fn := f.Funcs[0]
+	if !reflect.DeepEqual(fn.Params[0].Type, IntType) {
+		t.Error("param type")
+	}
+	ifs, ok := fn.Body.Stmts[0].(*IfStmt)
+	if !ok {
+		t.Fatal("first stmt not if")
+	}
+	if _, ok := ifs.Then.(*Block); !ok {
+		t.Error("then not block")
+	}
+}

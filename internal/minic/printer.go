@@ -1,0 +1,201 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a parsed file back to MiniC source. The output reparses to
+// an equivalent AST (see the round-trip property test), which makes the
+// printer usable as the "source-to-source" output channel of the
+// instrumentation pipeline, mirroring the paper's source-to-source C
+// transformation.
+func Print(f *File) string {
+	var pr printer
+	for _, s := range f.Structs {
+		pr.structDecl(s)
+	}
+	if len(f.Structs) > 0 && (len(f.Globals) > 0 || len(f.Funcs) > 0) {
+		pr.nl()
+	}
+	for _, g := range f.Globals {
+		pr.varDecl(g)
+		pr.buf.WriteString(";\n")
+	}
+	if len(f.Globals) > 0 && len(f.Funcs) > 0 {
+		pr.nl()
+	}
+	for i, fn := range f.Funcs {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.funcDecl(fn)
+	}
+	return pr.buf.String()
+}
+
+type printer struct {
+	buf    strings.Builder
+	indent int
+}
+
+func (p *printer) nl() { p.buf.WriteByte('\n') }
+
+func (p *printer) line(format string, args ...any) {
+	p.buf.WriteString(strings.Repeat("\t", p.indent))
+	fmt.Fprintf(&p.buf, format, args...)
+	p.nl()
+}
+
+func (p *printer) startLine() {
+	p.buf.WriteString(strings.Repeat("\t", p.indent))
+}
+
+func (p *printer) structDecl(s *StructDecl) {
+	p.line("struct %s {", s.Name)
+	p.indent++
+	for _, f := range s.Fields {
+		p.line("%s %s;", f.Type, f.Name)
+	}
+	p.indent--
+	p.line("};")
+}
+
+func (p *printer) varDecl(v *VarDecl) {
+	p.startLine()
+	fmt.Fprintf(&p.buf, "%s %s", v.Type, v.Name)
+	if v.Init != nil {
+		p.buf.WriteString(" = ")
+		writeExpr(&p.buf, v.Init)
+	}
+}
+
+func (p *printer) funcDecl(fn *FuncDecl) {
+	p.startLine()
+	fmt.Fprintf(&p.buf, "%s %s(", fn.Ret, fn.Name)
+	for i, pa := range fn.Params {
+		if i > 0 {
+			p.buf.WriteString(", ")
+		}
+		fmt.Fprintf(&p.buf, "%s %s", pa.Type, pa.Name)
+	}
+	p.buf.WriteString(") ")
+	p.block(fn.Body)
+	p.nl()
+}
+
+func (p *printer) block(b *Block) {
+	p.buf.WriteString("{\n")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.startLine()
+	p.buf.WriteString("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch x := s.(type) {
+	case *Block:
+		p.startLine()
+		p.block(x)
+		p.nl()
+	case *VarDecl:
+		p.varDecl(x)
+		p.buf.WriteString(";\n")
+	case *AssignStmt:
+		p.startLine()
+		writeExpr(&p.buf, x.LHS)
+		fmt.Fprintf(&p.buf, " %s ", x.Op)
+		writeExpr(&p.buf, x.RHS)
+		p.buf.WriteString(";\n")
+	case *ExprStmt:
+		p.startLine()
+		writeExpr(&p.buf, x.X)
+		p.buf.WriteString(";\n")
+	case *IfStmt:
+		p.startLine()
+		p.buf.WriteString("if (")
+		writeExpr(&p.buf, x.Cond)
+		p.buf.WriteString(") ")
+		p.nestedStmt(x.Then)
+		if x.Else != nil {
+			p.buf.WriteString(" else ")
+			p.nestedStmt(x.Else)
+		}
+		p.nl()
+	case *WhileStmt:
+		p.startLine()
+		p.buf.WriteString("while (")
+		writeExpr(&p.buf, x.Cond)
+		p.buf.WriteString(") ")
+		p.nestedStmt(x.Body)
+		p.nl()
+	case *ForStmt:
+		p.startLine()
+		p.buf.WriteString("for (")
+		if x.Init != nil {
+			p.inlineSimple(x.Init)
+		}
+		p.buf.WriteString("; ")
+		if x.Cond != nil {
+			writeExpr(&p.buf, x.Cond)
+		}
+		p.buf.WriteString("; ")
+		if x.Post != nil {
+			p.inlineSimple(x.Post)
+		}
+		p.buf.WriteString(") ")
+		p.nestedStmt(x.Body)
+		p.nl()
+	case *ReturnStmt:
+		p.startLine()
+		p.buf.WriteString("return")
+		if x.X != nil {
+			p.buf.WriteString(" ")
+			writeExpr(&p.buf, x.X)
+		}
+		p.buf.WriteString(";\n")
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	default:
+		p.line("/* unknown statement */")
+	}
+}
+
+// nestedStmt prints the body of an if/while/for without a leading indent
+// (the header already started the line). Blocks print inline; other
+// statements are wrapped in braces for unambiguous output.
+func (p *printer) nestedStmt(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		p.block(b)
+		return
+	}
+	p.buf.WriteString("{\n")
+	p.indent++
+	p.stmt(s)
+	p.indent--
+	p.startLine()
+	p.buf.WriteString("}")
+}
+
+// inlineSimple prints a for-clause statement without indent or semicolon.
+func (p *printer) inlineSimple(s Stmt) {
+	switch x := s.(type) {
+	case *VarDecl:
+		fmt.Fprintf(&p.buf, "%s %s", x.Type, x.Name)
+		if x.Init != nil {
+			p.buf.WriteString(" = ")
+			writeExpr(&p.buf, x.Init)
+		}
+	case *AssignStmt:
+		writeExpr(&p.buf, x.LHS)
+		fmt.Fprintf(&p.buf, " %s ", x.Op)
+		writeExpr(&p.buf, x.RHS)
+	case *ExprStmt:
+		writeExpr(&p.buf, x.X)
+	}
+}

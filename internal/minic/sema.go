@@ -1,0 +1,423 @@
+package minic
+
+import (
+	"fmt"
+)
+
+// BuiltinSig describes a host builtin callable from MiniC. The interpreter
+// registers its intrinsics (print, alloc, the virtual-environment calls of
+// the workload harnesses, ...) so that the checker can validate call sites.
+type BuiltinSig struct {
+	MinArgs int
+	MaxArgs int // -1 for variadic
+	Ret     *Type
+}
+
+// SemaError describes a semantic error.
+type SemaError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SemaError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// TypeEnv supplies declaration context for expression type computation.
+type TypeEnv interface {
+	// VarType returns the declared type of a visible variable, or nil.
+	VarType(name string) *Type
+	// StructDecl returns the struct declaration, or nil.
+	StructDecl(name string) *StructDecl
+	// CallRet returns the return type of a function or builtin, or nil if
+	// the callee is unknown.
+	CallRet(name string) *Type
+}
+
+// TypeOfExpr computes the static type of an expression under env.
+// It is deliberately forgiving: nil is returned (without error) only for
+// genuinely untypeable situations that Check has already rejected.
+func TypeOfExpr(e Expr, env TypeEnv) (*Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return IntType, nil
+	case *StrLit:
+		return StrType, nil
+	case *NullLit:
+		// null is a wildcard pointer; give it int* as a representative.
+		return PtrTo(IntType), nil
+	case *Ident:
+		t := env.VarType(x.Name)
+		if t == nil {
+			return nil, &SemaError{Pos: x.Pos, Msg: fmt.Sprintf("undefined variable %q", x.Name)}
+		}
+		return t, nil
+	case *UnaryExpr:
+		xt, err := TypeOfExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "-", "!":
+			return IntType, nil
+		case "*":
+			if xt.Kind != TypePtr {
+				return nil, &SemaError{Pos: x.Pos, Msg: fmt.Sprintf("cannot dereference non-pointer type %s", xt)}
+			}
+			return xt.Elem, nil
+		}
+		return nil, &SemaError{Pos: x.Pos, Msg: fmt.Sprintf("unknown unary operator %q", x.Op)}
+	case *BinaryExpr:
+		if _, err := TypeOfExpr(x.X, env); err != nil {
+			return nil, err
+		}
+		if _, err := TypeOfExpr(x.Y, env); err != nil {
+			return nil, err
+		}
+		// All binary operators yield int (comparisons, arithmetic, logic).
+		// Pointer arithmetic (p + n) yields the pointer type.
+		if x.Op == "+" || x.Op == "-" {
+			xt, _ := TypeOfExpr(x.X, env)
+			if xt != nil && xt.Kind == TypePtr {
+				return xt, nil
+			}
+		}
+		return IntType, nil
+	case *CallExpr:
+		ret := env.CallRet(x.Callee)
+		if ret == nil {
+			return nil, &SemaError{Pos: x.Pos, Msg: fmt.Sprintf("call to undefined function %q", x.Callee)}
+		}
+		return ret, nil
+	case *IndexExpr:
+		xt, err := TypeOfExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		if xt.Kind != TypePtr {
+			return nil, &SemaError{Pos: x.Pos, Msg: fmt.Sprintf("cannot index non-pointer type %s", xt)}
+		}
+		return xt.Elem, nil
+	case *FieldExpr:
+		xt, err := TypeOfExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		st := xt
+		if x.Arrow {
+			if xt.Kind != TypePtr {
+				return nil, &SemaError{Pos: x.Pos, Msg: fmt.Sprintf("-> on non-pointer type %s", xt)}
+			}
+			st = xt.Elem
+		}
+		if st.Kind != TypeStruct {
+			return nil, &SemaError{Pos: x.Pos, Msg: fmt.Sprintf("field access on non-struct type %s", st)}
+		}
+		sd := env.StructDecl(st.StructName)
+		if sd == nil {
+			return nil, &SemaError{Pos: x.Pos, Msg: fmt.Sprintf("unknown struct %q", st.StructName)}
+		}
+		i := sd.FieldIndex(x.Name)
+		if i < 0 {
+			return nil, &SemaError{Pos: x.Pos, Msg: fmt.Sprintf("struct %s has no field %q", sd.Name, x.Name)}
+		}
+		return sd.Fields[i].Type, nil
+	case *NewExpr:
+		if env.StructDecl(x.StructName) == nil {
+			return nil, &SemaError{Pos: x.Pos, Msg: fmt.Sprintf("unknown struct %q", x.StructName)}
+		}
+		return PtrTo(StructType(x.StructName)), nil
+	}
+	return nil, &SemaError{Msg: "unknown expression"}
+}
+
+// checker performs whole-file semantic validation.
+type checker struct {
+	file     *File
+	builtins map[string]BuiltinSig
+	scopes   []map[string]*Type
+	curFn    *FuncDecl
+	loop     int
+}
+
+var _ TypeEnv = (*checker)(nil)
+
+func (c *checker) VarType(name string) *Type {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if t, ok := c.scopes[i][name]; ok {
+			return t
+		}
+	}
+	return nil
+}
+
+func (c *checker) StructDecl(name string) *StructDecl { return c.file.Struct(name) }
+
+func (c *checker) CallRet(name string) *Type {
+	if fn := c.file.Func(name); fn != nil {
+		return fn.Ret
+	}
+	if sig, ok := c.builtins[name]; ok {
+		return sig.Ret
+	}
+	return nil
+}
+
+// Check validates a parsed file: unique declarations, resolvable names and
+// struct fields, call arity, break/continue placement, return arity, and
+// well-typed memory operations. builtins describes host intrinsics; pass
+// DefaultBuiltins() for the standard interpreter set.
+func Check(f *File, builtins map[string]BuiltinSig) error {
+	c := &checker{file: f, builtins: builtins}
+
+	seenStructs := map[string]bool{}
+	for _, s := range f.Structs {
+		if seenStructs[s.Name] {
+			return &SemaError{Pos: s.Pos, Msg: fmt.Sprintf("duplicate struct %q", s.Name)}
+		}
+		seenStructs[s.Name] = true
+		seenFields := map[string]bool{}
+		for _, fd := range s.Fields {
+			if seenFields[fd.Name] {
+				return &SemaError{Pos: fd.Pos, Msg: fmt.Sprintf("duplicate field %q in struct %s", fd.Name, s.Name)}
+			}
+			seenFields[fd.Name] = true
+			if err := c.checkTypeRef(fd.Type, fd.Pos); err != nil {
+				return err
+			}
+		}
+	}
+
+	global := map[string]*Type{}
+	c.scopes = []map[string]*Type{global}
+	seenFuncs := map[string]bool{}
+	for _, fn := range f.Funcs {
+		if seenFuncs[fn.Name] {
+			return &SemaError{Pos: fn.Pos, Msg: fmt.Sprintf("duplicate function %q", fn.Name)}
+		}
+		if _, ok := builtins[fn.Name]; ok {
+			return &SemaError{Pos: fn.Pos, Msg: fmt.Sprintf("function %q shadows a builtin", fn.Name)}
+		}
+		seenFuncs[fn.Name] = true
+	}
+	for _, g := range f.Globals {
+		if _, ok := global[g.Name]; ok {
+			return &SemaError{Pos: g.Pos, Msg: fmt.Sprintf("duplicate global %q", g.Name)}
+		}
+		if err := c.checkTypeRef(g.Type, g.Pos); err != nil {
+			return err
+		}
+		if g.Init != nil {
+			if _, err := TypeOfExpr(g.Init, c); err != nil {
+				return err
+			}
+		}
+		global[g.Name] = g.Type
+	}
+
+	for _, fn := range f.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkTypeRef(t *Type, pos Pos) error {
+	for t.Kind == TypePtr {
+		t = t.Elem
+	}
+	if t.Kind == TypeStruct && c.file.Struct(t.StructName) == nil {
+		return &SemaError{Pos: pos, Msg: fmt.Sprintf("unknown struct %q", t.StructName)}
+	}
+	return nil
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*Type{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(name string, t *Type, pos Pos) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, ok := top[name]; ok {
+		return &SemaError{Pos: pos, Msg: fmt.Sprintf("duplicate declaration of %q", name)}
+	}
+	top[name] = t
+	return nil
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.curFn = fn
+	c.loop = 0
+	c.push()
+	defer c.pop()
+	for _, p := range fn.Params {
+		if err := c.checkTypeRef(p.Type, p.Pos); err != nil {
+			return err
+		}
+		if err := c.declare(p.Name, p.Type, p.Pos); err != nil {
+			return err
+		}
+	}
+	return c.checkStmt(fn.Body)
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch x := s.(type) {
+	case *Block:
+		c.push()
+		defer c.pop()
+		for _, st := range x.Stmts {
+			if err := c.checkStmt(st); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *VarDecl:
+		if err := c.checkTypeRef(x.Type, x.Pos); err != nil {
+			return err
+		}
+		if x.Init != nil {
+			if err := c.checkExpr(x.Init); err != nil {
+				return err
+			}
+		}
+		return c.declare(x.Name, x.Type, x.Pos)
+	case *AssignStmt:
+		if !IsLValue(x.LHS) {
+			return &SemaError{Pos: x.Pos, Msg: "assignment target is not an lvalue"}
+		}
+		if err := c.checkExpr(x.LHS); err != nil {
+			return err
+		}
+		return c.checkExpr(x.RHS)
+	case *ExprStmt:
+		return c.checkExpr(x.X)
+	case *IfStmt:
+		if err := c.checkExpr(x.Cond); err != nil {
+			return err
+		}
+		if err := c.checkStmt(x.Then); err != nil {
+			return err
+		}
+		if x.Else != nil {
+			return c.checkStmt(x.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkExpr(x.Cond); err != nil {
+			return err
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.checkStmt(x.Body)
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if x.Init != nil {
+			if err := c.checkStmt(x.Init); err != nil {
+				return err
+			}
+		}
+		if x.Cond != nil {
+			if err := c.checkExpr(x.Cond); err != nil {
+				return err
+			}
+		}
+		if x.Post != nil {
+			if err := c.checkStmt(x.Post); err != nil {
+				return err
+			}
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.checkStmt(x.Body)
+	case *ReturnStmt:
+		if x.X != nil {
+			if c.curFn.Ret.Kind == TypeVoid {
+				return &SemaError{Pos: x.Pos, Msg: fmt.Sprintf("void function %q returns a value", c.curFn.Name)}
+			}
+			return c.checkExpr(x.X)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loop == 0 {
+			return &SemaError{Pos: x.Pos, Msg: "break outside loop"}
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loop == 0 {
+			return &SemaError{Pos: x.Pos, Msg: "continue outside loop"}
+		}
+		return nil
+	}
+	return &SemaError{Msg: "unknown statement"}
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	// TypeOfExpr performs full recursive validation.
+	if _, err := TypeOfExpr(e, c); err != nil {
+		return err
+	}
+	// Additionally validate call arity, which TypeOfExpr does not.
+	return c.checkCallArity(e)
+}
+
+func (c *checker) checkCallArity(e Expr) error {
+	switch x := e.(type) {
+	case *CallExpr:
+		for _, a := range x.Args {
+			if err := c.checkCallArity(a); err != nil {
+				return err
+			}
+		}
+		if fn := c.file.Func(x.Callee); fn != nil {
+			if len(x.Args) != len(fn.Params) {
+				return &SemaError{Pos: x.Pos, Msg: fmt.Sprintf(
+					"call to %s with %d args, want %d", x.Callee, len(x.Args), len(fn.Params))}
+			}
+			return nil
+		}
+		sig, ok := c.builtins[x.Callee]
+		if !ok {
+			return &SemaError{Pos: x.Pos, Msg: fmt.Sprintf("call to undefined function %q", x.Callee)}
+		}
+		if len(x.Args) < sig.MinArgs || (sig.MaxArgs >= 0 && len(x.Args) > sig.MaxArgs) {
+			return &SemaError{Pos: x.Pos, Msg: fmt.Sprintf("call to builtin %s with %d args", x.Callee, len(x.Args))}
+		}
+		return nil
+	case *UnaryExpr:
+		return c.checkCallArity(x.X)
+	case *BinaryExpr:
+		if err := c.checkCallArity(x.X); err != nil {
+			return err
+		}
+		return c.checkCallArity(x.Y)
+	case *IndexExpr:
+		if err := c.checkCallArity(x.X); err != nil {
+			return err
+		}
+		return c.checkCallArity(x.I)
+	case *FieldExpr:
+		return c.checkCallArity(x.X)
+	default:
+		return nil
+	}
+}
+
+// DefaultBuiltins returns the signatures of the standard interpreter
+// intrinsics. Workload harnesses extend this map with their own
+// virtual-environment calls (file_exists, xreadline, ...).
+func DefaultBuiltins() map[string]BuiltinSig {
+	return map[string]BuiltinSig{
+		"print":  {MinArgs: 1, MaxArgs: -1, Ret: VoidType}, // print strings/ints
+		"printi": {MinArgs: 1, MaxArgs: 1, Ret: VoidType},
+		"alloc":  {MinArgs: 1, MaxArgs: 1, Ret: PtrTo(IntType)},
+		"free":   {MinArgs: 1, MaxArgs: 1, Ret: VoidType},
+		"streq":  {MinArgs: 2, MaxArgs: 2, Ret: IntType},
+		"strlen": {MinArgs: 1, MaxArgs: 1, Ret: IntType},
+		"strget": {MinArgs: 2, MaxArgs: 2, Ret: IntType}, // byte at index
+		"rand":   {MinArgs: 1, MaxArgs: 1, Ret: IntType}, // uniform in [0,n)
+		"abort":  {MinArgs: 0, MaxArgs: 1, Ret: VoidType},
+		"assert": {MinArgs: 1, MaxArgs: 1, Ret: VoidType},
+		"min":    {MinArgs: 2, MaxArgs: 2, Ret: IntType},
+		"max":    {MinArgs: 2, MaxArgs: 2, Ret: IntType},
+	}
+}

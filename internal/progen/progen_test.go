@@ -1,0 +1,147 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+
+	"cbi/internal/instrument"
+	"cbi/internal/interp"
+	"cbi/internal/minic"
+)
+
+func TestGeneratedProgramsParseAndCheck(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		src := Generate(seed, DefaultConfig())
+		f, err := minic.Parse("gen.mc", src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		if err := minic.Check(f, minic.DefaultBuiltins()); err != nil {
+			t.Fatalf("seed %d: check: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+func TestGeneratedProgramsTerminateCleanly(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		src := Generate(seed, DefaultConfig())
+		f, err := minic.Parse("gen.mc", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := instrument.BuildBaseline(f, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res := interp.Run(prog, interp.Config{Fuel: 50_000_000})
+		if res.Outcome != interp.OutcomeOK {
+			t.Fatalf("seed %d: generated program trapped: %v\n%s", seed, res.Trap, src)
+		}
+		if !strings.Contains(res.Output, "\n") {
+			t.Fatalf("seed %d: no observable output", seed)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	if Generate(7, DefaultConfig()) != Generate(7, DefaultConfig()) {
+		t.Error("generator must be deterministic per seed")
+	}
+	if Generate(7, DefaultConfig()) == Generate(8, DefaultConfig()) {
+		t.Error("different seeds should differ")
+	}
+}
+
+// The flagship differential test: for many random programs, every
+// instrumentation scheme and every transformation variant must preserve
+// the program's observable behaviour (output and exit code) at every
+// sampling density.
+func TestDifferentialSemanticPreservation(t *testing.T) {
+	schemes := []instrument.SchemeSet{
+		{Bounds: true},
+		{Returns: true},
+		{ScalarPairs: true},
+		{Branches: true},
+		{Bounds: true, Returns: true, ScalarPairs: true, Branches: true},
+	}
+	variants := []instrument.Options{
+		instrument.DefaultOptions(),
+		{},
+		{CoalesceDecrements: true},
+		{LocalizeCountdown: true, SeparateCompilation: true},
+		{LocalizeCountdown: true, CheckPerSite: true},
+	}
+	nSeeds := int64(30)
+	if testing.Short() {
+		nSeeds = 8
+	}
+	for seed := int64(0); seed < nSeeds; seed++ {
+		src := Generate(seed, DefaultConfig())
+		f, err := minic.Parse("gen.mc", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := instrument.BuildBaseline(f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := interp.Run(base, interp.Config{})
+		if want.Outcome != interp.OutcomeOK {
+			t.Fatalf("seed %d: baseline trapped: %v", seed, want.Trap)
+		}
+
+		scheme := schemes[seed%int64(len(schemes))]
+		uncond, err := instrument.Build(f, nil, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := interp.Run(uncond, interp.Config{})
+		if got.Output != want.Output || got.ExitCode != want.ExitCode {
+			t.Fatalf("seed %d: unconditional diverged\n%s", seed, src)
+		}
+
+		opt := variants[seed%int64(len(variants))]
+		sp := instrument.Sample(uncond, opt)
+		for _, density := range []float64{1, 1.0 / 13, 1.0 / 500} {
+			got := interp.Run(sp, interp.Config{Density: density, CountdownSeed: seed})
+			if got.Outcome != interp.OutcomeOK || got.Output != want.Output || got.ExitCode != want.ExitCode {
+				t.Fatalf("seed %d scheme %+v opt %+v density %g: sampled run diverged (trap %v)\nprogram:\n%s",
+					seed, scheme, opt, density, got.Trap, src)
+			}
+		}
+	}
+}
+
+// Sampled counter totals must scale with density on generated programs
+// (fairness at whole-program level).
+func TestDifferentialSamplingRate(t *testing.T) {
+	src := Generate(3, DefaultConfig())
+	f, err := minic.Parse("gen.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncond, err := instrument.Build(f, nil, instrument.SchemeSet{Bounds: true, Branches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := interp.Run(uncond, interp.Config{})
+	if full.SamplesTaken == 0 {
+		t.Skip("no dynamic sites in this generated program")
+	}
+	sp := instrument.Sample(uncond, instrument.DefaultOptions())
+	density := 1.0 / 5
+	const runs = 400
+	var total uint64
+	for seed := int64(0); seed < runs; seed++ {
+		res := interp.Run(sp, interp.Config{Density: density, CountdownSeed: seed})
+		if res.Outcome != interp.OutcomeOK {
+			t.Fatal(res.Trap)
+		}
+		total += res.SamplesTaken
+	}
+	mean := float64(total) / runs
+	want := float64(full.SamplesTaken) * density
+	if mean < want*0.85 || mean > want*1.15 {
+		t.Errorf("mean samples %.1f, want ~%.1f (full %d)", mean, want, full.SamplesTaken)
+	}
+}

@@ -1,0 +1,93 @@
+package progen
+
+import (
+	"testing"
+
+	"cbi/internal/cfg"
+	"cbi/internal/instrument"
+	"cbi/internal/interp"
+	"cbi/internal/minic"
+)
+
+// Simplify (jump threading, block merging, constant folding) must
+// preserve the observable behaviour of random programs, both on plain
+// lowered code and on fully sampled code.
+func TestSimplifyPreservesSemanticsDifferentially(t *testing.T) {
+	nSeeds := int64(25)
+	if testing.Short() {
+		nSeeds = 6
+	}
+	for seed := int64(0); seed < nSeeds; seed++ {
+		src := Generate(seed, DefaultConfig())
+		f, err := minic.Parse("gen.mc", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := instrument.BuildBaseline(f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := interp.Run(base, interp.Config{})
+
+		// Simplified baseline.
+		base2, err := instrument.BuildBaseline(f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizeBefore := instrument.CodeSize(base2)
+		cfg.SimplifyProgram(base2)
+		if instrument.CodeSize(base2) > sizeBefore {
+			t.Errorf("seed %d: simplify grew the program", seed)
+		}
+		got := interp.Run(base2, interp.Config{})
+		if got.Output != want.Output || got.ExitCode != want.ExitCode || got.Outcome != want.Outcome {
+			t.Fatalf("seed %d: simplified baseline diverged\n%s", seed, src)
+		}
+
+		// Simplified sampled program.
+		inst, err := instrument.Build(f, nil, instrument.SchemeSet{Bounds: true, Branches: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := instrument.Sample(inst, instrument.DefaultOptions())
+		cfg.SimplifyProgram(sp)
+		for _, density := range []float64{1, 1.0 / 9} {
+			got := interp.Run(sp, interp.Config{Density: density, CountdownSeed: seed})
+			if got.Outcome != interp.OutcomeOK || got.Output != want.Output || got.ExitCode != want.ExitCode {
+				t.Fatalf("seed %d density %g: simplified sampled program diverged (%v)\n%s",
+					seed, density, got.Trap, src)
+			}
+		}
+	}
+}
+
+// Simplifying a sampled program must not change how often sites fire.
+func TestSimplifyPreservesSamplingRate(t *testing.T) {
+	src := Generate(11, DefaultConfig())
+	f, err := minic.Parse("gen.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() *cfg.Program {
+		inst, err := instrument.Build(f, nil, instrument.SchemeSet{Bounds: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return instrument.Sample(inst, instrument.DefaultOptions())
+	}
+	plain := build()
+	simplified := build()
+	cfg.SimplifyProgram(simplified)
+	for seed := int64(0); seed < 30; seed++ {
+		a := interp.Run(plain, interp.Config{Density: 1.0 / 7, CountdownSeed: seed})
+		b := interp.Run(simplified, interp.Config{Density: 1.0 / 7, CountdownSeed: seed})
+		if a.SamplesTaken != b.SamplesTaken {
+			t.Fatalf("seed %d: samples %d vs %d", seed, a.SamplesTaken, b.SamplesTaken)
+		}
+		for i := range a.Counters {
+			if a.Counters[i] != b.Counters[i] {
+				t.Fatalf("seed %d: counter %d differs", seed, i)
+			}
+		}
+	}
+}

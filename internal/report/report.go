@@ -1,0 +1,343 @@
+// Package report defines the per-run feedback record of §2.5 — a vector
+// of predicate counters plus a success/crash flag — together with a
+// compact wire codec, an in-memory database, and aggregate ("sufficient
+// statistics") summaries that support the elimination strategies without
+// retaining individual runs (§5's privacy mechanism).
+package report
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Report is the result of one remote run. Its size is dominated by the
+// counter vector, whose length is fixed by the instrumented program, "
+// largely independent of the sampling density or running time" (§2.5).
+type Report struct {
+	// RunID identifies the run (assigned by the generator or collector).
+	RunID uint64
+	// Program names the instrumented program build, so a collector can
+	// reject mismatched counter spaces.
+	Program string
+	// Crashed records whether the run was aborted by a fatal signal
+	// (§3.3.1's binary outcome label).
+	Crashed bool
+	// TrapKind describes the crash ("out-of-bounds access", ...).
+	TrapKind string
+	// ExitCode is main's return value for successful runs.
+	ExitCode int64
+	// Counters holds how often each predicate was observed true.
+	Counters []uint64
+	// Trace optionally holds the site IDs of the last few sampled probe
+	// firings in order (the bounded partial trace the paper defers to
+	// future work in §2.5).
+	Trace []int
+}
+
+// Label returns the logistic-regression outcome: 1 for a crash, 0 for a
+// successful run.
+func (r *Report) Label() int {
+	if r.Crashed {
+		return 1
+	}
+	return 0
+}
+
+// ----------------------------------------------------------------------------
+// Wire codec
+
+// The format is deliberately sparse: most counters are zero in any given
+// sampled run, so counters are encoded as (index delta, value) varint
+// pairs.
+//
+//	magic "CBR1"
+//	varint RunID
+//	varint len(Program), bytes
+//	byte   crashed (0/1)
+//	varint len(TrapKind), bytes
+//	varint zigzag(ExitCode)
+//	varint NumCounters
+//	varint #nonzero
+//	repeated: varint indexDelta, varint value
+//	varint len(Trace)
+//	repeated: varint siteID
+
+var magic = []byte("CBR1")
+
+// ErrBadReport is returned by Decode for malformed input.
+var ErrBadReport = errors.New("report: malformed encoding")
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *encoder) bytes(b []byte)   { e.uvarint(uint64(len(b))); e.buf = append(e.buf, b...) }
+func (e *encoder) byteVal(b byte)   { e.buf = append(e.buf, b) }
+
+// Encode serializes the report.
+func (r *Report) Encode() []byte {
+	e := &encoder{buf: append([]byte(nil), magic...)}
+	e.uvarint(r.RunID)
+	e.bytes([]byte(r.Program))
+	if r.Crashed {
+		e.byteVal(1)
+	} else {
+		e.byteVal(0)
+	}
+	e.bytes([]byte(r.TrapKind))
+	e.varint(r.ExitCode)
+	e.uvarint(uint64(len(r.Counters)))
+	nonzero := 0
+	for _, c := range r.Counters {
+		if c != 0 {
+			nonzero++
+		}
+	}
+	e.uvarint(uint64(nonzero))
+	prev := 0
+	for i, c := range r.Counters {
+		if c == 0 {
+			continue
+		}
+		e.uvarint(uint64(i - prev))
+		e.uvarint(c)
+		prev = i
+	}
+	e.uvarint(uint64(len(r.Trace)))
+	for _, id := range r.Trace {
+		e.uvarint(uint64(id))
+	}
+	return e.buf
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = ErrBadReport
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = ErrBadReport
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.err = ErrBadReport
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+func (d *decoder) byteVal() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.err = ErrBadReport
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// Decode parses a report encoded by Encode.
+func Decode(data []byte) (*Report, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
+		return nil, ErrBadReport
+	}
+	d := &decoder{buf: data, off: len(magic)}
+	r := &Report{}
+	r.RunID = d.uvarint()
+	r.Program = string(d.bytes())
+	r.Crashed = d.byteVal() != 0
+	r.TrapKind = string(d.bytes())
+	r.ExitCode = d.varint()
+	n := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n > 1<<28 {
+		return nil, ErrBadReport
+	}
+	r.Counters = make([]uint64, n)
+	nz := d.uvarint()
+	idx := 0
+	for i := uint64(0); i < nz; i++ {
+		delta := d.uvarint()
+		val := d.uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		idx += int(delta)
+		if idx < 0 || idx >= len(r.Counters) {
+			return nil, ErrBadReport
+		}
+		r.Counters[idx] = val
+	}
+	tn := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if tn > 1<<20 {
+		return nil, ErrBadReport
+	}
+	for i := uint64(0); i < tn; i++ {
+		id := d.uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		r.Trace = append(r.Trace, int(id))
+	}
+	return r, nil
+}
+
+// ----------------------------------------------------------------------------
+// Database
+
+// DB is an in-memory collection of reports for one program build.
+type DB struct {
+	Program     string
+	NumCounters int
+	Reports     []*Report
+}
+
+// NewDB creates an empty database for a program with the given counter
+// space.
+func NewDB(program string, numCounters int) *DB {
+	return &DB{Program: program, NumCounters: numCounters}
+}
+
+// Add appends a report, validating its shape.
+func (db *DB) Add(r *Report) error {
+	if db.Program != "" && r.Program != "" && r.Program != db.Program {
+		return fmt.Errorf("report: program %q does not match database %q", r.Program, db.Program)
+	}
+	if db.NumCounters != 0 && len(r.Counters) != db.NumCounters {
+		return fmt.Errorf("report: counter vector length %d, want %d", len(r.Counters), db.NumCounters)
+	}
+	db.Reports = append(db.Reports, r)
+	return nil
+}
+
+// Len returns the number of reports.
+func (db *DB) Len() int { return len(db.Reports) }
+
+// Successes returns the successful runs.
+func (db *DB) Successes() []*Report { return db.filter(false) }
+
+// Failures returns the crashed runs.
+func (db *DB) Failures() []*Report { return db.filter(true) }
+
+func (db *DB) filter(crashed bool) []*Report {
+	var out []*Report
+	for _, r := range db.Reports {
+		if r.Crashed == crashed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TotalCounts merges all counter vectors by summation.
+func (db *DB) TotalCounts() []uint64 {
+	total := make([]uint64, db.NumCounters)
+	for _, r := range db.Reports {
+		for i, c := range r.Counters {
+			total[i] += c
+		}
+	}
+	return total
+}
+
+// ----------------------------------------------------------------------------
+// Sufficient statistics
+
+// Aggregate maintains exactly the statistics the elimination strategies
+// need, without retaining individual runs: per-counter "ever observed
+// true" bits split by outcome, plus totals. Once folded in, a report can
+// be discarded — the §5 privacy property ("if the analysis host is
+// compromised, an attacker cannot recover the precise details of any
+// single past trace").
+type Aggregate struct {
+	Program          string
+	NumCounters      int
+	Runs             int
+	Crashes          int
+	NonzeroInSuccess []bool
+	NonzeroInFailure []bool
+	Totals           []uint64
+}
+
+// NewAggregate creates an empty aggregate.
+func NewAggregate(program string, numCounters int) *Aggregate {
+	return &Aggregate{
+		Program:          program,
+		NumCounters:      numCounters,
+		NonzeroInSuccess: make([]bool, numCounters),
+		NonzeroInFailure: make([]bool, numCounters),
+		Totals:           make([]uint64, numCounters),
+	}
+}
+
+// Fold absorbs one report.
+func (a *Aggregate) Fold(r *Report) error {
+	if len(r.Counters) != a.NumCounters {
+		return fmt.Errorf("report: counter vector length %d, want %d", len(r.Counters), a.NumCounters)
+	}
+	a.Runs++
+	if r.Crashed {
+		a.Crashes++
+	}
+	for i, c := range r.Counters {
+		if c == 0 {
+			continue
+		}
+		a.Totals[i] += c
+		if r.Crashed {
+			a.NonzeroInFailure[i] = true
+		} else {
+			a.NonzeroInSuccess[i] = true
+		}
+	}
+	return nil
+}
+
+// FromDB folds an entire database.
+func (a *Aggregate) FromDB(db *DB) error {
+	for _, r := range db.Reports {
+		if err := a.Fold(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package report
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// This file implements durable report storage: a length-prefixed framing
+// of the wire codec, so fleets can append reports to a file (or one file
+// per run in a directory) and analyses can re-load them later. This is
+// the "central database" of §1 in its simplest durable form.
+
+// ErrBadFrame is returned when a report file is truncated or corrupt.
+var ErrBadFrame = errors.New("report: bad frame")
+
+// WriteAll writes reports to w, each as a uvarint length prefix followed
+// by the encoded report.
+func WriteAll(w io.Writer, reports []*Report) error {
+	bw := bufio.NewWriter(w)
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, r := range reports {
+		enc := r.Encode()
+		n := binary.PutUvarint(lenBuf[:], uint64(len(enc)))
+		if _, err := bw.Write(lenBuf[:n]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(enc); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAll reads every framed report from r.
+func ReadAll(r io.Reader) ([]*Report, error) {
+	br := bufio.NewReader(r)
+	var out []*Report
+	for {
+		size, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, ErrBadFrame
+		}
+		if size > 1<<30 {
+			return nil, ErrBadFrame
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, ErrBadFrame
+		}
+		rep, err := Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+}
+
+// WriteFile saves a database to path.
+func (db *DB) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteAll(f, db.Reports); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a report file into a database. program and numCounters
+// may be empty/zero to accept whatever the file contains (the first
+// report then fixes the expected shape).
+func LoadFile(path, program string, numCounters int) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	reports, err := ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	db := NewDB(program, numCounters)
+	for _, r := range reports {
+		if db.NumCounters == 0 {
+			db.NumCounters = len(r.Counters)
+		}
+		if db.Program == "" {
+			db.Program = r.Program
+		}
+		if err := db.Add(r); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return db, nil
+}
+
+// LoadDir loads every "*.cbr" file under dir (sorted for determinism)
+// into one database.
+func LoadDir(dir, program string, numCounters int) (*DB, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".cbr" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	db := NewDB(program, numCounters)
+	for _, name := range names {
+		sub, err := LoadFile(filepath.Join(dir, name), db.Program, db.NumCounters)
+		if err != nil {
+			return nil, err
+		}
+		if db.NumCounters == 0 {
+			db.NumCounters = sub.NumCounters
+		}
+		if db.Program == "" {
+			db.Program = sub.Program
+		}
+		for _, r := range sub.Reports {
+			if err := db.Add(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,146 @@
+// Package sampler implements the statistically fair sampling machinery of
+// §2.1: geometrically distributed next-sample countdowns that make sparse
+// Bernoulli sampling cheap, pre-generated countdown banks, and a periodic
+// sampler used only to demonstrate the fairness failure of fixed-period
+// sampling.
+package sampler
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NeverSample is the countdown value used when the sampling density is
+// zero: no site will ever fire.
+const NeverSample = math.MaxInt64
+
+// Source produces next-sample countdowns. A countdown of k means: skip
+// k-1 sampling opportunities, then sample the k-th.
+type Source interface {
+	Next() int64
+}
+
+// Geometric draws countdowns from the geometric distribution with success
+// probability equal to the sampling density 1/d. This models the
+// inter-arrival times of a Bernoulli process — each dynamic site
+// independently has a 1/d chance of being sampled — which is what makes
+// the reported counter frequencies statistically fair (§2.1).
+type Geometric struct {
+	rng     *rand.Rand
+	density float64
+	ln1mp   float64 // ln(1 - density), cached
+}
+
+// NewGeometric returns a geometric countdown source with the given
+// sampling density in (0, 1]. A density of 0 yields NeverSample forever.
+func NewGeometric(seed int64, density float64) *Geometric {
+	g := &Geometric{rng: rand.New(rand.NewSource(seed)), density: density}
+	if density > 0 && density < 1 {
+		g.ln1mp = math.Log1p(-density)
+	}
+	return g
+}
+
+// Density returns the sampling density.
+func (g *Geometric) Density() float64 { return g.density }
+
+// Next draws the next countdown by inverse-transform sampling:
+// k = floor(ln(U)/ln(1-p)) + 1 for uniform U in (0,1).
+func (g *Geometric) Next() int64 {
+	switch {
+	case g.density <= 0:
+		return NeverSample
+	case g.density >= 1:
+		return 1
+	}
+	u := g.rng.Float64()
+	for u == 0 {
+		u = g.rng.Float64()
+	}
+	k := int64(math.Log(u)/g.ln1mp) + 1
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Bank is a pre-generated circular bank of countdowns. The paper's
+// implementation uses banks of 1024 geometrically distributed random
+// countdowns; because countdowns are consumed d times more slowly than raw
+// coin tosses, a modest bank lasts a long time (§2.1).
+type Bank struct {
+	vals []int64
+	idx  int
+}
+
+// NewBank draws n countdowns from src.
+func NewBank(src Source, n int) *Bank {
+	if n <= 0 {
+		n = 1
+	}
+	b := &Bank{vals: make([]int64, n)}
+	for i := range b.vals {
+		b.vals[i] = src.Next()
+	}
+	return b
+}
+
+// Next returns the next banked countdown, cycling.
+func (b *Bank) Next() int64 {
+	v := b.vals[b.idx]
+	b.idx++
+	if b.idx == len(b.vals) {
+		b.idx = 0
+	}
+	return v
+}
+
+// Len returns the bank size.
+func (b *Bank) Len() int { return len(b.vals) }
+
+// Periodic is a fixed-period countdown source: exactly one sample every
+// Period opportunities. It reproduces the strictly periodic triggers of
+// classical profilers, which the paper rejects because they can
+// systematically miss (or systematically hit) events that are correlated
+// with the period (§2.1's "every fiftieth iteration" pathology).
+type Periodic struct {
+	Period int64
+}
+
+// Next returns the fixed period.
+func (p *Periodic) Next() int64 {
+	if p.Period < 1 {
+		return 1
+	}
+	return p.Period
+}
+
+// Bernoulli is the reference implementation of fair sampling: toss a
+// biased coin at every opportunity. It is the behaviour the countdown
+// machinery must be indistinguishable from, and the slow baseline the
+// fast-path transformation exists to avoid.
+type Bernoulli struct {
+	rng     *rand.Rand
+	density float64
+}
+
+// NewBernoulli returns a Bernoulli sampler with the given density.
+func NewBernoulli(seed int64, density float64) *Bernoulli {
+	return &Bernoulli{rng: rand.New(rand.NewSource(seed)), density: density}
+}
+
+// Sample tosses the coin once.
+func (b *Bernoulli) Sample() bool { return b.rng.Float64() < b.density }
+
+// Next makes Bernoulli a Source by counting tosses until the first head,
+// which is by construction geometric.
+func (b *Bernoulli) Next() int64 {
+	if b.density <= 0 {
+		return NeverSample
+	}
+	var k int64 = 1
+	for !b.Sample() {
+		k++
+	}
+	return k
+}

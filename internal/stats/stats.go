@@ -1,0 +1,153 @@
+// Package stats provides the distributional and closed-form calculations
+// used across the reproduction: geometric-distribution facts for the
+// sampler tests, the confidence-run-count arithmetic of §3.1.3, and small
+// summary-statistics helpers for the figures.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// GeometricMean returns the mean of the geometric distribution with
+// success probability p: 1/p. This is the expected countdown for sampling
+// density p (§2.1: "a geometric distribution whose mean value is the
+// inverse of the sampling density").
+func GeometricMean(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / p
+}
+
+// GeometricPMF returns P(X = k) for the geometric distribution with
+// success probability p, k >= 1.
+func GeometricPMF(p float64, k int64) float64 {
+	if k < 1 || p <= 0 || p > 1 {
+		return 0
+	}
+	return math.Pow(1-p, float64(k-1)) * p
+}
+
+// GeometricVariance returns the variance (1-p)/p².
+func GeometricVariance(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return (1 - p) / (p * p)
+}
+
+// RunsNeeded returns the number of runs required to observe, with the
+// given confidence, at least one sample of an event that occurs in a
+// fraction eventRate of runs when sampling at the given density. This is
+// the §3.1.3 calculation:
+//
+//	n = ceil( log(1-confidence) / log(1 - eventRate*density) )
+//
+// The paper's examples: RunsNeeded(0.90, 1.0/100, 1.0/1000) = 230258 runs
+// for 90% confidence of seeing a once-per-hundred-runs event, and
+// RunsNeeded(0.99, 1.0/1000, 1.0/1000) = 4605168 runs for 99% confidence
+// of seeing a once-per-thousand-runs event, both at 1/1000 sampling.
+func RunsNeeded(confidence, eventRate, density float64) int64 {
+	q := eventRate * density
+	if q <= 0 || confidence <= 0 || confidence >= 1 {
+		return math.MaxInt64
+	}
+	n := math.Log(1-confidence) / math.Log(1-q)
+	return int64(math.Ceil(n))
+}
+
+// ObservationProbability returns the probability of observing the event
+// at least once in n runs (the inverse of RunsNeeded).
+func ObservationProbability(eventRate, density float64, n int64) float64 {
+	q := eventRate * density
+	if q <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-q, float64(n))
+}
+
+// MinutesToCollect returns how many minutes a deployment needs to gather
+// `runs` runs, given a fleet size and a per-user run rate. This is the
+// paper's Office XP arithmetic (§3.1.3): sixty million users running
+// twice a week produce 230,258 runs every ~19 minutes.
+func MinutesToCollect(runs int64, users int64, runsPerUserPerWeek float64) float64 {
+	if users <= 0 || runsPerUserPerWeek <= 0 {
+		return math.Inf(1)
+	}
+	runsPerMinute := float64(users) * runsPerUserPerWeek / (7 * 24 * 60)
+	return float64(runs) / runsPerMinute
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than
+// two values).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}
+
+// MeanInt is Mean over integer data.
+func MeanInt(xs []int) float64 {
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = float64(x)
+	}
+	return Mean(ys)
+}
+
+// ChiSquareUniform computes the chi-square statistic of observed counts
+// against a uniform expectation. Used by the sampler fairness tests to
+// reject the periodic sampler and accept the geometric one.
+func ChiSquareUniform(observed []int64) float64 {
+	if len(observed) == 0 {
+		return 0
+	}
+	var total int64
+	for _, o := range observed {
+		total += o
+	}
+	expected := float64(total) / float64(len(observed))
+	if expected == 0 {
+		return 0
+	}
+	var chi float64
+	for _, o := range observed {
+		d := float64(o) - expected
+		chi += d * d / expected
+	}
+	return chi
+}

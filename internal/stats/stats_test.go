@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunsNeededPaperValues(t *testing.T) {
+	// §3.1.3's exact numbers.
+	if got := RunsNeeded(0.90, 1.0/100, 1.0/1000); got != 230258 {
+		t.Errorf("90%% of 1/100 event at 1/1000 sampling: %d, want 230258", got)
+	}
+	if got := RunsNeeded(0.99, 1.0/1000, 1.0/1000); got != 4605168 {
+		t.Errorf("99%% of 1/1000 event at 1/1000 sampling: %d, want 4605168", got)
+	}
+}
+
+func TestRunsNeededDegenerateInputs(t *testing.T) {
+	if RunsNeeded(0.9, 0, 0.5) != math.MaxInt64 {
+		t.Error("zero event rate")
+	}
+	if RunsNeeded(0, 0.5, 0.5) != math.MaxInt64 {
+		t.Error("zero confidence")
+	}
+	if RunsNeeded(1, 0.5, 0.5) != math.MaxInt64 {
+		t.Error("certainty is unreachable")
+	}
+}
+
+func TestObservationProbabilityInvertsRunsNeeded(t *testing.T) {
+	err := quick.Check(func(c, e, d uint16) bool {
+		conf := 0.5 + float64(c%45)/100 // 0.50 .. 0.94
+		rate := 1.0 / float64(e%500+2)
+		dens := 1.0 / float64(d%2000+2)
+		n := RunsNeeded(conf, rate, dens)
+		p := ObservationProbability(rate, dens, n)
+		// Running the computed number of runs must reach the confidence,
+		// and one fewer run must not.
+		return p >= conf && ObservationProbability(rate, dens, n-1) < conf+1e-9
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinutesToCollectPaperExamples(t *testing.T) {
+	// §3.1.3: 60M Office XP licensees, two Word runs per week, produce
+	// 230,258 runs "every nineteen minutes".
+	m := MinutesToCollect(230258, 60_000_000, 2)
+	if m < 18 || m > 20 {
+		t.Errorf("Office XP example: %.1f minutes, want ~19", m)
+	}
+	// And 4,605,168 runs "takes less than seven hours to gather".
+	h := MinutesToCollect(4605168, 60_000_000, 2) / 60
+	if h >= 7 || h < 6 {
+		t.Errorf("second example: %.2f hours, want just under 7", h)
+	}
+	if !math.IsInf(MinutesToCollect(100, 0, 2), 1) {
+		t.Error("no users means never")
+	}
+}
+
+func TestGeometricFacts(t *testing.T) {
+	if GeometricMean(0.25) != 4 {
+		t.Error("mean")
+	}
+	if !math.IsInf(GeometricMean(0), 1) {
+		t.Error("mean at 0")
+	}
+	if GeometricVariance(0.5) != 2 {
+		t.Error("variance")
+	}
+	if !math.IsInf(GeometricVariance(0), 1) {
+		t.Error("variance at 0")
+	}
+	if GeometricPMF(0.5, 1) != 0.5 {
+		t.Error("pmf k=1")
+	}
+	if GeometricPMF(0.5, 2) != 0.25 {
+		t.Error("pmf k=2")
+	}
+	if GeometricPMF(0.5, 0) != 0 {
+		t.Error("pmf k=0")
+	}
+	// PMF sums to ~1.
+	var sum float64
+	for k := int64(1); k < 200; k++ {
+		sum += GeometricPMF(0.1, k)
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("pmf sum: %f", sum)
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Errorf("mean: %f", Mean(xs))
+	}
+	if math.Abs(StdDev(xs)-2.138) > 0.01 {
+		t.Errorf("stddev: %f", StdDev(xs))
+	}
+	if Median(xs) != 4.5 {
+		t.Errorf("median: %f", Median(xs))
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 || Median(nil) != 0 {
+		t.Error("empty-input behaviour")
+	}
+	if MeanInt([]int{1, 2, 3}) != 2 {
+		t.Error("MeanInt")
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	if ChiSquareUniform([]int64{100, 100, 100}) != 0 {
+		t.Error("uniform data should score 0")
+	}
+	if ChiSquareUniform([]int64{300, 0, 0}) <= ChiSquareUniform([]int64{110, 95, 95}) {
+		t.Error("skewed data should score higher")
+	}
+	if ChiSquareUniform(nil) != 0 || ChiSquareUniform([]int64{0, 0}) != 0 {
+		t.Error("degenerate inputs")
+	}
+}

@@ -1,0 +1,228 @@
+package workloads
+
+import "strings"
+
+// BCSource is the §3.3 case study: a calculator whose storage pools grow
+// on demand. more_arrays() was created by copying more_variables() and
+// renaming the globals — and exactly as in GNU bc 1.06, the second loop's
+// bound was missed in the renaming: it zeroes up to v_count in a buffer
+// sized by a_count. When the variable pool has grown well past the array
+// pool, the overrun escapes the allocator's slack and the run dies; when
+// it hasn't, the program "gets lucky" and terminates successfully
+// (§3.3.3). The bug is therefore non-deterministic with respect to every
+// instrumented predicate.
+//
+// The program generates its own random workload with the seeded rand()
+// builtin, standing in for the paper's nine megabytes of random input.
+const BCSource = `
+// bc: calculator with on-demand storage pools (variables, arrays,
+// functions), plus an expression evaluator for arithmetic noise.
+int v_count = 6;
+int a_count = 6;
+int f_count = 6;
+int scale = 0;
+int i_base = 10;
+int o_base = 10;
+int use_math = 0;
+int opterr = 0;
+int next_func = 0;
+
+int** variables;
+int** arrays;
+int** functions;
+
+void init_storage() {
+	variables = alloc(v_count);
+	arrays = alloc(a_count);
+	functions = alloc(f_count);
+	for (int i = 0; i < v_count; i++) { variables[i] = null; }
+	for (int i = 0; i < a_count; i++) { arrays[i] = null; }
+	for (int i = 0; i < f_count; i++) { functions[i] = null; }
+}
+
+void more_variables() {
+	int indx;
+	int old_count;
+	int** old_var;
+
+	old_count = v_count;
+	old_var = variables;
+
+	v_count += 6;
+	variables = alloc(v_count);
+
+	for (indx = 1; indx < old_count; indx++) {
+		variables[indx] = old_var[indx];
+	}
+	for (; indx < v_count; indx++) {
+		variables[indx] = null;
+	}
+	free(old_var);
+}
+
+void more_functions() {
+	int indx;
+	int old_count;
+	int** old_f;
+
+	old_count = f_count;
+	old_f = functions;
+
+	f_count += 6;
+	functions = alloc(f_count);
+
+	for (indx = 1; indx < old_count; indx++) {
+		functions[indx] = old_f[indx];
+	}
+	for (; indx < f_count; indx++) {
+		functions[indx] = null;
+	}
+	free(old_f);
+}
+
+void more_arrays() {
+	int indx;
+	int old_count;
+	int** old_ary;
+
+	old_count = a_count;
+	old_ary = arrays;
+
+	a_count += 6;
+	arrays = alloc(a_count);
+
+	for (indx = 1; indx < old_count; indx++) {
+		arrays[indx] = old_ary[indx];
+	}
+	// BUG (bc 1.06 storage.c:176): bound should be a_count. The rename
+	// from more_variables() missed this loop.
+	for (; indx < v_count; indx++) {
+		arrays[indx] = null;
+	}
+	free(old_ary);
+}
+
+void define_variable(int n, int value) {
+	while (n >= v_count) {
+		more_variables();
+	}
+	int* cell = alloc(1);
+	cell[0] = value;
+	variables[n] = cell;
+}
+
+int lookup_variable(int n) {
+	if (n >= v_count) { return 0; }
+	int* cell = variables[n];
+	if (cell == null) { return 0; }
+	return cell[0];
+}
+
+void define_array(int n, int size) {
+	while (n >= a_count) {
+		more_arrays();
+	}
+	int* store = alloc(size + 1);
+	store[0] = size;
+	arrays[n] = store;
+}
+
+void array_set(int n, int i, int value) {
+	if (n >= a_count) { return; }
+	int* store = arrays[n];
+	if (store == null) { return; }
+	int size = store[0];
+	if (i < 0 || i >= size) { return; }
+	store[i + 1] = value;
+}
+
+void define_function(int n) {
+	while (n >= f_count) {
+		more_functions();
+	}
+	int* body = alloc(2);
+	body[0] = n;
+	body[1] = next_func;
+	functions[n] = body;
+	next_func++;
+}
+
+int apply_scale(int value) {
+	int s = scale;
+	int result = value;
+	while (s > 0) {
+		result = result * 10;
+		s--;
+	}
+	return result;
+}
+
+int eval_term(int seed) {
+	int v = seed % 97;
+	int w = lookup_variable(seed % v_count);
+	if (use_math > 0) {
+		v = v + w * 2;
+	} else {
+		v = v + w;
+	}
+	return v;
+}
+
+int eval_expr(int seed) {
+	int acc = 0;
+	int n = seed % 7 + 1;
+	for (int i = 0; i < n; i++) {
+		int t = eval_term(seed + i * 13);
+		int op = (seed + i) % 3;
+		if (op == 0) { acc = acc + t; }
+		if (op == 1) { acc = acc - t; }
+		if (op == 2) { acc = acc + apply_scale(t) % 1009; }
+	}
+	return acc;
+}
+
+int main() {
+	init_storage();
+	int result = 0;
+	int nops = 30 + rand(120);
+	for (int i = 0; i < nops; i++) {
+		int op = rand(100);
+		if (op < 25) {
+			int n = rand(v_count + 10);
+			define_variable(n, rand(1000));
+		} else if (op < 50) {
+			int n = rand(10);
+			define_array(n, rand(8) + 1);
+			array_set(n, rand(8), rand(100));
+		} else if (op < 56) {
+			define_function(rand(10));
+		} else if (op < 62) {
+			scale = rand(6);
+			i_base = rand(15) + 2;
+			o_base = rand(15) + 2;
+			use_math = rand(2);
+		} else {
+			result = result + eval_expr(rand(100000));
+		}
+	}
+	if (result == -123456789) { return 2; }
+	return 0;
+}
+`
+
+// BCBuggyLine returns the source line of the buggy zeroing loop in
+// more_arrays — the `for (; indx < v_count; ...)` after the BUG comment.
+// (more_variables contains the same loop legitimately, so the comment
+// anchors the search.) Analyses use it to check whether top-ranked
+// predicates point at the bug, the paper's storage.c:176.
+func BCBuggyLine() int {
+	bug := strings.Index(BCSource, "// BUG")
+	if bug < 0 {
+		return -1
+	}
+	loop := strings.Index(BCSource[bug:], "for (; indx < v_count; indx++)")
+	if loop < 0 {
+		return -1
+	}
+	return 1 + strings.Count(BCSource[:bug+loop], "\n")
+}

@@ -1,0 +1,68 @@
+package workloads
+
+import (
+	"cbi/internal/cfg"
+	"cbi/internal/instrument"
+	"cbi/internal/minic"
+)
+
+// Built bundles a lowered (and possibly sampled) case-study program with
+// its source file.
+type Built struct {
+	File    *minic.File
+	Program *cfg.Program
+}
+
+// BuildCcrypt parses and instruments the ccrypt case study. With sampled
+// set, the sampling transformation is applied with default options.
+func BuildCcrypt(set instrument.SchemeSet, sampled bool) (*Built, error) {
+	f, err := minic.Parse("ccrypt.mc", CcryptSource)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := instrument.Build(f, CcryptBuiltins(), set)
+	if err != nil {
+		return nil, err
+	}
+	if sampled {
+		prog = instrument.Sample(prog, instrument.DefaultOptions())
+	}
+	return &Built{File: f, Program: prog}, nil
+}
+
+// BuildBC parses and instruments the bc case study.
+func BuildBC(set instrument.SchemeSet, sampled bool) (*Built, error) {
+	f, err := minic.Parse("bc.mc", BCSource)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := instrument.Build(f, nil, set)
+	if err != nil {
+		return nil, err
+	}
+	if sampled {
+		prog = instrument.Sample(prog, instrument.DefaultOptions())
+	}
+	return &Built{File: f, Program: prog}, nil
+}
+
+// BuildBenchmark parses and instruments a Table 1 benchmark under the
+// given scheme set, optionally sampled.
+func BuildBenchmark(name string, set instrument.SchemeSet, sampled bool) (*Built, error) {
+	b, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := b.Parse()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := instrument.Build(f, nil, set)
+	if err != nil {
+		return nil, err
+	}
+	if sampled {
+		prog = instrument.Sample(prog, instrument.DefaultOptions())
+	}
+	return &Built{File: f, Program: prog}, nil
+}

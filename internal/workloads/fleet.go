@@ -1,0 +1,104 @@
+package workloads
+
+import (
+	"cbi/internal/cfg"
+	"cbi/internal/interp"
+	"cbi/internal/report"
+)
+
+// ReportOf converts a VM result into a §2.5 feedback report.
+func ReportOf(program string, id uint64, res interp.Result) *report.Report {
+	rep := &report.Report{
+		RunID:    id,
+		Program:  program,
+		Crashed:  res.Outcome == interp.OutcomeCrash,
+		ExitCode: res.ExitCode,
+		Counters: res.Counters,
+		Trace:    res.Trace,
+	}
+	if res.Trap != nil {
+		rep.TrapKind = res.Trap.Kind.String()
+	}
+	return rep
+}
+
+// FleetConfig parameterizes a fuzzing fleet: many independent runs of one
+// instrumented program, each with its own random input and its own
+// countdown bank, mimicking the paper's thousands of scripted trials.
+type FleetConfig struct {
+	Runs     int
+	Density  float64
+	SeedBase int64
+	Fuel     uint64
+	// TraceCapacity enables the bounded ordered trace (see
+	// interp.Config.TraceCapacity).
+	TraceCapacity int
+	// Submit, when set, receives every report as it is produced (e.g. a
+	// collect.Server's Submit); reports are also returned in the DB.
+	Submit func(*report.Report) error
+}
+
+// CcryptFleet runs the ccrypt program across many randomized worlds.
+// prog must have been built against CcryptBuiltins().
+func CcryptFleet(prog *cfg.Program, fc FleetConfig) (*report.DB, error) {
+	db := report.NewDB("ccrypt", prog.NumCounters)
+	for i := 0; i < fc.Runs; i++ {
+		seed := fc.SeedBase + int64(i)
+		world := NewCcryptWorld(seed*2654435761 + 1)
+		res := interp.Run(prog, interp.Config{
+			Seed:          seed,
+			Density:       fc.Density,
+			CountdownSeed: seed*40503 + 7,
+			Fuel:          fc.Fuel,
+			TraceCapacity: fc.TraceCapacity,
+			Intrinsics:    world.Intrinsics(),
+		})
+		rep := ReportOf("ccrypt", uint64(i), res)
+		if err := db.Add(rep); err != nil {
+			return nil, err
+		}
+		if fc.Submit != nil {
+			if err := fc.Submit(rep); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// BCFleet runs the bc program across many random self-generated inputs.
+// prog must have been built against minic.DefaultBuiltins() (the program
+// generates its own input with rand()).
+func BCFleet(prog *cfg.Program, fc FleetConfig) (*report.DB, error) {
+	db := report.NewDB("bc", prog.NumCounters)
+	for i := 0; i < fc.Runs; i++ {
+		seed := fc.SeedBase + int64(i)
+		res := interp.Run(prog, interp.Config{
+			Seed:          seed*6364136223846793005 + 1442695040888963407,
+			Density:       fc.Density,
+			CountdownSeed: seed*40503 + 11,
+			Fuel:          fc.Fuel,
+			TraceCapacity: fc.TraceCapacity,
+		})
+		rep := ReportOf("bc", uint64(i), res)
+		if err := db.Add(rep); err != nil {
+			return nil, err
+		}
+		if fc.Submit != nil {
+			if err := fc.Submit(rep); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// SiteSpansOf lists each site's counter range, as needed by elimination
+// by lack of failing coverage.
+func SiteSpansOf(prog *cfg.Program) [][2]int {
+	spans := make([][2]int, 0, len(prog.Sites))
+	for _, s := range prog.Sites {
+		spans = append(spans, [2]int{s.CounterBase, s.NumCounters})
+	}
+	return spans
+}

@@ -1,0 +1,514 @@
+package workloads
+
+// MiniC kernels named after the Olden benchmarks used in §3.1. Each is a
+// deterministic program that exercises the pointer-and-loop shapes of its
+// namesake: tree building/walking, list traversal, dense numeric loops.
+// Every heap access is a CCured-style check site under the bounds scheme,
+// which is what Table 1's site counts and Table 2's overheads measure.
+
+func init() {
+	register("treeadd", "olden", treeaddSrc)
+	register("bisort", "olden", bisortSrc)
+	register("em3d", "olden", em3dSrc)
+	register("health", "olden", healthSrc)
+	register("mst", "olden", mstSrc)
+	register("perimeter", "olden", perimeterSrc)
+	register("power", "olden", powerSrc)
+	register("tsp", "olden", tspSrc)
+	register("bh", "olden", bhSrc)
+}
+
+const treeaddSrc = `
+// treeadd: build a binary tree and sum it repeatedly.
+struct tree {
+	int val;
+	struct tree* left;
+	struct tree* right;
+};
+
+struct tree* build(int depth) {
+	struct tree* t = new tree;
+	t->val = 1;
+	if (depth <= 1) {
+		t->left = null;
+		t->right = null;
+		return t;
+	}
+	t->left = build(depth - 1);
+	t->right = build(depth - 1);
+	return t;
+}
+
+int sum(struct tree* t) {
+	if (t == null) { return 0; }
+	return t->val + sum(t->left) + sum(t->right);
+}
+
+int main() {
+	struct tree* t = build(10);
+	int s = 0;
+	for (int i = 0; i < 8; i++) {
+		s = sum(t);
+	}
+	if (s != 1023) { return 1; }
+	return 0;
+}
+`
+
+const bisortSrc = `
+// bisort: bitonic sort over an integer array.
+void swap(int* a, int i, int j) {
+	int t = a[i];
+	a[i] = a[j];
+	a[j] = t;
+}
+
+void bimerge(int* a, int lo, int n, int dir) {
+	if (n <= 1) { return; }
+	int m = n / 2;
+	for (int i = lo; i < lo + m; i++) {
+		int x = a[i];
+		int y = a[i + m];
+		if ((dir == 1 && x > y) || (dir == 0 && x < y)) {
+			swap(a, i, i + m);
+		}
+	}
+	bimerge(a, lo, m, dir);
+	bimerge(a, lo + m, m, dir);
+}
+
+void bisort(int* a, int lo, int n, int dir) {
+	if (n <= 1) { return; }
+	int m = n / 2;
+	bisort(a, lo, m, 1);
+	bisort(a, lo + m, m, 0);
+	bimerge(a, lo, n, dir);
+}
+
+int main() {
+	int n = 256;
+	int* a = alloc(n);
+	for (int i = 0; i < n; i++) {
+		a[i] = (i * 37 + 11) % 101;
+	}
+	bisort(a, 0, n, 1);
+	for (int i = 1; i < n; i++) {
+		if (a[i - 1] > a[i]) { return 1; }
+	}
+	return 0;
+}
+`
+
+const em3dSrc = `
+// em3d: relaxation over a bipartite graph of E and H nodes.
+struct enode {
+	int value;
+	struct enode* dep1;
+	struct enode* dep2;
+	struct enode* next;
+};
+
+struct enode* makeList(int n, int seed) {
+	struct enode* head = null;
+	for (int i = 0; i < n; i++) {
+		struct enode* e = new enode;
+		e->value = (seed * 17 + i * 31) % 1000;
+		e->dep1 = null;
+		e->dep2 = null;
+		e->next = head;
+		head = e;
+	}
+	return head;
+}
+
+struct enode* nth(struct enode* l, int k) {
+	while (k > 0 && l != null) {
+		l = l->next;
+		k--;
+	}
+	return l;
+}
+
+void wire(struct enode* from, struct enode* to, int n) {
+	int i = 0;
+	struct enode* e = from;
+	while (e != null) {
+		e->dep1 = nth(to, (i * 7 + 3) % n);
+		e->dep2 = nth(to, (i * 13 + 5) % n);
+		e = e->next;
+		i++;
+	}
+}
+
+void relax(struct enode* l) {
+	struct enode* e = l;
+	while (e != null) {
+		e->value = e->value - (e->dep1->value + e->dep2->value) / 2;
+		e = e->next;
+	}
+}
+
+int checksum(struct enode* l) {
+	int s = 0;
+	while (l != null) {
+		s += l->value;
+		l = l->next;
+	}
+	return s;
+}
+
+int main() {
+	int n = 48;
+	struct enode* enodes = makeList(n, 3);
+	struct enode* hnodes = makeList(n, 7);
+	wire(enodes, hnodes, n);
+	wire(hnodes, enodes, n);
+	for (int iter = 0; iter < 12; iter++) {
+		relax(enodes);
+		relax(hnodes);
+	}
+	int s = checksum(enodes) + checksum(hnodes);
+	if (s == 987654321) { return 1; }
+	return 0;
+}
+`
+
+const healthSrc = `
+// health: hospital queue simulation with linked patient lists.
+struct patient {
+	int arrived;
+	int treated;
+	struct patient* next;
+};
+
+int lcgState = 12345;
+
+int lcg(int n) {
+	lcgState = (lcgState * 1103515245 + 12345) % 2147483647;
+	if (lcgState < 0) { lcgState = -lcgState; }
+	return lcgState % n;
+}
+
+struct patient* push(struct patient* q, struct patient* p) {
+	p->next = q;
+	return p;
+}
+
+struct patient* treatOne(struct patient* q, int now) {
+	// Pop the oldest patient (tail).
+	if (q == null) { return null; }
+	if (q->next == null) {
+		q->treated = now;
+		return null;
+	}
+	struct patient* cur = q;
+	while (cur->next->next != null) {
+		cur = cur->next;
+	}
+	cur->next->treated = now;
+	cur->next = null;
+	return q;
+}
+
+int main() {
+	struct patient* waiting = null;
+	int total = 0;
+	for (int t = 0; t < 400; t++) {
+		if (lcg(100) < 35) {
+			struct patient* p = new patient;
+			p->arrived = t;
+			p->treated = -1;
+			p->next = null;
+			waiting = push(waiting, p);
+			total++;
+		}
+		if (lcg(100) < 40) {
+			waiting = treatOne(waiting, t);
+		}
+	}
+	int backlog = 0;
+	struct patient* cur = waiting;
+	while (cur != null) {
+		backlog++;
+		cur = cur->next;
+	}
+	if (backlog > total) { return 1; }
+	return 0;
+}
+`
+
+const mstSrc = `
+// mst: Prim's minimum spanning tree over a dense weight matrix.
+int weight(int i, int j) {
+	int w = (i * 31 + j * 17) % 97 + 1;
+	return w;
+}
+
+void initState(int* dist, int* used, int n) {
+	for (int i = 0; i < n; i++) {
+		dist[i] = 1000000;
+		used[i] = 0;
+	}
+	dist[0] = 0;
+}
+
+int pickNearest(int* dist, int* used, int n) {
+	int best = -1;
+	for (int i = 0; i < n; i++) {
+		if (used[i] == 0 && (best == -1 || dist[i] < dist[best])) {
+			best = i;
+		}
+	}
+	return best;
+}
+
+void relaxFrom(int* dist, int* used, int n, int src) {
+	for (int j = 0; j < n; j++) {
+		if (used[j] == 0) {
+			int w = weight(src, j);
+			if (w < dist[j]) { dist[j] = w; }
+		}
+	}
+}
+
+int main() {
+	int n = 48;
+	int* dist = alloc(n);
+	int* used = alloc(n);
+	initState(dist, used, n);
+	int total = 0;
+	for (int step = 0; step < n; step++) {
+		int best = pickNearest(dist, used, n);
+		used[best] = 1;
+		total += dist[best];
+		relaxFrom(dist, used, n, best);
+	}
+	if (total <= 0) { return 1; }
+	return 0;
+}
+`
+
+const perimeterSrc = `
+// perimeter: quadtree construction and black-region perimeter estimate.
+struct quad {
+	int color; // 0 white, 1 black, 2 grey
+	struct quad* nw;
+	struct quad* ne;
+	struct quad* sw;
+	struct quad* se;
+};
+
+struct quad* buildTree(int depth, int x, int y, int size) {
+	struct quad* q = new quad;
+	if (depth == 0) {
+		int v = (x * x + y * y) % 7;
+		if (v < 3) { q->color = 1; } else { q->color = 0; }
+		q->nw = null;
+		q->ne = null;
+		q->sw = null;
+		q->se = null;
+		return q;
+	}
+	int h = size / 2;
+	q->nw = buildTree(depth - 1, x, y, h);
+	q->ne = buildTree(depth - 1, x + h, y, h);
+	q->sw = buildTree(depth - 1, x, y + h, h);
+	q->se = buildTree(depth - 1, x + h, y + h, h);
+	if (q->nw->color == q->ne->color && q->sw->color == q->se->color
+		&& q->nw->color == q->sw->color && q->nw->color != 2) {
+		q->color = q->nw->color;
+	} else {
+		q->color = 2;
+	}
+	return q;
+}
+
+int countEdges(struct quad* q, int size) {
+	if (q == null) { return 0; }
+	if (q->color == 1) { return 4 * size; }
+	if (q->color == 0) { return 0; }
+	int h = size / 2;
+	return countEdges(q->nw, h) + countEdges(q->ne, h)
+		+ countEdges(q->sw, h) + countEdges(q->se, h);
+}
+
+int main() {
+	int s = 0;
+	for (int rep = 0; rep < 3; rep++) {
+		struct quad* root = buildTree(6, rep, rep, 64);
+		s += countEdges(root, 64);
+	}
+	if (s <= 0) { return 1; }
+	return 0;
+}
+`
+
+const powerSrc = `
+// power: hierarchical power network load propagation.
+struct node {
+	int load;
+	struct node* child;
+	struct node* sibling;
+};
+
+struct node* buildLevel(int fanout, int depth, int seed) {
+	if (depth == 0) { return null; }
+	struct node* first = null;
+	for (int i = 0; i < fanout; i++) {
+		struct node* n = new node;
+		n->load = (seed * 13 + i * 7) % 20 + 1;
+		n->child = buildLevel(fanout, depth - 1, seed + i);
+		n->sibling = first;
+		first = n;
+	}
+	return first;
+}
+
+int propagate(struct node* n) {
+	int total = 0;
+	while (n != null) {
+		total += n->load + propagate(n->child);
+		n = n->sibling;
+	}
+	return total;
+}
+
+void adjust(struct node* n, int delta) {
+	while (n != null) {
+		n->load += delta;
+		if (n->load < 1) { n->load = 1; }
+		adjust(n->child, delta);
+		n = n->sibling;
+	}
+}
+
+int main() {
+	struct node* root = buildLevel(4, 5, 3);
+	int prev = 0;
+	for (int iter = 0; iter < 10; iter++) {
+		int total = propagate(root);
+		if (total > prev) { adjust(root, -1); } else { adjust(root, 1); }
+		prev = total;
+	}
+	if (prev <= 0) { return 1; }
+	return 0;
+}
+`
+
+const tspSrc = `
+// tsp: nearest-neighbour tour over a deterministic point set.
+int distSq(int* xs, int* ys, int i, int j) {
+	int dx = xs[i] - xs[j];
+	int dy = ys[i] - ys[j];
+	return dx * dx + dy * dy;
+}
+
+void makePoints(int* xs, int* ys, int* visited, int n) {
+	for (int i = 0; i < n; i++) {
+		xs[i] = (i * 73 + 19) % 500;
+		ys[i] = (i * 151 + 7) % 500;
+		visited[i] = 0;
+	}
+}
+
+int nearestUnvisited(int* xs, int* ys, int* visited, int n, int cur) {
+	int best = -1;
+	int bestDist = 0;
+	for (int j = 0; j < n; j++) {
+		if (visited[j] == 0) {
+			int d = distSq(xs, ys, cur, j);
+			if (best == -1 || d < bestDist) {
+				best = j;
+				bestDist = d;
+			}
+		}
+	}
+	return best;
+}
+
+int tour(int* xs, int* ys, int* visited, int n) {
+	int cur = 0;
+	visited[0] = 1;
+	int total = 0;
+	for (int step = 1; step < n; step++) {
+		int best = nearestUnvisited(xs, ys, visited, n, cur);
+		visited[best] = 1;
+		total += distSq(xs, ys, cur, best);
+		cur = best;
+	}
+	return total;
+}
+
+int main() {
+	int n = 96;
+	int* xs = alloc(n);
+	int* ys = alloc(n);
+	int* visited = alloc(n);
+	makePoints(xs, ys, visited, n);
+	int total = tour(xs, ys, visited, n);
+	if (total <= 0) { return 1; }
+	return 0;
+}
+`
+
+const bhSrc = `
+// bh: pairwise gravitational force accumulation (Barnes-Hut flavour).
+void makeBodies(int* x, int* y, int* m, int* vx, int* vy, int n) {
+	for (int i = 0; i < n; i++) {
+		x[i] = (i * 67 + 5) % 1000;
+		y[i] = (i * 41 + 13) % 1000;
+		m[i] = i % 9 + 1;
+		vx[i] = 0;
+		vy[i] = 0;
+	}
+}
+
+int forceOn(int* x, int* y, int* m, int n, int i, int axis) {
+	int f = 0;
+	for (int j = 0; j < n; j++) {
+		if (j != i) {
+			int dx = x[j] - x[i];
+			int dy = y[j] - y[i];
+			int d2 = dx * dx + dy * dy + 1;
+			int g = m[i] * m[j] * 1000 / d2;
+			if (axis == 0) { f += g * dx / 100; } else { f += g * dy / 100; }
+		}
+	}
+	return f;
+}
+
+void advance(int* x, int* y, int* vx, int* vy, int n) {
+	for (int i = 0; i < n; i++) {
+		x[i] += vx[i] / 1000;
+		y[i] += vy[i] / 1000;
+	}
+}
+
+int energy(int* x, int* y, int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		s += x[i] + y[i];
+	}
+	return s;
+}
+
+int main() {
+	int n = 56;
+	int* x = alloc(n);
+	int* y = alloc(n);
+	int* m = alloc(n);
+	int* vx = alloc(n);
+	int* vy = alloc(n);
+	makeBodies(x, y, m, vx, vy, n);
+	for (int step = 0; step < 4; step++) {
+		for (int i = 0; i < n; i++) {
+			vx[i] += forceOn(x, y, m, n, i, 0);
+			vy[i] += forceOn(x, y, m, n, i, 1);
+		}
+		advance(x, y, vx, vy, n);
+	}
+	int s = energy(x, y, n);
+	if (s == -1) { return 1; }
+	return 0;
+}
+`

@@ -1,0 +1,335 @@
+package workloads
+
+// MiniC kernels named after the SPECINT95 benchmarks used in §3.1. These
+// are larger than the Olden kernels, with more functions and call sites,
+// matching the paper's observation that the SPEC programs have many more
+// site-containing functions.
+
+func init() {
+	register("compress", "specint95", compressSrc)
+	register("go", "specint95", goSrc)
+	register("ijpeg", "specint95", ijpegSrc)
+	register("li", "specint95", liSrc)
+}
+
+const compressSrc = `
+// compress: run-length encode a generated buffer, decode, verify.
+int* makeInput(int n) {
+	int* buf = alloc(n);
+	int v = 0;
+	int run = 0;
+	for (int i = 0; i < n; i++) {
+		if (run == 0) {
+			v = (i * 7 + 3) % 17;
+			run = (i * 13) % 9 + 1;
+		}
+		buf[i] = v;
+		run--;
+	}
+	return buf;
+}
+
+int encode(int* in, int n, int* out) {
+	int w = 0;
+	int i = 0;
+	while (i < n) {
+		int v = in[i];
+		int run = 1;
+		while (i + run < n && in[i + run] == v && run < 255) {
+			run++;
+		}
+		out[w] = run;
+		out[w + 1] = v;
+		w += 2;
+		i += run;
+	}
+	return w;
+}
+
+int decode(int* enc, int m, int* out) {
+	int w = 0;
+	for (int i = 0; i < m; i += 2) {
+		int run = enc[i];
+		int v = enc[i + 1];
+		for (int k = 0; k < run; k++) {
+			out[w] = v;
+			w++;
+		}
+	}
+	return w;
+}
+
+int main() {
+	int n = 1500;
+	int* input = makeInput(n);
+	int* enc = alloc(2 * n);
+	int* dec = alloc(n);
+	int total = 0;
+	for (int rep = 0; rep < 3; rep++) {
+		int m = encode(input, n, enc);
+		int k = decode(enc, m, dec);
+		if (k != n) { return 1; }
+		for (int i = 0; i < n; i++) {
+			if (dec[i] != input[i]) { return 2; }
+		}
+		total += m;
+	}
+	if (total <= 0) { return 3; }
+	return 0;
+}
+`
+
+const goSrc = `
+// go: influence propagation and territory scoring on a 9x9 board.
+int size = 9;
+
+int at(int* board, int x, int y) {
+	return board[y * size + x];
+}
+
+void set(int* board, int x, int y, int v) {
+	board[y * size + x] = v;
+}
+
+int inBoard(int x, int y) {
+	if (x < 0 || y < 0 || x >= size || y >= size) { return 0; }
+	return 1;
+}
+
+int neighbours(int* board, int x, int y, int color) {
+	int n = 0;
+	if (inBoard(x - 1, y) && at(board, x - 1, y) == color) { n++; }
+	if (inBoard(x + 1, y) && at(board, x + 1, y) == color) { n++; }
+	if (inBoard(x, y - 1) && at(board, x, y - 1) == color) { n++; }
+	if (inBoard(x, y + 1) && at(board, x, y + 1) == color) { n++; }
+	return n;
+}
+
+int liberties(int* board, int x, int y) {
+	int n = 0;
+	if (inBoard(x - 1, y) && at(board, x - 1, y) == 0) { n++; }
+	if (inBoard(x + 1, y) && at(board, x + 1, y) == 0) { n++; }
+	if (inBoard(x, y - 1) && at(board, x, y - 1) == 0) { n++; }
+	if (inBoard(x, y + 1) && at(board, x, y + 1) == 0) { n++; }
+	return n;
+}
+
+void placeStones(int* board) {
+	for (int i = 0; i < size * size; i++) {
+		board[i] = 0;
+	}
+	for (int k = 0; k < 20; k++) {
+		int x = (k * 5 + 2) % size;
+		int y = (k * 7 + 3) % size;
+		int color = k % 2 + 1;
+		if (at(board, x, y) == 0) {
+			set(board, x, y, color);
+		}
+	}
+}
+
+void influence(int* board, int* infl, int passes) {
+	for (int i = 0; i < size * size; i++) {
+		int v = board[i];
+		if (v == 1) { infl[i] = 64; }
+		else if (v == 2) { infl[i] = -64; }
+		else { infl[i] = 0; }
+	}
+	int* next = alloc(size * size);
+	for (int p = 0; p < passes; p++) {
+		for (int y = 0; y < size; y++) {
+			for (int x = 0; x < size; x++) {
+				int s = 0;
+				int c = 0;
+				if (inBoard(x - 1, y)) { s += infl[y * size + x - 1]; c++; }
+				if (inBoard(x + 1, y)) { s += infl[y * size + x + 1]; c++; }
+				if (inBoard(x, y - 1)) { s += infl[(y - 1) * size + x]; c++; }
+				if (inBoard(x, y + 1)) { s += infl[(y + 1) * size + x]; c++; }
+				next[y * size + x] = infl[y * size + x] / 2 + s / (c * 2);
+			}
+		}
+		for (int i = 0; i < size * size; i++) {
+			infl[i] = next[i];
+		}
+	}
+}
+
+int territory(int* infl) {
+	int t = 0;
+	for (int i = 0; i < size * size; i++) {
+		if (infl[i] > 4) { t++; }
+		if (infl[i] < -4) { t--; }
+	}
+	return t;
+}
+
+int captured(int* board) {
+	int n = 0;
+	for (int y = 0; y < size; y++) {
+		for (int x = 0; x < size; x++) {
+			if (at(board, x, y) != 0 && liberties(board, x, y) == 0
+				&& neighbours(board, x, y, at(board, x, y)) == 0) {
+				n++;
+			}
+		}
+	}
+	return n;
+}
+
+int main() {
+	int* board = alloc(size * size);
+	int* infl = alloc(size * size);
+	placeStones(board);
+	int score = 0;
+	for (int game = 0; game < 3; game++) {
+		influence(board, infl, 6);
+		score += territory(infl) - captured(board);
+	}
+	if (score > size * size * 3) { return 1; }
+	return 0;
+}
+`
+
+const ijpegSrc = `
+// ijpeg: 8x8 integer DCT-like transform, quantize, reconstruct, error.
+int clamp(int v, int lo, int hi) {
+	if (v < lo) { return lo; }
+	if (v > hi) { return hi; }
+	return v;
+}
+
+void rowPass(int* blk) {
+	for (int r = 0; r < 8; r++) {
+		for (int c = 0; c < 4; c++) {
+			int a = blk[r * 8 + c];
+			int b = blk[r * 8 + 7 - c];
+			blk[r * 8 + c] = a + b;
+			blk[r * 8 + 7 - c] = a - b;
+		}
+	}
+}
+
+void colPass(int* blk) {
+	for (int c = 0; c < 8; c++) {
+		for (int r = 0; r < 4; r++) {
+			int a = blk[r * 8 + c];
+			int b = blk[(7 - r) * 8 + c];
+			blk[r * 8 + c] = a + b;
+			blk[(7 - r) * 8 + c] = a - b;
+		}
+	}
+}
+
+void quantize(int* blk, int q) {
+	for (int i = 0; i < 64; i++) {
+		blk[i] = blk[i] / q * q;
+	}
+}
+
+int blockError(int* a, int* b) {
+	int e = 0;
+	for (int i = 0; i < 64; i++) {
+		int d = a[i] - b[i];
+		if (d < 0) { d = -d; }
+		e += d;
+	}
+	return e;
+}
+
+int main() {
+	int blocks = 24;
+	int* src = alloc(64);
+	int* work = alloc(64);
+	int totalError = 0;
+	for (int blk = 0; blk < blocks; blk++) {
+		for (int i = 0; i < 64; i++) {
+			src[i] = clamp((blk * 31 + i * 7) % 256 - 128, -128, 127);
+			work[i] = src[i];
+		}
+		rowPass(work);
+		colPass(work);
+		quantize(work, 8);
+		colPass(work);
+		rowPass(work);
+		for (int i = 0; i < 64; i++) {
+			work[i] = work[i] / 4;
+		}
+		totalError += blockError(src, work);
+	}
+	if (totalError < 0) { return 1; }
+	return 0;
+}
+`
+
+const liSrc = `
+// li: a tiny lisp-flavoured evaluator over cons cells.
+struct cell {
+	int tag; // 0 number, 1 add, 2 mul, 3 sub
+	int num;
+	struct cell* car;
+	struct cell* cdr;
+};
+
+struct cell* mkNum(int v) {
+	struct cell* c = new cell;
+	c->tag = 0;
+	c->num = v;
+	c->car = null;
+	c->cdr = null;
+	return c;
+}
+
+struct cell* mkOp(int tag, struct cell* a, struct cell* b) {
+	struct cell* c = new cell;
+	c->tag = tag;
+	c->num = 0;
+	c->car = a;
+	c->cdr = b;
+	return c;
+}
+
+struct cell* buildExpr(int depth, int seed) {
+	if (depth == 0) {
+		return mkNum(seed % 13 - 6);
+	}
+	int op = seed % 3 + 1;
+	return mkOp(op, buildExpr(depth - 1, seed * 3 + 1), buildExpr(depth - 1, seed * 5 + 2));
+}
+
+int eval(struct cell* c) {
+	if (c->tag == 0) { return c->num; }
+	int a = eval(c->car);
+	int b = eval(c->cdr);
+	if (c->tag == 1) { return a + b; }
+	if (c->tag == 2) { return a * b % 10007; }
+	return a - b;
+}
+
+int countCells(struct cell* c) {
+	if (c == null) { return 0; }
+	return 1 + countCells(c->car) + countCells(c->cdr);
+}
+
+struct cell* simplify(struct cell* c) {
+	if (c->tag == 0) { return c; }
+	struct cell* a = simplify(c->car);
+	struct cell* b = simplify(c->cdr);
+	if (a->tag == 0 && b->tag == 0) {
+		struct cell* folded = mkOp(c->tag, a, b);
+		return mkNum(eval(folded));
+	}
+	return mkOp(c->tag, a, b);
+}
+
+int main() {
+	int total = 0;
+	for (int i = 0; i < 12; i++) {
+		struct cell* e = buildExpr(7, i + 1);
+		struct cell* s = simplify(e);
+		if (eval(s) != eval(e)) { return 1; }
+		total += countCells(e) - countCells(s);
+	}
+	if (total < 0) { return 2; }
+	return 0;
+}
+`

@@ -1,0 +1,62 @@
+// Package workloads provides the MiniC programs the experiments run on:
+// kernels named after the paper's Olden and SPECINT95 benchmarks (Table 1
+// and Table 2), and the two case-study programs — a ccrypt analogue with
+// the §3.2 EOF-confirmation bug and a bc analogue with the §3.3
+// more_arrays() buffer overrun — together with their fuzzing harnesses.
+//
+// The kernels are not the original benchmarks (those are C programs tied
+// to their inputs); they are compact programs with the same flavour of
+// control flow — pointer-chasing trees, list traversal, dense loops —
+// which is what the sampling transformation's static and dynamic costs
+// depend on.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"cbi/internal/minic"
+)
+
+// Benchmark is a self-contained MiniC program.
+type Benchmark struct {
+	Name   string
+	Suite  string // "olden" or "specint95"
+	Source string
+}
+
+var registry = map[string]Benchmark{}
+
+func register(name, suite, source string) {
+	registry[name] = Benchmark{Name: name, Suite: suite, Source: source}
+}
+
+// ByName returns a registered benchmark.
+func ByName(name string) (Benchmark, error) {
+	b, ok := registry[name]
+	if !ok {
+		return Benchmark{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+	}
+	return b, nil
+}
+
+// All returns every registered benchmark, Olden first then SPECINT95,
+// alphabetically within each suite (the Table 1 ordering).
+func All() []Benchmark {
+	var out []Benchmark
+	for _, b := range registry {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Suite != out[j].Suite {
+			return out[i].Suite == "olden"
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Parse parses the benchmark's source.
+func (b Benchmark) Parse() (*minic.File, error) {
+	return minic.Parse(b.Name+".mc", b.Source)
+}
