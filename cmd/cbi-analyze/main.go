@@ -4,7 +4,10 @@
 //	cbi-analyze -study bc -runs 2000 -density 0           # §3.3 regression
 //
 // A density of 0 uses unconditional instrumentation; positive densities
-// apply the sampling transformation.
+// apply the sampling transformation. With -submit, every fleet report is
+// additionally POSTed to a running cbi-collect server, exercising the
+// full remote ingest path. Every run ends with a per-stage timing
+// summary from the telemetry spans; -timing=false suppresses it.
 package main
 
 import (
@@ -12,9 +15,11 @@ import (
 	"fmt"
 	"os"
 
+	"cbi/internal/collect"
 	"cbi/internal/core"
 	"cbi/internal/instrument"
 	"cbi/internal/report"
+	"cbi/internal/telemetry"
 	"cbi/internal/workloads"
 )
 
@@ -27,8 +32,25 @@ func main() {
 		density = flag.Float64("density", 1.0/100, "sampling density (0 = unconditional)")
 		seed    = flag.Int64("seed", 42, "fleet seed")
 		topK    = flag.Int("top", 5, "ranked predicates to show (bc)")
+		submit  = flag.String("submit", "", "also submit every fleet report to this collection server base URL (ccrypt)")
+		timing  = flag.Bool("timing", true, "print the per-stage span timing summary")
+		metrics = flag.Bool("metrics", false, "dump a Prometheus metrics snapshot to stderr at exit")
+		logJSON = flag.Bool("log-json", false, "log structured JSON events to stderr")
 	)
 	flag.Parse()
+	if *logJSON {
+		telemetry.SetLogWriter(os.Stderr)
+	}
+	defer func() {
+		if *timing {
+			if s := telemetry.Default.FormatSpanSummary(); s != "" {
+				fmt.Printf("\n%s", s)
+			}
+		}
+		if *metrics {
+			_ = telemetry.Default.WritePrometheus(os.Stderr)
+		}
+	}()
 
 	if *reports != "" {
 		analyzeSaved(*study, *reports, *topK)
@@ -36,7 +58,12 @@ func main() {
 	}
 	switch *study {
 	case "ccrypt":
-		s, err := core.RunCcryptStudy(*runs, *density, *seed)
+		conf := core.CcryptStudyConfig{Runs: *runs, Density: *density, Seed: *seed}
+		if *submit != "" {
+			client := collect.NewClient(*submit)
+			conf.Submit = client.Submit
+		}
+		s, err := core.RunCcryptStudyOpts(conf)
 		if err != nil {
 			fatal(err)
 		}

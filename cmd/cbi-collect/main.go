@@ -1,11 +1,14 @@
 // cbi-collect is the standalone central collection server: it accepts
 // encoded run reports over HTTP at /report and serves a summary at
 // /stats. In aggregate mode it retains only sufficient statistics, the
-// §5 privacy posture.
+// §5 privacy posture. With -metrics (the default) it also serves
+// Prometheus metrics at /metrics and a liveness/drain probe at /healthz;
+// -log-json emits one structured JSON event per accepted report.
 //
 // Usage:
 //
 //	cbi-collect -addr 127.0.0.1:8099 -counters 1710 -program ccrypt -mode store
+//	curl -s http://127.0.0.1:8099/metrics | grep collect_
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"cbi/internal/collect"
 )
@@ -23,6 +27,8 @@ func main() {
 		program  = flag.String("program", "", "program build name (empty accepts any)")
 		counters = flag.Int("counters", 0, "expected counter-vector length (0 accepts any)")
 		mode     = flag.String("mode", "store", "store | aggregate")
+		metrics  = flag.Bool("metrics", true, "serve /metrics and /healthz")
+		logJSON  = flag.Bool("log-json", false, "log structured JSON events to stderr")
 	)
 	flag.Parse()
 
@@ -34,17 +40,31 @@ func main() {
 		os.Exit(1)
 	}
 	srv := collect.NewServer(*program, *counters, m)
+	srv.ExposeTelemetry = *metrics
+	if *logJSON {
+		srv.Registry().SetLogWriter(os.Stderr)
+	}
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cbi-collect:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("cbi-collect: listening on http://%s (mode=%s)\n", bound, *mode)
+	if *metrics {
+		fmt.Printf("cbi-collect: metrics at http://%s/metrics, health at http://%s/healthz\n", bound, bound)
+	}
 
 	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
 	agg := srv.Aggregate()
-	fmt.Printf("\ncbi-collect: shutting down after %d runs (%d crashes)\n", agg.Runs, agg.Crashes)
-	_ = srv.Stop()
+	fmt.Printf("\ncbi-collect: draining (up to %s) after %d runs (%d crashes)\n",
+		collect.ShutdownTimeout, agg.Runs, agg.Crashes)
+	if err := srv.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "cbi-collect: shutdown:", err)
+	}
+	if *metrics {
+		fmt.Println("cbi-collect: final metrics snapshot:")
+		_ = srv.Registry().WritePrometheus(os.Stdout)
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"cbi/internal/instrument"
 	"cbi/internal/interp"
 	"cbi/internal/minic"
+	"cbi/internal/telemetry"
 	"cbi/internal/workloads"
 )
 
@@ -35,8 +36,13 @@ func main() {
 		out      = flag.String("report", "", "write the encoded report to this file")
 		traceCap = flag.Int("trace", 0, "keep an ordered trace of the last N sampled events")
 		showOut  = flag.Bool("stdout", true, "echo program output")
+		metrics  = flag.Bool("metrics", false, "dump a Prometheus metrics snapshot to stderr at exit")
+		logJSON  = flag.Bool("log-json", false, "log structured JSON events to stderr")
 	)
 	flag.Parse()
+	if *logJSON {
+		telemetry.SetLogWriter(os.Stderr)
+	}
 
 	set, err := parseSchemes(*scheme)
 	if err != nil {
@@ -74,7 +80,9 @@ func main() {
 		fatal(err)
 	}
 
+	buildSpan := telemetry.StartSpan("run.build")
 	prog, err := cfg.Build(f, builtins, &instrument.Schemes{Set: set})
+	buildSpan.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -94,7 +102,10 @@ func main() {
 	if *showOut {
 		conf.Stdout = os.Stdout
 	}
+	execSpan := telemetry.StartSpan("run.execute")
 	res := interp.Run(prog, conf)
+	execSpan.End()
+	telemetry.H("run_steps", telemetry.StepBuckets).Observe(float64(res.Steps))
 	rep := workloads.ReportOf(name, uint64(*seed), res)
 
 	fmt.Printf("\noutcome: %v  exit=%d  steps=%d  samples=%d\n",
@@ -128,6 +139,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("report submitted to", *submit)
+	}
+	if *metrics {
+		_ = telemetry.Default.WritePrometheus(os.Stderr)
 	}
 	if res.Outcome == interp.OutcomeCrash {
 		os.Exit(2)

@@ -10,6 +10,7 @@ import (
 
 	"cbi/internal/report"
 	"cbi/internal/stats"
+	"cbi/internal/telemetry"
 )
 
 // SiteSpan describes the counter range of one instrumentation site (e.g.
@@ -128,6 +129,7 @@ type Point struct {
 // subset, and records the mean and standard deviation of the surviving
 // predicate count.
 func Progressive(successes []*report.Report, initial []bool, sizes []int, trials int, seed int64) []Point {
+	defer telemetry.StartSpan("elim.progressive").End()
 	rng := rand.New(rand.NewSource(seed))
 	numCounters := len(initial)
 	points := make([]Point, 0, len(sizes))
@@ -179,6 +181,7 @@ type StrategyCounts struct {
 
 // Summarize applies every strategy to the aggregate.
 func Summarize(a *report.Aggregate, spans []SiteSpan) StrategyCounts {
+	defer telemetry.StartSpan("elim.summarize").End()
 	uf := UniversalFalsehood(a)
 	lfc := LackOfFailingCoverage(a, spans)
 	lfe := LackOfFailingExample(a)

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"cbi/internal/report"
+	"cbi/internal/telemetry"
 )
 
 // Dataset is a dense design matrix over the retained features.
@@ -32,6 +33,7 @@ type Dataset struct {
 // shifted and scaled to lie on the interval [0,1], then normalized to
 // have unit sample variance").
 func BuildDataset(reports []*report.Report, keep []bool) *Dataset {
+	defer telemetry.StartSpan("logreg.build_dataset").End()
 	if len(reports) == 0 {
 		return &Dataset{}
 	}
@@ -137,6 +139,7 @@ type TrainConfig struct {
 // with stochastic gradient ascent (§3.3.2). The ℓ1 subgradient uses
 // clipping at zero so coefficients are truly sparse.
 func Train(ds *Dataset, conf TrainConfig) *Model {
+	defer telemetry.StartSpan("logreg.train").End()
 	if conf.StepSize == 0 {
 		conf.StepSize = 1e-3
 	}
@@ -267,6 +270,7 @@ func (m *Model) Rank(counter int) int {
 // model classifies the cv set best, with ties going to the stronger
 // regularization (sparser model).
 func CrossValidate(train, cv *Dataset, lambdas []float64, conf TrainConfig) (float64, *Model) {
+	defer telemetry.StartSpan("logreg.cross_validate").End()
 	bestLambda := 0.0
 	var bestModel *Model
 	bestAcc := -1.0

@@ -2,18 +2,27 @@
 // infrastructure: an HTTP server that receives encoded run reports from
 // deployed clients and either stores them or folds them into sufficient
 // statistics, and the client used by instrumented runs to phone home.
+//
+// The server exposes the operational surface a deployed collector needs:
+// Prometheus metrics at /metrics, a liveness/drain signal at /healthz,
+// and per-request ingest counters and latency histograms (package
+// telemetry).
 package collect
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"sync"
 	"time"
 
 	"cbi/internal/report"
+	"cbi/internal/telemetry"
 )
 
 // Mode selects how the server retains data.
@@ -29,53 +38,122 @@ const (
 	AggregateOnly
 )
 
+// ShutdownTimeout bounds how long Stop waits for in-flight report POSTs
+// to drain before forcing connections closed.
+const ShutdownTimeout = 5 * time.Second
+
+// serverMetrics caches the hot-path metric handles so request handling
+// never takes the registry lock.
+type serverMetrics struct {
+	accepted       *telemetry.Counter
+	rejectedMethod *telemetry.Counter
+	rejectedRead   *telemetry.Counter
+	rejectedDecode *telemetry.Counter
+	rejectedFold   *telemetry.Counter
+	bytesIngested  *telemetry.Counter
+	reportBytes    *telemetry.Histogram
+	decodeSeconds  *telemetry.Histogram
+	foldSeconds    *telemetry.Histogram
+}
+
+func newServerMetrics(reg *telemetry.Registry) serverMetrics {
+	return serverMetrics{
+		accepted:       reg.Counter("collect_reports_accepted_total"),
+		rejectedMethod: reg.Counter(`collect_reports_rejected_total{reason="method"}`),
+		rejectedRead:   reg.Counter(`collect_reports_rejected_total{reason="read"}`),
+		rejectedDecode: reg.Counter(`collect_reports_rejected_total{reason="decode"}`),
+		rejectedFold:   reg.Counter(`collect_reports_rejected_total{reason="fold"}`),
+		bytesIngested:  reg.Counter("collect_bytes_ingested_total"),
+		reportBytes:    reg.Histogram("collect_report_bytes", telemetry.SizeBuckets),
+		decodeSeconds:  reg.Histogram("collect_decode_seconds", telemetry.DefBuckets),
+		foldSeconds:    reg.Histogram("collect_fold_seconds", telemetry.DefBuckets),
+	}
+}
+
 // Server is the central collection endpoint.
 type Server struct {
 	mode Mode
+
+	// ExposeTelemetry controls whether Handler mounts /metrics and
+	// /healthz (default true; set before calling Handler or Start).
+	ExposeTelemetry bool
 
 	mu  sync.Mutex
 	db  *report.DB
 	agg *report.Aggregate
 
+	reg    *telemetry.Registry
+	health telemetry.Health
+	m      serverMetrics
+
 	httpServer *http.Server
 	listener   net.Listener
 }
 
-// NewServer creates a collection server for one program build.
+// NewServer creates a collection server for one program build. Each
+// server owns its own telemetry registry (see Registry) so concurrent
+// servers — and tests — do not share counters.
 func NewServer(program string, numCounters int, mode Mode) *Server {
+	reg := telemetry.NewRegistry()
 	return &Server{
-		mode: mode,
-		db:   report.NewDB(program, numCounters),
-		agg:  report.NewAggregate(program, numCounters),
+		mode:            mode,
+		ExposeTelemetry: true,
+		db:              report.NewDB(program, numCounters),
+		agg:             report.NewAggregate(program, numCounters),
+		reg:             reg,
+		m:               newServerMetrics(reg),
 	}
 }
+
+// Registry returns the server's telemetry registry (scraped at /metrics).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Health returns the server's lifecycle flag (served at /healthz).
+func (s *Server) Health() *telemetry.Health { return &s.health }
 
 // Handler returns the HTTP handler (also usable without a live listener).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/report", s.handleReport)
 	mux.HandleFunc("/stats", s.handleStats)
+	if s.ExposeTelemetry {
+		mux.Handle("/metrics", s.reg.Handler())
+		mux.Handle("/healthz", &s.health)
+	}
 	return mux
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		s.m.rejectedMethod.Inc()
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
 	if err != nil {
+		s.m.rejectedRead.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.m.bytesIngested.Add(uint64(len(body)))
+	s.m.reportBytes.Observe(float64(len(body)))
+	t0 := time.Now()
 	rep, err := report.Decode(body)
+	s.m.decodeSeconds.Observe(time.Since(t0).Seconds())
 	if err != nil {
+		s.m.rejectedDecode.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if err := s.Submit(rep); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	if s.reg.LogEnabled() {
+		s.reg.Event("report_accepted", map[string]any{
+			"run_id": rep.RunID, "program": rep.Program,
+			"crashed": rep.Crashed, "bytes": len(body),
+		})
 	}
 	w.WriteHeader(http.StatusAccepted)
 }
@@ -97,16 +175,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // Submit folds a report into the server state directly (used by in-process
-// fleets and by the HTTP handler).
+// fleets and by the HTTP handler). It records fold latency and the
+// accepted/rejected counters, so both ingestion paths are measured.
 func (s *Server) Submit(rep *report.Report) error {
+	t0 := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.agg.Fold(rep); err != nil {
+	err := s.agg.Fold(rep)
+	if err == nil && s.db.NumCounters == 0 {
+		// "Accept any" server: the first report fixes the counter shape
+		// for both retention paths.
+		s.db.NumCounters = s.agg.NumCounters
+	}
+	if err == nil && s.mode == StoreAll {
+		err = s.db.Add(rep)
+	}
+	s.mu.Unlock()
+	s.m.foldSeconds.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		s.m.rejectedFold.Inc()
 		return err
 	}
-	if s.mode == StoreAll {
-		return s.db.Add(rep)
-	}
+	s.m.accepted.Inc()
 	return nil
 }
 
@@ -131,7 +220,7 @@ func (s *Server) Aggregate() *report.Aggregate {
 }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
-// until Stop. It returns the bound address.
+// until Stop. It returns the bound address and flips /healthz to ok.
 func (s *Server) Start(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -140,21 +229,40 @@ func (s *Server) Start(addr string) (string, error) {
 	s.listener = ln
 	s.httpServer = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	go func() { _ = s.httpServer.Serve(ln) }()
+	s.health.Set(telemetry.HealthOK)
 	return ln.Addr().String(), nil
 }
 
-// Stop shuts the listener down.
+// Stop drains the server: /healthz flips to shutting-down so load
+// balancers stop routing, then in-flight report POSTs are allowed up to
+// ShutdownTimeout to complete before connections are forced closed.
 func (s *Server) Stop() error {
 	if s.httpServer == nil {
 		return nil
 	}
-	return s.httpServer.Close()
+	s.health.Set(telemetry.HealthShuttingDown)
+	ctx, cancel := context.WithTimeout(context.Background(), ShutdownTimeout)
+	defer cancel()
+	if err := s.httpServer.Shutdown(ctx); err != nil {
+		return s.httpServer.Close()
+	}
+	return nil
 }
 
-// Client submits reports to a remote collection server.
+// Client submits reports to a remote collection server, with bounded
+// jittered retries for transient failures.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// MaxAttempts bounds submission tries (default 3). Only transport
+	// errors and 5xx responses are retried; a 4xx rejection is final.
+	MaxAttempts int
+	// RetryBackoff is the base delay before the first retry (default
+	// 50ms), doubled per attempt with ±50% jitter.
+	RetryBackoff time.Duration
+	// Metrics receives submit latency/outcome metrics (default
+	// telemetry.Default).
+	Metrics *telemetry.Registry
 }
 
 // NewClient creates a client for the server at baseURL
@@ -163,19 +271,65 @@ func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
 }
 
-// Submit posts one report.
+func (c *Client) registry() *telemetry.Registry {
+	if c.Metrics != nil {
+		return c.Metrics
+	}
+	return telemetry.Default
+}
+
+// Submit posts one report, retrying transient failures.
 func (c *Client) Submit(rep *report.Report) error {
+	reg := c.registry()
+	body := rep.Encode()
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	start := time.Now()
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			reg.Counter("client_submit_retries_total").Inc()
+			// Exponential backoff with ±50% jitter so a rebooting
+			// collector is not hammered in lockstep by the whole fleet.
+			d := backoff << (attempt - 1)
+			time.Sleep(time.Duration(float64(d) * (0.5 + rand.Float64())))
+		}
+		var retryable bool
+		retryable, err = c.trySubmit(body)
+		if err == nil {
+			reg.Histogram("client_submit_seconds", telemetry.DefBuckets).
+				Observe(time.Since(start).Seconds())
+			reg.Counter("client_submits_total").Inc()
+			return nil
+		}
+		if !retryable {
+			break
+		}
+	}
+	reg.Counter("client_submit_errors_total").Inc()
+	return err
+}
+
+// trySubmit performs one POST and reports whether a failure is worth
+// retrying.
+func (c *Client) trySubmit(body []byte) (retryable bool, err error) {
 	resp, err := c.HTTP.Post(c.BaseURL+"/report", "application/octet-stream",
-		readerOf(rep.Encode()))
+		bytes.NewReader(body))
 	if err != nil {
-		return err
+		return true, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("collect: server rejected report: %s: %s", resp.Status, msg)
+	if resp.StatusCode == http.StatusAccepted {
+		return false, nil
 	}
-	return nil
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return resp.StatusCode >= 500, fmt.Errorf("collect: server rejected report: %s: %s", resp.Status, msg)
 }
 
 // Stats fetches the server's run summary.
@@ -190,20 +344,4 @@ func (c *Client) Stats() (Stats, error) {
 		return st, fmt.Errorf("collect: %s", resp.Status)
 	}
 	return st, json.NewDecoder(resp.Body).Decode(&st)
-}
-
-type byteReader struct {
-	data []byte
-	off  int
-}
-
-func readerOf(b []byte) io.Reader { return &byteReader{data: b} }
-
-func (r *byteReader) Read(p []byte) (int, error) {
-	if r.off >= len(r.data) {
-		return 0, io.EOF
-	}
-	n := copy(p, r.data[r.off:])
-	r.off += n
-	return n, nil
 }

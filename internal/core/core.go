@@ -22,6 +22,7 @@ import (
 	"cbi/internal/cfg"
 	"cbi/internal/instrument"
 	"cbi/internal/report"
+	"cbi/internal/telemetry"
 	"cbi/internal/workloads"
 )
 
@@ -44,33 +45,60 @@ type Survivor struct {
 	Name    string
 }
 
+// CcryptStudyConfig parameterizes RunCcryptStudyOpts.
+type CcryptStudyConfig struct {
+	Runs    int
+	Density float64 // 0 = unconditional instrumentation
+	Seed    int64
+	// Submit, when set, additionally routes every fleet report through it
+	// — e.g. a collect.Client's Submit, exercising the full HTTP ingest
+	// path of a remote collector.
+	Submit func(*report.Report) error
+}
+
 // RunCcryptStudy instruments ccrypt with the returns scheme, fuzzes it
 // for the given number of runs at the given sampling density, and applies
 // the elimination strategies. With density 0 the instrumentation runs
 // unconditionally (no sampling transformation).
 func RunCcryptStudy(runs int, density float64, seed int64) (*CcryptStudy, error) {
-	sampled := density > 0
+	return RunCcryptStudyOpts(CcryptStudyConfig{Runs: runs, Density: density, Seed: seed})
+}
+
+// RunCcryptStudyOpts is RunCcryptStudy with the full configuration
+// surface. Each pipeline stage records a telemetry span, so
+// telemetry.Default.FormatSpanSummary() after a study shows where the
+// wall-clock went.
+func RunCcryptStudyOpts(conf CcryptStudyConfig) (*CcryptStudy, error) {
+	sampled := conf.Density > 0
+	buildSpan := telemetry.StartSpan("study.build")
 	built, err := workloads.BuildCcrypt(instrument.SchemeSet{Returns: true}, sampled)
+	buildSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	effDensity := density
+	effDensity := conf.Density
 	if !sampled {
 		effDensity = 0
 	}
 	db, err := workloads.CcryptFleet(built.Program, workloads.FleetConfig{
-		Runs: runs, Density: effDensity, SeedBase: seed,
+		Runs: conf.Runs, Density: effDensity, SeedBase: conf.Seed,
+		Submit: conf.Submit,
 	})
 	if err != nil {
 		return nil, err
 	}
+	aggSpan := telemetry.StartSpan("study.aggregate")
 	agg := report.NewAggregate("ccrypt", built.Program.NumCounters)
 	if err := agg.FromDB(db); err != nil {
+		aggSpan.End()
 		return nil, err
 	}
+	aggSpan.End()
+	elimSpan := telemetry.StartSpan("study.eliminate")
 	spans := siteSpans(built.Program)
 	counts := elim.Summarize(agg, spans)
 	combined := elim.Intersect(elim.UniversalFalsehood(agg), elim.SuccessfulCounterexample(agg))
+	elimSpan.End()
 	study := &CcryptStudy{
 		Program: built.Program,
 		DB:      db,
@@ -152,7 +180,9 @@ func RunBCStudy(conf BCStudyConfig) (*BCStudy, error) {
 		conf.TopK = 5
 	}
 	sampled := conf.Density > 0
+	buildSpan := telemetry.StartSpan("study.build")
 	built, err := workloads.BuildBC(instrument.SchemeSet{ScalarPairs: true}, sampled)
+	buildSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -165,18 +195,23 @@ func RunBCStudy(conf BCStudyConfig) (*BCStudy, error) {
 
 	// Discard features that are zero across the whole training corpus
 	// (elimination by universal falsehood, as §3.3.3 does before training).
+	aggSpan := telemetry.StartSpan("study.aggregate")
 	agg := report.NewAggregate("bc", built.Program.NumCounters)
 	if err := agg.FromDB(db); err != nil {
+		aggSpan.End()
 		return nil, err
 	}
 	keep := elim.UniversalFalsehood(agg)
+	aggSpan.End()
 
+	regressSpan := telemetry.StartSpan("study.regress")
 	trainR, cvR, testR := logreg.Split(db.Reports, 0.62, 0.07, conf.Seed+1)
 	train := logreg.BuildDataset(trainR, keep)
 	cv := train.Project(cvR)
 	test := train.Project(testR)
 	tc := logreg.TrainConfig{StepSize: 1e-2, Epochs: conf.Epochs, Seed: conf.Seed + 2}
 	lambda, model := logreg.CrossValidate(train, cv, conf.Lambdas, tc)
+	regressSpan.End()
 
 	study := &BCStudy{
 		Program:      built.Program,
@@ -264,6 +299,7 @@ type ScoredPredicate struct {
 // ImportanceRanking ranks a study's predicates by the follow-up
 // Importance score. It works for any report database over a program.
 func ImportanceRanking(prog *cfg.Program, db *report.DB, k int) []ScoredPredicate {
+	defer telemetry.StartSpan("study.rank").End()
 	spans := make([]score.SiteSpan, 0, len(prog.Sites))
 	for _, s := range prog.Sites {
 		spans = append(spans, score.SiteSpan{Base: s.CounterBase, Len: s.NumCounters})

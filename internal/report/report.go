@@ -309,8 +309,16 @@ func NewAggregate(program string, numCounters int) *Aggregate {
 	}
 }
 
-// Fold absorbs one report.
+// Fold absorbs one report. An aggregate created with zero counters (a
+// collector run with "accept any" shape) adopts the shape of the first
+// report folded into it.
 func (a *Aggregate) Fold(r *Report) error {
+	if a.NumCounters == 0 && a.Runs == 0 && len(r.Counters) > 0 {
+		a.NumCounters = len(r.Counters)
+		a.NonzeroInSuccess = make([]bool, a.NumCounters)
+		a.NonzeroInFailure = make([]bool, a.NumCounters)
+		a.Totals = make([]uint64, a.NumCounters)
+	}
 	if len(r.Counters) != a.NumCounters {
 		return fmt.Errorf("report: counter vector length %d, want %d", len(r.Counters), a.NumCounters)
 	}

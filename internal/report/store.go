@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"cbi/internal/telemetry"
 )
 
 // This file implements durable report storage: a length-prefixed framing
@@ -66,6 +68,7 @@ func ReadAll(r io.Reader) ([]*Report, error) {
 
 // WriteFile saves a database to path.
 func (db *DB) WriteFile(path string) error {
+	defer telemetry.StartSpan("report.write_file").End()
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -81,6 +84,7 @@ func (db *DB) WriteFile(path string) error {
 // may be empty/zero to accept whatever the file contains (the first
 // report then fixes the expected shape).
 func LoadFile(path, program string, numCounters int) (*DB, error) {
+	defer telemetry.StartSpan("report.load_file").End()
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -90,6 +94,7 @@ func LoadFile(path, program string, numCounters int) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	telemetry.C("report_loaded_total").Add(uint64(len(reports)))
 	db := NewDB(program, numCounters)
 	for _, r := range reports {
 		if db.NumCounters == 0 {

@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// HealthState is the lifecycle position reported by /healthz.
+type HealthState int32
+
+const (
+	// HealthStarting means the process is up but not yet serving.
+	HealthStarting HealthState = iota
+	// HealthOK means the server is accepting work.
+	HealthOK
+	// HealthShuttingDown means a graceful drain is in progress; load
+	// balancers should stop sending new work.
+	HealthShuttingDown
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case HealthOK:
+		return "ok"
+	case HealthShuttingDown:
+		return "shutting-down"
+	default:
+		return "starting"
+	}
+}
+
+// Health is an atomic lifecycle flag with an http.Handler face: 200 while
+// serving, 503 before readiness and during drain. The zero value reports
+// HealthStarting.
+type Health struct{ state atomic.Int32 }
+
+// Set moves the health to the given state.
+func (h *Health) Set(s HealthState) { h.state.Store(int32(s)) }
+
+// State returns the current state.
+func (h *Health) State() HealthState { return HealthState(h.state.Load()) }
+
+// ServeHTTP implements the /healthz contract.
+func (h *Health) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	st := h.State()
+	w.Header().Set("Content-Type", "application/json")
+	if st != HealthOK {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_, _ = w.Write([]byte(`{"status":"` + st.String() + `"}` + "\n"))
+}

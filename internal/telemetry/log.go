@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// SetLogWriter enables structured JSON event logging on the default
+// registry (nil disables it).
+func SetLogWriter(w io.Writer) { Default.SetLogWriter(w) }
+
+// SetLogWriter directs one-JSON-object-per-line event logging to w, or
+// disables it when w is nil. Span ends and server/client events are
+// emitted only while a writer is set, so the hot path stays free of
+// allocation when logging is off.
+func (r *Registry) SetLogWriter(w io.Writer) {
+	r.mu.Lock()
+	r.logW = w
+	r.mu.Unlock()
+	r.logOn.Store(w != nil)
+}
+
+// LogEnabled reports whether a log writer is set. Callers building
+// expensive field maps should check it first.
+func (r *Registry) LogEnabled() bool { return r.logOn.Load() }
+
+// Event emits one structured log line: {"ts":...,"event":...,<fields>}.
+// It is a no-op when logging is disabled. Keys "ts" and "event" in
+// fields are overwritten.
+func (r *Registry) Event(event string, fields map[string]any) {
+	if !r.logOn.Load() {
+		return
+	}
+	obj := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		obj[k] = v
+	}
+	obj["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
+	obj["event"] = event
+	line, err := json.Marshal(obj)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	r.mu.Lock()
+	if r.logW != nil {
+		_, _ = r.logW.Write(line)
+	}
+	r.mu.Unlock()
+}
+
+// Event emits a structured log line on the default registry.
+func Event(event string, fields map[string]any) { Default.Event(event, fields) }

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsHistogramAndSummary(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("analyze.train")
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d <= 0 {
+		t.Fatalf("duration = %v", d)
+	}
+	r.StartSpan("analyze.train").End()
+	r.StartSpan("fleet.run").End()
+
+	sum := r.SpanSummary()
+	if len(sum) != 2 {
+		t.Fatalf("summary has %d entries, want 2", len(sum))
+	}
+	if sum[0].Name != "analyze.train" || sum[0].Count != 2 {
+		t.Errorf("first span = %+v", sum[0])
+	}
+	if sum[1].Name != "fleet.run" || sum[1].Count != 1 {
+		t.Errorf("second span = %+v", sum[1])
+	}
+	if sum[0].Total < sum[0].Max || sum[0].Min > sum[0].Max {
+		t.Errorf("inconsistent aggregates: %+v", sum[0])
+	}
+	if got := r.Histogram(`span_seconds{span="analyze.train"}`, DefBuckets).Count(); got != 2 {
+		t.Errorf("span histogram count = %d, want 2", got)
+	}
+	text := r.FormatSpanSummary()
+	if !strings.Contains(text, "analyze.train") || !strings.Contains(text, "stage timings") {
+		t.Errorf("summary text:\n%s", text)
+	}
+	top := r.TopSpans(1)
+	if len(top) != 1 {
+		t.Fatalf("TopSpans(1) = %v", top)
+	}
+}
+
+func TestHealthTransitions(t *testing.T) {
+	var h Health
+	get := func() (int, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		return rec.Code, rec.Body.String()
+	}
+	if code, body := get(); code != 503 || !strings.Contains(body, "starting") {
+		t.Errorf("starting: %d %q", code, body)
+	}
+	h.Set(HealthOK)
+	if code, body := get(); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("ok: %d %q", code, body)
+	}
+	h.Set(HealthShuttingDown)
+	if code, body := get(); code != 503 || !strings.Contains(body, "shutting-down") {
+		t.Errorf("shutting down: %d %q", code, body)
+	}
+}
+
+func TestEventLogging(t *testing.T) {
+	r := NewRegistry()
+	r.Event("dropped", nil) // disabled: must not panic
+	var buf strings.Builder
+	r.SetLogWriter(&buf)
+	if !r.LogEnabled() {
+		t.Fatal("LogEnabled after SetLogWriter")
+	}
+	r.Event("report_accepted", map[string]any{"run_id": 7, "bytes": 123})
+	r.StartSpan("stage").End()
+	r.SetLogWriter(nil)
+	r.Event("after_disable", nil)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines: %q", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if first["event"] != "report_accepted" || first["bytes"] != float64(123) {
+		t.Errorf("line 0 = %v", first)
+	}
+	if _, ok := first["ts"]; !ok {
+		t.Error("missing ts")
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if second["event"] != "span" || second["span"] != "stage" {
+		t.Errorf("line 1 = %v", second)
+	}
+}
+
+func TestRegistryHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up_total 1") {
+		t.Errorf("body:\n%s", rec.Body.String())
+	}
+}

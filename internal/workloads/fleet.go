@@ -1,9 +1,13 @@
 package workloads
 
 import (
+	"fmt"
+	"time"
+
 	"cbi/internal/cfg"
 	"cbi/internal/interp"
 	"cbi/internal/report"
+	"cbi/internal/telemetry"
 )
 
 // ReportOf converts a VM result into a §2.5 feedback report.
@@ -38,59 +42,94 @@ type FleetConfig struct {
 	Submit func(*report.Report) error
 }
 
+// fleetMetrics caches the per-workload telemetry handles so the run loop
+// touches only atomics.
+type fleetMetrics struct {
+	runs       *telemetry.Counter
+	crashes    *telemetry.Counter
+	crashRatio *telemetry.Gauge
+	runSeconds *telemetry.Histogram
+	runSteps   *telemetry.Histogram
+}
+
+func newFleetMetrics(workload string) fleetMetrics {
+	label := fmt.Sprintf("{workload=%q}", workload)
+	return fleetMetrics{
+		runs:       telemetry.C("fleet_runs_total" + label),
+		crashes:    telemetry.C("fleet_crashes_total" + label),
+		crashRatio: telemetry.G("fleet_crash_ratio" + label),
+		runSeconds: telemetry.H("fleet_run_seconds", telemetry.DefBuckets),
+		runSteps:   telemetry.H("fleet_run_steps", telemetry.StepBuckets),
+	}
+}
+
+// runFleet drives the shared fleet loop: one interpreter run per
+// iteration, per-run duration/fuel histograms, crash counters, and the
+// crash-rate gauge, all under a "fleet.<workload>" span.
+func runFleet(workload string, prog *cfg.Program, fc FleetConfig,
+	confFor func(i int) interp.Config) (*report.DB, error) {
+	span := telemetry.StartSpan("fleet." + workload)
+	defer span.End()
+	m := newFleetMetrics(workload)
+	db := report.NewDB(workload, prog.NumCounters)
+	crashed := 0
+	for i := 0; i < fc.Runs; i++ {
+		t0 := time.Now()
+		res := interp.Run(prog, confFor(i))
+		m.runSeconds.Observe(time.Since(t0).Seconds())
+		m.runSteps.Observe(float64(res.Steps))
+		m.runs.Inc()
+		if res.Outcome == interp.OutcomeCrash {
+			m.crashes.Inc()
+			crashed++
+		}
+		rep := ReportOf(workload, uint64(i), res)
+		if err := db.Add(rep); err != nil {
+			return nil, err
+		}
+		if fc.Submit != nil {
+			if err := fc.Submit(rep); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if fc.Runs > 0 {
+		m.crashRatio.Set(float64(crashed) / float64(fc.Runs))
+	}
+	return db, nil
+}
+
 // CcryptFleet runs the ccrypt program across many randomized worlds.
 // prog must have been built against CcryptBuiltins().
 func CcryptFleet(prog *cfg.Program, fc FleetConfig) (*report.DB, error) {
-	db := report.NewDB("ccrypt", prog.NumCounters)
-	for i := 0; i < fc.Runs; i++ {
+	return runFleet("ccrypt", prog, fc, func(i int) interp.Config {
 		seed := fc.SeedBase + int64(i)
 		world := NewCcryptWorld(seed*2654435761 + 1)
-		res := interp.Run(prog, interp.Config{
+		return interp.Config{
 			Seed:          seed,
 			Density:       fc.Density,
 			CountdownSeed: seed*40503 + 7,
 			Fuel:          fc.Fuel,
 			TraceCapacity: fc.TraceCapacity,
 			Intrinsics:    world.Intrinsics(),
-		})
-		rep := ReportOf("ccrypt", uint64(i), res)
-		if err := db.Add(rep); err != nil {
-			return nil, err
 		}
-		if fc.Submit != nil {
-			if err := fc.Submit(rep); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return db, nil
+	})
 }
 
 // BCFleet runs the bc program across many random self-generated inputs.
 // prog must have been built against minic.DefaultBuiltins() (the program
 // generates its own input with rand()).
 func BCFleet(prog *cfg.Program, fc FleetConfig) (*report.DB, error) {
-	db := report.NewDB("bc", prog.NumCounters)
-	for i := 0; i < fc.Runs; i++ {
+	return runFleet("bc", prog, fc, func(i int) interp.Config {
 		seed := fc.SeedBase + int64(i)
-		res := interp.Run(prog, interp.Config{
+		return interp.Config{
 			Seed:          seed*6364136223846793005 + 1442695040888963407,
 			Density:       fc.Density,
 			CountdownSeed: seed*40503 + 11,
 			Fuel:          fc.Fuel,
 			TraceCapacity: fc.TraceCapacity,
-		})
-		rep := ReportOf("bc", uint64(i), res)
-		if err := db.Add(rep); err != nil {
-			return nil, err
 		}
-		if fc.Submit != nil {
-			if err := fc.Submit(rep); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return db, nil
+	})
 }
 
 // SiteSpansOf lists each site's counter range, as needed by elimination
