@@ -6,8 +6,11 @@
 // A density of 0 uses unconditional instrumentation; positive densities
 // apply the sampling transformation. With -submit, every fleet report is
 // additionally POSTed to a running cbi-collect server, exercising the
-// full remote ingest path. Every run ends with a per-stage timing
-// summary from the telemetry spans; -timing=false suppresses it.
+// full remote ingest path; -trace-out records one distributed trace per
+// fleet run (fleet.run → client.submit → server ingest, when combined
+// with -submit) and writes them as Chrome trace-event JSON. Every run
+// ends with a per-stage timing summary from the telemetry spans;
+// -timing=false suppresses it.
 package main
 
 import (
@@ -20,26 +23,39 @@ import (
 	"cbi/internal/instrument"
 	"cbi/internal/report"
 	"cbi/internal/telemetry"
+	"cbi/internal/telemetry/trace"
 	"cbi/internal/workloads"
 )
 
 func main() {
 	var (
-		study   = flag.String("study", "ccrypt", "ccrypt | bc")
-		reports = flag.String("reports", "", "analyze a saved .cbr report file or directory instead of running a fleet")
-		save    = flag.String("save", "", "after running the fleet, save its reports to this .cbr file")
-		runs    = flag.Int("runs", 3000, "number of fuzzed runs")
-		density = flag.Float64("density", 1.0/100, "sampling density (0 = unconditional)")
-		seed    = flag.Int64("seed", 42, "fleet seed")
-		topK    = flag.Int("top", 5, "ranked predicates to show (bc)")
-		submit  = flag.String("submit", "", "also submit every fleet report to this collection server base URL (ccrypt)")
-		timing  = flag.Bool("timing", true, "print the per-stage span timing summary")
-		metrics = flag.Bool("metrics", false, "dump a Prometheus metrics snapshot to stderr at exit")
-		logJSON = flag.Bool("log-json", false, "log structured JSON events to stderr")
+		study    = flag.String("study", "ccrypt", "ccrypt | bc")
+		reports  = flag.String("reports", "", "analyze a saved .cbr report file or directory instead of running a fleet")
+		save     = flag.String("save", "", "after running the fleet, save its reports to this .cbr file")
+		runs     = flag.Int("runs", 3000, "number of fuzzed runs")
+		density  = flag.Float64("density", 1.0/100, "sampling density (0 = unconditional)")
+		seed     = flag.Int64("seed", 42, "fleet seed")
+		topK     = flag.Int("top", 5, "ranked predicates to show (bc)")
+		submit   = flag.String("submit", "", "also submit every fleet report to this collection server base URL (ccrypt)")
+		traceOut = flag.String("trace-out", "", "record one distributed trace per fleet run and write them to this file (.json Chrome trace-event, .jsonl span records)")
+		timing   = flag.Bool("timing", true, "print the per-stage span timing summary")
+		metrics  = flag.Bool("metrics", false, "dump a Prometheus metrics snapshot to stderr at exit")
+		logJSON  = flag.Bool("log-json", false, "log structured JSON events to stderr")
 	)
 	flag.Parse()
 	if *logJSON {
 		telemetry.SetLogWriter(os.Stderr)
+	}
+	var tracer *trace.Collector
+	if *traceOut != "" {
+		tracer = trace.NewCollector()
+		defer func() {
+			if err := tracer.WriteFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "cbi-analyze: writing trace:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d trace spans to %s\n", tracer.Len(), *traceOut)
+		}()
 	}
 	defer func() {
 		if *timing {
@@ -58,10 +74,10 @@ func main() {
 	}
 	switch *study {
 	case "ccrypt":
-		conf := core.CcryptStudyConfig{Runs: *runs, Density: *density, Seed: *seed}
+		conf := core.CcryptStudyConfig{Runs: *runs, Density: *density, Seed: *seed, Tracer: tracer}
 		if *submit != "" {
 			client := collect.NewClient(*submit)
-			conf.Submit = client.Submit
+			conf.Submit = client.SubmitContext
 		}
 		s, err := core.RunCcryptStudyOpts(conf)
 		if err != nil {
@@ -90,7 +106,7 @@ func main() {
 		}
 	case "bc":
 		s, err := core.RunBCStudy(core.BCStudyConfig{
-			Runs: *runs, Density: *density, Seed: *seed, TopK: *topK,
+			Runs: *runs, Density: *density, Seed: *seed, TopK: *topK, Tracer: tracer,
 		})
 		if err != nil {
 			fatal(err)

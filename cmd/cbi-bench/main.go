@@ -10,6 +10,7 @@
 //	cbi-bench fig4         # bc overhead vs density (Figure 4)
 //	cbi-bench adaptive     # multi-round adaptive isolation (§3.1.2 ext.)
 //	cbi-bench ablation     # design-choice ablations (DESIGN.md §5)
+//	cbi-bench profile      # where Table 2's cycles go, per path kind
 //	cbi-bench all          # everything above
 package main
 
@@ -52,9 +53,10 @@ func main() {
 		"bc":         bc,
 		"fig4":       fig4,
 		"ablation":   ablation,
+		"profile":    profile,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"table1", "table2", "selective", "confidence", "ccrypt", "fig2", "bc", "fig4", "adaptive", "ablation"} {
+		for _, name := range []string{"table1", "table2", "selective", "confidence", "ccrypt", "fig2", "bc", "fig4", "adaptive", "ablation", "profile"} {
 			if err := cmds[name](); err != nil {
 				fatal(err)
 			}
@@ -263,6 +265,48 @@ func ablation() error {
 	fair := fairness()
 	fmt.Printf("  periodic:  site counts %v (starved: %v)\n", fair[0], fair[0][0] == 0 || fair[0][1] == 0)
 	fmt.Printf("  geometric: site counts %v (chi^2 %.1f)\n", fair[1], stats.ChiSquareUniform(fair[1][:]))
+	return nil
+}
+
+// profile explains Table 2's cycles: it reruns each benchmark under the
+// bounds scheme — unconditional and sampled at 1/100 — with the VM
+// overhead profiler on, and attributes every interpreter step to
+// baseline work, fast-path countdown decrements, slow-path site
+// instrumentation, or acquire-threshold checks. Per-function detail for
+// any one benchmark is available via cbi-run -profile.
+func profile() error {
+	header("Where Table 2's cycles go (bounds scheme, per path kind)")
+	fmt.Printf("%-10s %-14s %12s %10s %10s %10s %12s %6s\n",
+		"benchmark", "variant", "baseline", "fast-dec", "slow-site", "threshold", "total", "ovh%")
+	for _, b := range workloads.All() {
+		for _, v := range []struct {
+			name    string
+			sampled bool
+			density float64
+		}{
+			{"unconditional", false, 0},
+			{"sampled 1/100", true, 1.0 / 100},
+		} {
+			built, err := workloads.BuildBenchmark(b.Name, instrument.SchemeSet{Bounds: true}, v.sampled)
+			if err != nil {
+				return fmt.Errorf("profile %s: %w", b.Name, err)
+			}
+			res := interp.Run(built.Program, interp.Config{
+				Seed: *seed, Density: v.density, CountdownSeed: *seed + 1, Profile: true,
+			})
+			if res.Outcome != interp.OutcomeOK {
+				return fmt.Errorf("profile %s (%s): crashed: %v", b.Name, v.name, res.Trap)
+			}
+			totals := res.Profile.Totals()
+			overhead := totals[interp.PathFastDec] + totals[interp.PathSlowSite] + totals[interp.PathThreshold]
+			fmt.Printf("%-10s %-14s %12d %10d %10d %10d %12d %5.1f%%\n",
+				b.Name, v.name,
+				totals[interp.PathBaseline], totals[interp.PathFastDec],
+				totals[interp.PathSlowSite], totals[interp.PathThreshold],
+				res.Profile.Steps, 100*float64(overhead)/float64(res.Profile.Steps))
+		}
+	}
+	fmt.Println("\n(per-function breakdowns and folded flame stacks: cbi-run -profile)")
 	return nil
 }
 

@@ -5,10 +5,19 @@
 // Prometheus metrics at /metrics and a liveness/drain probe at /healthz;
 // -log-json emits one structured JSON event per accepted report.
 //
+// Observability extras: -pprof mounts net/http/pprof under
+// /debug/pprof/ on the same mux (off by default — profiling endpoints
+// should not be exposed unintentionally); -trace-out continues each
+// report's X-CBI-Trace context through decode and fold and writes the
+// collected spans to a file at shutdown; -metrics-out writes a final
+// Prometheus snapshot to a file on graceful shutdown so the last
+// scrape's worth of state survives the process.
+//
 // Usage:
 //
 //	cbi-collect -addr 127.0.0.1:8099 -counters 1710 -program ccrypt -mode store
 //	curl -s http://127.0.0.1:8099/metrics | grep collect_
+//	go tool pprof http://127.0.0.1:8099/debug/pprof/heap   # with -pprof
 package main
 
 import (
@@ -19,16 +28,20 @@ import (
 	"syscall"
 
 	"cbi/internal/collect"
+	"cbi/internal/telemetry/trace"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8099", "listen address")
-		program  = flag.String("program", "", "program build name (empty accepts any)")
-		counters = flag.Int("counters", 0, "expected counter-vector length (0 accepts any)")
-		mode     = flag.String("mode", "store", "store | aggregate")
-		metrics  = flag.Bool("metrics", true, "serve /metrics and /healthz")
-		logJSON  = flag.Bool("log-json", false, "log structured JSON events to stderr")
+		addr       = flag.String("addr", "127.0.0.1:8099", "listen address")
+		program    = flag.String("program", "", "program build name (empty accepts any)")
+		counters   = flag.Int("counters", 0, "expected counter-vector length (0 accepts any)")
+		mode       = flag.String("mode", "store", "store | aggregate")
+		metrics    = flag.Bool("metrics", true, "serve /metrics and /healthz")
+		metricsOut = flag.String("metrics-out", "", "write a final Prometheus metrics snapshot to this file on graceful shutdown")
+		pprof      = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+		traceOut   = flag.String("trace-out", "", "continue submitters' trace contexts and write collected spans to this file at shutdown (.json Chrome trace-event, .jsonl span records)")
+		logJSON    = flag.Bool("log-json", false, "log structured JSON events to stderr")
 	)
 	flag.Parse()
 
@@ -41,6 +54,10 @@ func main() {
 	}
 	srv := collect.NewServer(*program, *counters, m)
 	srv.ExposeTelemetry = *metrics
+	srv.EnablePprof = *pprof
+	if *traceOut != "" {
+		srv.Tracer = trace.NewCollector()
+	}
 	if *logJSON {
 		srv.Registry().SetLogWriter(os.Stderr)
 	}
@@ -53,6 +70,9 @@ func main() {
 	if *metrics {
 		fmt.Printf("cbi-collect: metrics at http://%s/metrics, health at http://%s/healthz\n", bound, bound)
 	}
+	if *pprof {
+		fmt.Printf("cbi-collect: pprof at http://%s/debug/pprof/\n", bound)
+	}
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
@@ -62,6 +82,27 @@ func main() {
 		collect.ShutdownTimeout, agg.Runs, agg.Crashes)
 	if err := srv.Stop(); err != nil {
 		fmt.Fprintln(os.Stderr, "cbi-collect: shutdown:", err)
+	}
+	if srv.Tracer != nil {
+		if err := srv.Tracer.WriteFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "cbi-collect: writing trace:", err)
+		} else {
+			fmt.Printf("cbi-collect: wrote %d trace spans to %s\n", srv.Tracer.Len(), *traceOut)
+		}
+	}
+	if *metricsOut != "" {
+		mf, err := os.Create(*metricsOut)
+		if err == nil {
+			err = srv.Registry().WritePrometheus(mf)
+			if cerr := mf.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cbi-collect: writing metrics snapshot:", err)
+		} else {
+			fmt.Println("cbi-collect: final metrics snapshot written to", *metricsOut)
+		}
 	}
 	if *metrics {
 		fmt.Println("cbi-collect: final metrics snapshot:")

@@ -7,9 +7,19 @@
 //
 //	cbi-run -workload bc -scheme scalar-pairs -sample -density 0.001 -seed 7
 //	cbi-run -workload ccrypt -scheme returns -sample -density 0.01 -submit http://127.0.0.1:8099
+//	cbi-run -workload compress -scheme branches -sample -profile
+//
+// -profile turns on the VM overhead profiler: a per-function,
+// per-path-kind breakdown of interpreter steps (baseline work vs
+// fast-path countdown decrements vs slow-path site instrumentation vs
+// acquire-threshold checks) whose total matches the run's step count
+// exactly, plus a folded flame-stack file for flamegraph.pl/speedscope.
+// -trace-out records the run as a distributed trace (run → build /
+// execute / submit) in Chrome trace-event JSON.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +30,7 @@ import (
 	"cbi/internal/interp"
 	"cbi/internal/minic"
 	"cbi/internal/telemetry"
+	"cbi/internal/telemetry/trace"
 	"cbi/internal/workloads"
 )
 
@@ -36,12 +47,21 @@ func main() {
 		out      = flag.String("report", "", "write the encoded report to this file")
 		traceCap = flag.Int("trace", 0, "keep an ordered trace of the last N sampled events")
 		showOut  = flag.Bool("stdout", true, "echo program output")
+		profile  = flag.Bool("profile", false, "attribute every interpreter step to a function and path kind; print the breakdown")
+		profOut  = flag.String("profile-out", "cbi-profile.folded", "folded flame-stack output file for -profile")
+		traceOut = flag.String("trace-out", "", "write the run's distributed trace to this file (.json Chrome trace-event, .jsonl span records)")
 		metrics  = flag.Bool("metrics", false, "dump a Prometheus metrics snapshot to stderr at exit")
 		logJSON  = flag.Bool("log-json", false, "log structured JSON events to stderr")
 	)
 	flag.Parse()
 	if *logJSON {
 		telemetry.SetLogWriter(os.Stderr)
+	}
+	var tracer *trace.Collector
+	var rootSpan *trace.Span
+	if *traceOut != "" {
+		tracer = trace.NewCollector()
+		rootSpan = tracer.StartSpan("run")
 	}
 
 	set, err := parseSchemes(*scheme)
@@ -80,8 +100,11 @@ func main() {
 		fatal(err)
 	}
 
+	rootSpan.SetAttr("workload", name)
 	buildSpan := telemetry.StartSpan("run.build")
+	buildChild := rootSpan.StartChild("run.build")
 	prog, err := cfg.Build(f, builtins, &instrument.Schemes{Set: set})
+	buildChild.End()
 	buildSpan.End()
 	if err != nil {
 		fatal(err)
@@ -98,12 +121,15 @@ func main() {
 		CountdownSeed: *cdSeed,
 		Intrinsics:    intrinsics,
 		TraceCapacity: *traceCap,
+		Profile:       *profile,
 	}
 	if *showOut {
 		conf.Stdout = os.Stdout
 	}
 	execSpan := telemetry.StartSpan("run.execute")
+	execChild := rootSpan.StartChild("run.execute")
 	res := interp.Run(prog, conf)
+	execChild.End()
 	execSpan.End()
 	telemetry.H("run_steps", telemetry.StepBuckets).Observe(float64(res.Steps))
 	rep := workloads.ReportOf(name, uint64(*seed), res)
@@ -129,19 +155,45 @@ func main() {
 		fmt.Println()
 	}
 
+	if *profile {
+		if res.Profile == nil {
+			fatal(fmt.Errorf("interpreter returned no profile"))
+		}
+		fmt.Printf("\nVM overhead profile (%d steps):\n%s", res.Profile.Steps, res.Profile.Format())
+		pf, err := os.Create(*profOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Profile.WriteFolded(pf); err != nil {
+			fatal(err)
+		}
+		if err := pf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("folded flame stacks written to", *profOut)
+	}
+
 	if *out != "" {
 		if err := os.WriteFile(*out, rep.Encode(), 0o644); err != nil {
 			fatal(err)
 		}
 	}
 	if *submit != "" {
-		if err := collect.NewClient(*submit).Submit(rep); err != nil {
+		ctx := trace.NewContext(context.Background(), rootSpan)
+		if err := collect.NewClient(*submit).SubmitContext(ctx, rep); err != nil {
 			fatal(err)
 		}
 		fmt.Println("report submitted to", *submit)
 	}
 	if *metrics {
 		_ = telemetry.Default.WritePrometheus(os.Stderr)
+	}
+	rootSpan.End()
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace spans to %s\n", tracer.Len(), *traceOut)
 	}
 	if res.Outcome == interp.OutcomeCrash {
 		os.Exit(2)

@@ -6,9 +6,18 @@
 // predicate elimination point at the bug.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -trace-out quickstart-trace.json
+//
+// With -trace-out, every user run opens a distributed trace that the
+// collection server continues across the HTTP hop (fleet.run →
+// client.submit → server.ingest → server.decode/server.fold), and all
+// spans land in one Chrome trace-event file — load it in Perfetto or
+// chrome://tracing to follow a single report from fleet run to fold.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -19,6 +28,7 @@ import (
 	"cbi/internal/interp"
 	"cbi/internal/minic"
 	"cbi/internal/report"
+	"cbi/internal/telemetry/trace"
 	"cbi/internal/workloads"
 )
 
@@ -49,6 +59,13 @@ int main() {
 `
 
 func main() {
+	traceOut := flag.String("trace-out", "", "write one Chrome trace-event JSON file covering every run's fleet→collector trace")
+	flag.Parse()
+	var tracer *trace.Collector
+	if *traceOut != "" {
+		tracer = trace.NewCollector()
+	}
+
 	// 1. Parse and instrument with the returns scheme, then apply the
 	//    sampling transformation (fast path + slow path + thresholds).
 	file, err := minic.Parse("quickstart.mc", src)
@@ -62,8 +79,11 @@ func main() {
 	sampled := instrument.Sample(prog, instrument.DefaultOptions())
 	fmt.Printf("instrumented %d sites (%d counters)\n", len(prog.Sites), prog.NumCounters)
 
-	// 2. Start a central collection server.
+	// 2. Start a central collection server. Client and server share one
+	//    span collector here (they are one process), so each trace shows
+	//    both sides of the HTTP hop in a single timeline.
 	srv := collect.NewServer("quickstart", prog.NumCounters, collect.StoreAll)
+	srv.Tracer = tracer
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -76,6 +96,8 @@ func main() {
 	const users = 2000
 	crashes := 0
 	for u := int64(0); u < users; u++ {
+		runSpan := tracer.StartSpan("fleet.run")
+		runSpan.SetAttr("run_id", fmt.Sprint(u))
 		res := interp.Run(sampled, interp.Config{
 			Seed:          u,
 			Density:       1.0 / 10,
@@ -84,7 +106,10 @@ func main() {
 		if res.Outcome == interp.OutcomeCrash {
 			crashes++
 		}
-		if err := client.Submit(workloads.ReportOf("quickstart", uint64(u), res)); err != nil {
+		ctx := trace.NewContext(context.Background(), runSpan)
+		err := client.SubmitContext(ctx, workloads.ReportOf("quickstart", uint64(u), res))
+		runSpan.End()
+		if err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -107,4 +132,12 @@ func main() {
 	}
 	fmt.Println("\n(the parse_header() < 0 predicate is the bug: a negative")
 	fmt.Println(" header code flows into table[idx])")
+
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %d trace spans to %s (open in Perfetto or chrome://tracing)\n",
+			tracer.Len(), *traceOut)
+	}
 }

@@ -18,11 +18,14 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"cbi/internal/report"
 	"cbi/internal/telemetry"
+	"cbi/internal/telemetry/trace"
 )
 
 // Mode selects how the server retains data.
@@ -78,6 +81,18 @@ type Server struct {
 	// /healthz (default true; set before calling Handler or Start).
 	ExposeTelemetry bool
 
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the same
+	// mux (default false; set before calling Handler or Start). Off by
+	// default because profile endpoints can stall a loaded collector and
+	// leak operational detail.
+	EnablePprof bool
+
+	// Tracer, when set, records server-side ingest spans: each /report
+	// POST gets a server.ingest span with server.decode and server.fold
+	// children, continuing the client's trace when the request carries
+	// an X-CBI-Trace header. Set before traffic arrives.
+	Tracer *trace.Collector
+
 	mu  sync.Mutex
 	db  *report.DB
 	agg *report.Aggregate
@@ -120,6 +135,13 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle("/metrics", s.reg.Handler())
 		mux.Handle("/healthz", &s.health)
 	}
+	if s.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -129,26 +151,41 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	// Continue the client's trace across the wire (nil-safe throughout:
+	// with no Tracer every span below is nil and records nothing).
+	ingest := s.Tracer.ContinueSpan("server.ingest", r.Header.Get(trace.Header))
+	defer ingest.End()
 	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
 	if err != nil {
 		s.m.rejectedRead.Inc()
+		ingest.SetAttr("outcome", "rejected-read")
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	ingest.SetAttr("bytes", strconv.Itoa(len(body)))
 	s.m.bytesIngested.Add(uint64(len(body)))
 	s.m.reportBytes.Observe(float64(len(body)))
+	decodeSpan := ingest.StartChild("server.decode")
 	t0 := time.Now()
 	rep, err := report.Decode(body)
 	s.m.decodeSeconds.Observe(time.Since(t0).Seconds())
+	decodeSpan.End()
 	if err != nil {
 		s.m.rejectedDecode.Inc()
+		ingest.SetAttr("outcome", "rejected-decode")
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := s.Submit(rep); err != nil {
+	ingest.SetAttr("run_id", strconv.FormatUint(rep.RunID, 10))
+	foldSpan := ingest.StartChild("server.fold")
+	err = s.Submit(rep)
+	foldSpan.End()
+	if err != nil {
+		ingest.SetAttr("outcome", "rejected-fold")
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	ingest.SetAttr("outcome", "accepted")
 	if s.reg.LogEnabled() {
 		s.reg.Event("report_accepted", map[string]any{
 			"run_id": rep.RunID, "program": rep.Program,
@@ -280,7 +317,19 @@ func (c *Client) registry() *telemetry.Registry {
 
 // Submit posts one report, retrying transient failures.
 func (c *Client) Submit(rep *report.Report) error {
+	return c.SubmitContext(context.Background(), rep)
+}
+
+// SubmitContext posts one report, retrying transient failures. When ctx
+// carries a trace span (trace.NewContext), the submission is recorded as
+// a client.submit child span with one client.attempt child per POST, and
+// the attempt's span context rides the X-CBI-Trace header so the
+// collector continues the same trace.
+func (c *Client) SubmitContext(ctx context.Context, rep *report.Report) error {
 	reg := c.registry()
+	sub := trace.FromContext(ctx).StartChild("client.submit")
+	sub.SetAttr("run_id", strconv.FormatUint(rep.RunID, 10))
+	defer sub.End()
 	body := rep.Encode()
 	attempts := c.MaxAttempts
 	if attempts <= 0 {
@@ -300,9 +349,14 @@ func (c *Client) Submit(rep *report.Report) error {
 			d := backoff << (attempt - 1)
 			time.Sleep(time.Duration(float64(d) * (0.5 + rand.Float64())))
 		}
+		att := sub.StartChild("client.attempt")
+		att.SetAttr("attempt", strconv.Itoa(attempt+1))
 		var retryable bool
-		retryable, err = c.trySubmit(body)
+		retryable, err = c.trySubmit(ctx, att, body)
+		att.End()
 		if err == nil {
+			sub.SetAttr("attempts", strconv.Itoa(attempt+1))
+			sub.SetAttr("outcome", "accepted")
 			reg.Histogram("client_submit_seconds", telemetry.DefBuckets).
 				Observe(time.Since(start).Seconds())
 			reg.Counter("client_submits_total").Inc()
@@ -312,15 +366,26 @@ func (c *Client) Submit(rep *report.Report) error {
 			break
 		}
 	}
+	sub.SetAttr("outcome", "error")
 	reg.Counter("client_submit_errors_total").Inc()
 	return err
 }
 
 // trySubmit performs one POST and reports whether a failure is worth
-// retrying.
-func (c *Client) trySubmit(body []byte) (retryable bool, err error) {
-	resp, err := c.HTTP.Post(c.BaseURL+"/report", "application/octet-stream",
+// retrying. The attempt span's context (not the whole submission's)
+// rides the trace header, so server-side spans parent to the POST that
+// actually reached them.
+func (c *Client) trySubmit(ctx context.Context, att *trace.Span, body []byte) (retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/report",
 		bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if hv := att.HeaderValue(); hv != "" {
+		req.Header.Set(trace.Header, hv)
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return true, err
 	}

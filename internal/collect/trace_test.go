@@ -1,0 +1,205 @@
+package collect
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cbi/internal/telemetry/trace"
+)
+
+// spanIndex maps span IDs to records for link-checking.
+func spanIndex(recs []trace.Record) map[string]trace.Record {
+	byID := make(map[string]trace.Record, len(recs))
+	for _, r := range recs {
+		byID[r.SpanID] = r
+	}
+	return byID
+}
+
+func findSpan(t *testing.T, recs []trace.Record, name string) trace.Record {
+	t.Helper()
+	for _, r := range recs {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("no %q span in %d records", name, len(recs))
+	return trace.Record{}
+}
+
+// TestTracePropagatesAcrossTheWire follows one report end to end:
+// fleet.run → client.submit → client.attempt on the client side, then
+// server.ingest → server.decode / server.fold on the server side, with
+// the two processes holding separate collectors (as a real deployment
+// would) joined only by the X-CBI-Trace header.
+func TestTracePropagatesAcrossTheWire(t *testing.T) {
+	srv := NewServer("p", 3, StoreAll)
+	serverTracer := trace.NewCollector()
+	srv.Tracer = serverTracer
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	clientTracer := trace.NewCollector()
+	run := clientTracer.StartSpan("fleet.run")
+	client := NewClient("http://" + addr)
+	if err := client.SubmitContext(trace.NewContext(context.Background(), run), mkReport(7, true)); err != nil {
+		t.Fatal(err)
+	}
+	run.End()
+
+	clientRecs := clientTracer.Records()
+	serverRecs := serverTracer.Records()
+	if len(clientRecs) != 3 {
+		t.Fatalf("client spans = %d, want 3 (fleet.run, client.submit, client.attempt)", len(clientRecs))
+	}
+	if len(serverRecs) != 3 {
+		t.Fatalf("server spans = %d, want 3 (server.ingest, server.decode, server.fold)", len(serverRecs))
+	}
+
+	all := append(append([]trace.Record(nil), clientRecs...), serverRecs...)
+	root := findSpan(t, all, "fleet.run")
+	for _, r := range all {
+		if r.TraceID != root.TraceID {
+			t.Errorf("span %s has trace %s, want %s", r.Name, r.TraceID, root.TraceID)
+		}
+	}
+
+	// Parent links form the documented chain.
+	byID := spanIndex(all)
+	wantParent := map[string]string{
+		"client.submit":  "fleet.run",
+		"client.attempt": "client.submit",
+		"server.ingest":  "client.attempt",
+		"server.decode":  "server.ingest",
+		"server.fold":    "server.ingest",
+	}
+	for child, parent := range wantParent {
+		c := findSpan(t, all, child)
+		p, ok := byID[c.ParentID]
+		if !ok {
+			t.Errorf("%s: parent %s not among collected spans", child, c.ParentID)
+			continue
+		}
+		if p.Name != parent {
+			t.Errorf("%s: parent = %s, want %s", child, p.Name, parent)
+		}
+	}
+
+	ingest := findSpan(t, serverRecs, "server.ingest")
+	if ingest.Attrs["outcome"] != "accepted" {
+		t.Errorf("ingest outcome = %q", ingest.Attrs["outcome"])
+	}
+	if ingest.Attrs["run_id"] != "7" {
+		t.Errorf("ingest run_id = %q", ingest.Attrs["run_id"])
+	}
+}
+
+// TestTraceRecordsEachRetryAttempt flakes the first two POSTs and checks
+// that every attempt appears as its own span, with the server's ingest
+// parented to the POST that actually reached it.
+func TestTraceRecordsEachRetryAttempt(t *testing.T) {
+	srv := NewServer("p", 3, StoreAll)
+	serverTracer := trace.NewCollector()
+	srv.Tracer = serverTracer
+	var hits atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	clientTracer := trace.NewCollector()
+	run := clientTracer.StartSpan("fleet.run")
+	client := NewClient(flaky.URL)
+	client.RetryBackoff = time.Millisecond
+	if err := client.SubmitContext(trace.NewContext(context.Background(), run), mkReport(1, false)); err != nil {
+		t.Fatal(err)
+	}
+	run.End()
+
+	attempts := 0
+	var last trace.Record
+	for _, r := range clientTracer.Records() {
+		if r.Name == "client.attempt" {
+			attempts++
+			if r.Start.After(last.Start) {
+				last = r
+			}
+		}
+	}
+	if attempts != 3 {
+		t.Fatalf("attempt spans = %d, want 3", attempts)
+	}
+	sub := findSpan(t, clientTracer.Records(), "client.submit")
+	if sub.Attrs["attempts"] != "3" || sub.Attrs["outcome"] != "accepted" {
+		t.Errorf("submit attrs = %v", sub.Attrs)
+	}
+	ingest := findSpan(t, serverTracer.Records(), "server.ingest")
+	if ingest.ParentID != last.SpanID {
+		t.Errorf("ingest parent = %s, want last attempt %s", ingest.ParentID, last.SpanID)
+	}
+	if ingest.TraceID != sub.TraceID {
+		t.Errorf("ingest trace = %s, want %s", ingest.TraceID, sub.TraceID)
+	}
+}
+
+// TestServerIgnoresTracingWhenDisabled: no Tracer, traced client — the
+// submission must still succeed and the server keeps no spans.
+func TestServerIgnoresTracingWhenDisabled(t *testing.T) {
+	srv := NewServer("p", 3, StoreAll)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	clientTracer := trace.NewCollector()
+	run := clientTracer.StartSpan("fleet.run")
+	client := NewClient("http://" + addr)
+	if err := client.SubmitContext(trace.NewContext(context.Background(), run), mkReport(1, false)); err != nil {
+		t.Fatal(err)
+	}
+	run.End()
+	if srv.Tracer.Len() != 0 {
+		t.Error("disabled tracer recorded spans")
+	}
+	if got := clientTracer.Len(); got != 3 {
+		t.Errorf("client spans = %d, want 3", got)
+	}
+}
+
+func TestPprofMountedOnlyWhenEnabled(t *testing.T) {
+	plain := httptest.NewServer(NewServer("p", 3, StoreAll).Handler())
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: status = %d, want 404", resp.StatusCode)
+	}
+
+	withPprof := NewServer("p", 3, StoreAll)
+	withPprof.EnablePprof = true
+	enabled := httptest.NewServer(withPprof.Handler())
+	defer enabled.Close()
+	resp, err = http.Get(enabled.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on: status = %d, want 200", resp.StatusCode)
+	}
+}

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cbi/internal/analysis/elim"
@@ -23,6 +24,7 @@ import (
 	"cbi/internal/instrument"
 	"cbi/internal/report"
 	"cbi/internal/telemetry"
+	"cbi/internal/telemetry/trace"
 	"cbi/internal/workloads"
 )
 
@@ -51,9 +53,13 @@ type CcryptStudyConfig struct {
 	Density float64 // 0 = unconditional instrumentation
 	Seed    int64
 	// Submit, when set, additionally routes every fleet report through it
-	// — e.g. a collect.Client's Submit, exercising the full HTTP ingest
-	// path of a remote collector.
-	Submit func(*report.Report) error
+	// — e.g. a collect.Client's SubmitContext, exercising the full HTTP
+	// ingest path of a remote collector. The context carries the run's
+	// trace span when Tracer is set.
+	Submit func(context.Context, *report.Report) error
+	// Tracer, when set, records one distributed trace per fleet run
+	// (fleet.run → fleet.execute / client.submit → server.*).
+	Tracer *trace.Collector
 }
 
 // RunCcryptStudy instruments ccrypt with the returns scheme, fuzzes it
@@ -82,7 +88,7 @@ func RunCcryptStudyOpts(conf CcryptStudyConfig) (*CcryptStudy, error) {
 	}
 	db, err := workloads.CcryptFleet(built.Program, workloads.FleetConfig{
 		Runs: conf.Runs, Density: effDensity, SeedBase: conf.Seed,
-		Submit: conf.Submit,
+		Submit: conf.Submit, Tracer: conf.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -167,6 +173,10 @@ type BCStudyConfig struct {
 	Lambdas []float64 // cross-validated; default {0.05, 0.1, 0.3, 1.0}
 	Epochs  int
 	TopK    int
+	// Submit and Tracer mirror CcryptStudyConfig: optional report
+	// forwarding and per-run distributed tracing.
+	Submit func(context.Context, *report.Report) error
+	Tracer *trace.Collector
 }
 
 // RunBCStudy instruments bc with the scalar-pairs scheme, runs the fuzz
@@ -188,6 +198,7 @@ func RunBCStudy(conf BCStudyConfig) (*BCStudy, error) {
 	}
 	db, err := workloads.BCFleet(built.Program, workloads.FleetConfig{
 		Runs: conf.Runs, Density: conf.Density, SeedBase: conf.Seed,
+		Submit: conf.Submit, Tracer: conf.Tracer,
 	})
 	if err != nil {
 		return nil, err

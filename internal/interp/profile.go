@@ -1,0 +1,277 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cbi/internal/cfg"
+)
+
+// PathKind classifies where an interpreter step was spent, in the
+// vocabulary of the sampling transformation: the program's own work,
+// the fast path's countdown bookkeeping, the slow path's site checks,
+// and the region threshold checks that pick between the two. Per-kind
+// attribution is what turns the Table 2 / Figure 4 overhead ratios from
+// a single number into an explanation.
+type PathKind int
+
+const (
+	// PathBaseline is the program's own computation.
+	PathBaseline PathKind = iota
+	// PathFastDec is fast-path countdown maintenance: coalesced
+	// decrements plus the import/export shuffling of a frame-local
+	// countdown (§2.4).
+	PathFastDec
+	// PathSlowSite is slow-path and unconditional site work: guarded
+	// site checks, probe argument evaluation, and counter bumps.
+	PathSlowSite
+	// PathThreshold is the acyclic-region threshold checks that choose
+	// between the fast and slow clones (§2.2).
+	PathThreshold
+
+	numPathKinds
+)
+
+func (k PathKind) String() string {
+	switch k {
+	case PathBaseline:
+		return "baseline"
+	case PathFastDec:
+		return "fast-dec"
+	case PathSlowSite:
+		return "slow-site"
+	case PathThreshold:
+		return "threshold"
+	default:
+		return "unknown"
+	}
+}
+
+// instrKind maps an instruction to the path kind its steps belong to.
+func instrKind(in cfg.Instr) PathKind {
+	switch in.(type) {
+	case *cfg.CountdownDec, *cfg.CDImport, *cfg.CDExport:
+		return PathFastDec
+	case *cfg.GuardedSite, *cfg.SiteInstr:
+		return PathSlowSite
+	default:
+		return PathBaseline
+	}
+}
+
+// profNode is one node of the calling-context tree: a function name in
+// the context of its whole call stack, with per-path-kind step counts.
+type profNode struct {
+	name     string
+	parent   *profNode
+	children map[string]*profNode
+	kinds    [numPathKinds]uint64
+}
+
+func (n *profNode) child(name string) *profNode {
+	if c, ok := n.children[name]; ok {
+		return c
+	}
+	c := &profNode{name: name, parent: n}
+	if n.children == nil {
+		n.children = make(map[string]*profNode, 4)
+	}
+	n.children[name] = c
+	return c
+}
+
+// profiler attributes every VM step to exactly one (call-stack,
+// path-kind) pair. The VM synchronizes it at instruction and terminator
+// granularity: take() charges all steps executed since the previous
+// synchronization point to the current node, so nested calls (whose
+// steps were already attributed at deeper nodes) are never
+// double-counted — the caller's take only sees what the callee left
+// unclaimed.
+type profiler struct {
+	root *profNode
+	cur  *profNode
+	last uint64 // steps attributed so far
+}
+
+func newProfiler() *profiler {
+	root := &profNode{name: "(vm)"}
+	return &profiler{root: root, cur: root}
+}
+
+// take charges steps-last to the current node under kind.
+func (p *profiler) take(kind PathKind, steps uint64) {
+	if d := steps - p.last; d > 0 {
+		p.cur.kinds[kind] += d
+		p.last = steps
+	}
+}
+
+// enter descends into fn: pending caller-side steps (argument
+// evaluation, the call instruction's own fuel charge) are baseline work
+// of the caller.
+func (p *profiler) enter(fn string, steps uint64) {
+	p.take(PathBaseline, steps)
+	p.cur = p.cur.child(fn)
+}
+
+// exit ascends after a call returns (or unwinds on a trap): whatever
+// the callee has not yet claimed — return-expression evaluation,
+// trailing terminator steps — is its baseline work.
+func (p *profiler) exit(steps uint64) {
+	p.take(PathBaseline, steps)
+	p.cur = p.cur.parent
+}
+
+// profile freezes the tree into the exported Profile.
+func (p *profiler) profile() *Profile {
+	return &Profile{root: p.root, Steps: p.last}
+}
+
+// Profile is the per-run step-attribution profile produced by
+// Config.Profile: a calling-context tree whose per-kind counts sum to
+// the run's exact step count (Result.Steps).
+type Profile struct {
+	root *profNode
+	// Steps is the total attributed steps; equals Result.Steps.
+	Steps uint64
+}
+
+// FuncProfile aggregates one function's steps across every call path.
+type FuncProfile struct {
+	Name  string
+	Kinds [numPathKinds]uint64
+	Total uint64
+}
+
+// walk visits the tree depth-first with children in name order.
+func (p *Profile) walk(visit func(stack []string, n *profNode)) {
+	var rec func(stack []string, n *profNode)
+	rec = func(stack []string, n *profNode) {
+		visit(stack, n)
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c := n.children[name]
+			rec(append(stack, c.name), c)
+		}
+	}
+	// The synthetic "(vm)" root carries no steps of its own; start the
+	// visible stacks at its children.
+	names := make([]string, 0, len(p.root.children))
+	for name := range p.root.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := p.root.children[name]
+		rec([]string{c.name}, c)
+	}
+}
+
+// ByFunc flattens the tree into per-function totals, sorted by total
+// steps descending (ties by name).
+func (p *Profile) ByFunc() []FuncProfile {
+	byName := make(map[string]*FuncProfile)
+	p.walk(func(_ []string, n *profNode) {
+		fp, ok := byName[n.name]
+		if !ok {
+			fp = &FuncProfile{Name: n.name}
+			byName[n.name] = fp
+		}
+		for k := 0; k < int(numPathKinds); k++ {
+			fp.Kinds[k] += n.kinds[k]
+			fp.Total += n.kinds[k]
+		}
+	})
+	out := make([]FuncProfile, 0, len(byName))
+	for _, fp := range byName {
+		out = append(out, *fp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Totals sums attributed steps per path kind across the whole run.
+func (p *Profile) Totals() [numPathKinds]uint64 {
+	var t [numPathKinds]uint64
+	p.walk(func(_ []string, n *profNode) {
+		for k := 0; k < int(numPathKinds); k++ {
+			t[k] += n.kinds[k]
+		}
+	})
+	return t
+}
+
+// Format renders the per-function, per-path-kind breakdown table. The
+// TOTAL row equals Result.Steps exactly — every cycle the VM charged is
+// attributed to one cell.
+func (p *Profile) Format() string {
+	funcs := p.ByFunc()
+	wide := len("TOTAL")
+	for _, f := range funcs {
+		if len(f.Name) > wide {
+			wide = len(f.Name)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-function step attribution (sampling-overhead profile):\n")
+	fmt.Fprintf(&b, "  %-*s %12s %12s %12s %12s %14s %8s\n",
+		wide, "function", "baseline", "fast-dec", "slow-site", "threshold", "total", "overhead")
+	var totals [numPathKinds]uint64
+	var grand uint64
+	for _, f := range funcs {
+		fmt.Fprintf(&b, "  %-*s %12d %12d %12d %12d %14d %7.1f%%\n",
+			wide, f.Name, f.Kinds[PathBaseline], f.Kinds[PathFastDec],
+			f.Kinds[PathSlowSite], f.Kinds[PathThreshold], f.Total,
+			percent(f.Total-f.Kinds[PathBaseline], f.Total))
+		for k := 0; k < int(numPathKinds); k++ {
+			totals[k] += f.Kinds[k]
+		}
+		grand += f.Total
+	}
+	fmt.Fprintf(&b, "  %-*s %12d %12d %12d %12d %14d %7.1f%%\n",
+		wide, "TOTAL", totals[PathBaseline], totals[PathFastDec],
+		totals[PathSlowSite], totals[PathThreshold], grand,
+		percent(grand-totals[PathBaseline], grand))
+	return b.String()
+}
+
+func percent(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// WriteFolded emits the profile in folded flame-stack format (one
+// "frame;frame;... count" line per stack), the input format of
+// flamegraph.pl and speedscope. Baseline steps stay on the function's
+// own stack; sampling overhead gets a synthetic leaf frame per path
+// kind — `(fast-dec)`, `(slow-site)`, `(threshold)` — so the overhead
+// shows up as its own towers on top of the functions that pay it.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	var b strings.Builder
+	p.walk(func(stack []string, n *profNode) {
+		prefix := strings.Join(stack, ";")
+		if v := n.kinds[PathBaseline]; v > 0 {
+			fmt.Fprintf(&b, "%s %d\n", prefix, v)
+		}
+		for _, k := range []PathKind{PathFastDec, PathSlowSite, PathThreshold} {
+			if v := n.kinds[k]; v > 0 {
+				fmt.Fprintf(&b, "%s;(%s) %d\n", prefix, k, v)
+			}
+		}
+	})
+	_, err := io.WriteString(w, b.String())
+	return err
+}

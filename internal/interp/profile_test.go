@@ -1,0 +1,246 @@
+package interp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"cbi/internal/cfg"
+	"cbi/internal/instrument"
+	"cbi/internal/minic"
+)
+
+// buildProfiled parses, instruments, and optionally samples src.
+func buildProfiled(t *testing.T, src string, set instrument.SchemeSet, sample bool) *cfg.Program {
+	t.Helper()
+	f, err := minic.Parse("prof.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(f, nil, &instrument.Schemes{Set: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample {
+		prog = instrument.Sample(prog, instrument.DefaultOptions())
+	}
+	return prog
+}
+
+const profSrc = `
+int leaf(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) { s = s + i; }
+	return s;
+}
+
+int mid(int n) {
+	return leaf(n) + leaf(n + 1);
+}
+
+int main() {
+	int total = 0;
+	for (int i = 0; i < 50; i++) { total = total + mid(i); }
+	return 0;
+}
+`
+
+// checkExact asserts the profile's attribution sums to the run's exact
+// step count, per function and per kind.
+func checkExact(t *testing.T, res Result) {
+	t.Helper()
+	if res.Profile == nil {
+		t.Fatal("Profile missing with Config.Profile set")
+	}
+	if res.Profile.Steps != res.Steps {
+		t.Errorf("Profile.Steps = %d, want %d", res.Profile.Steps, res.Steps)
+	}
+	var byFunc uint64
+	for _, f := range res.Profile.ByFunc() {
+		var ft uint64
+		for _, v := range f.Kinds {
+			ft += v
+		}
+		if ft != f.Total {
+			t.Errorf("func %s: kind sum %d != total %d", f.Name, ft, f.Total)
+		}
+		byFunc += f.Total
+	}
+	if byFunc != res.Steps {
+		t.Errorf("ByFunc sum = %d, want exactly Steps = %d", byFunc, res.Steps)
+	}
+	var byKind uint64
+	for _, v := range res.Profile.Totals() {
+		byKind += v
+	}
+	if byKind != res.Steps {
+		t.Errorf("Totals sum = %d, want exactly Steps = %d", byKind, res.Steps)
+	}
+}
+
+func TestProfileExactOnBaseline(t *testing.T) {
+	prog := buildProfiled(t, profSrc, instrument.SchemeSet{}, false)
+	res := Run(prog, Config{Seed: 1, Profile: true})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("run crashed: %v", res.Trap)
+	}
+	checkExact(t, res)
+	totals := res.Profile.Totals()
+	for _, k := range []PathKind{PathFastDec, PathSlowSite, PathThreshold} {
+		if totals[k] != 0 {
+			t.Errorf("uninstrumented run charged %d steps to %s", totals[k], k)
+		}
+	}
+	names := map[string]bool{}
+	for _, f := range res.Profile.ByFunc() {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"main", "mid", "leaf"} {
+		if !names[want] {
+			t.Errorf("function %s missing from profile: %v", want, names)
+		}
+	}
+}
+
+func TestProfileExactOnSampledRun(t *testing.T) {
+	prog := buildProfiled(t, profSrc, instrument.SchemeSet{Branches: true, Returns: true}, true)
+	res := Run(prog, Config{Seed: 1, Density: 1.0 / 10, CountdownSeed: 3, Profile: true})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("run crashed: %v", res.Trap)
+	}
+	checkExact(t, res)
+	totals := res.Profile.Totals()
+	if totals[PathFastDec] == 0 {
+		t.Error("sampled run must charge fast-path decrements")
+	}
+	if totals[PathSlowSite] == 0 {
+		t.Error("sampled run at 1/10 must fire slow-path sites")
+	}
+	if totals[PathThreshold] == 0 {
+		t.Error("sampled run must charge threshold checks")
+	}
+	if totals[PathBaseline] == 0 {
+		t.Error("baseline work cannot be zero")
+	}
+}
+
+func TestProfileExactOnUnconditionalInstrumentation(t *testing.T) {
+	prog := buildProfiled(t, profSrc, instrument.SchemeSet{Branches: true}, false)
+	res := Run(prog, Config{Seed: 1, Profile: true})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("run crashed: %v", res.Trap)
+	}
+	checkExact(t, res)
+	totals := res.Profile.Totals()
+	if totals[PathSlowSite] == 0 {
+		t.Error("unconditional instrumentation must charge site work")
+	}
+	if totals[PathFastDec] != 0 || totals[PathThreshold] != 0 {
+		t.Errorf("unsampled program has no fast path or thresholds: %v", totals)
+	}
+}
+
+func TestProfileExactOnCrashingRun(t *testing.T) {
+	const crashSrc = `
+int boom(int* p, int i) { return p[i]; }
+int main() {
+	int* a = alloc(4);
+	int s = 0;
+	for (int i = 0; i < 100; i++) { s = s + boom(a, i); }
+	return s;
+}
+`
+	prog := buildProfiled(t, crashSrc, instrument.SchemeSet{Bounds: true}, true)
+	res := Run(prog, Config{Seed: 1, Density: 1.0 / 5, CountdownSeed: 7, Profile: true})
+	if res.Outcome != OutcomeCrash {
+		t.Fatal("expected a crash")
+	}
+	// Trap unwinding must not lose attribution: totals still exact.
+	checkExact(t, res)
+}
+
+func TestProfileDisabledByDefault(t *testing.T) {
+	prog := buildProfiled(t, profSrc, instrument.SchemeSet{}, false)
+	res := Run(prog, Config{Seed: 1})
+	if res.Profile != nil {
+		t.Error("Profile must be nil unless requested")
+	}
+}
+
+func TestProfileFormatAndFolded(t *testing.T) {
+	prog := buildProfiled(t, profSrc, instrument.SchemeSet{Branches: true}, true)
+	res := Run(prog, Config{Seed: 1, Density: 1.0 / 10, CountdownSeed: 3, Profile: true})
+	checkExact(t, res)
+
+	text := res.Profile.Format()
+	if !strings.Contains(text, "function") || !strings.Contains(text, "TOTAL") {
+		t.Errorf("format:\n%s", text)
+	}
+	// The TOTAL row's total column equals the exact step count.
+	if !strings.Contains(text, " "+strconv.FormatUint(res.Steps, 10)+" ") {
+		t.Errorf("TOTAL row does not show the exact step count %d:\n%s", res.Steps, text)
+	}
+
+	var b strings.Builder
+	if err := res.Profile.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("bad folded line %q", line)
+		}
+		v, err := strconv.ParseUint(line[i+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad folded count in %q: %v", line, err)
+		}
+		stack := line[:i]
+		if strings.Contains(stack, " ") {
+			t.Fatalf("folded frame contains a space: %q", line)
+		}
+		if !strings.HasPrefix(stack, "main") {
+			t.Errorf("stack %q does not start at main", stack)
+		}
+		sum += v
+	}
+	if sum != res.Steps {
+		t.Errorf("folded stack sum = %d, want exactly %d", sum, res.Steps)
+	}
+	// Overhead kinds appear as synthetic leaf frames.
+	if !strings.Contains(b.String(), "(fast-dec)") {
+		t.Errorf("folded output missing overhead frames:\n%s", b.String())
+	}
+
+	// Determinism: two walks render identically.
+	var b2 strings.Builder
+	if err := res.Profile.WriteFolded(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("WriteFolded is not deterministic")
+	}
+}
+
+func TestProfileRecursionBuildsDeepStacks(t *testing.T) {
+	const recSrc = `
+int fib(int n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }
+`
+	prog := buildProfiled(t, recSrc, instrument.SchemeSet{}, false)
+	res := Run(prog, Config{Seed: 1, Profile: true})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("crashed: %v", res.Trap)
+	}
+	checkExact(t, res)
+	var b strings.Builder
+	if err := res.Profile.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "main;fib;fib;fib") {
+		t.Errorf("recursive stacks missing:\n%s", b.String())
+	}
+}

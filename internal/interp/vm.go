@@ -103,6 +103,12 @@ type Config struct {
 	// a bounded flight recorder whose memory cost is fixed, preserving
 	// the §2.5 scalability constraint.
 	TraceCapacity int
+	// Profile enables the per-function, per-path-kind step profiler
+	// (Result.Profile). It attributes every VM step to a calling-context
+	// tree node, so Table 2 / Figure 4 overhead ratios decompose into
+	// baseline vs fast-path vs slow-path vs threshold work. Costs one
+	// nil check per instruction when off, a map-free array bump when on.
+	Profile bool
 }
 
 // Outcome is the final disposition of a run.
@@ -131,6 +137,9 @@ type Result struct {
 	// Trace holds the site IDs of the last TraceCapacity sampled probe
 	// firings, oldest first (empty unless Config.TraceCapacity > 0).
 	Trace []int
+	// Profile is the step-attribution profile (nil unless
+	// Config.Profile). Its totals sum to Steps exactly.
+	Profile *Profile
 }
 
 // VM executes one program run.
@@ -154,6 +163,7 @@ type VM struct {
 	trace         []int // ring buffer of sampled site IDs
 	traceLen      int
 	traceNext     int
+	prof          *profiler
 }
 
 type frame struct {
@@ -193,6 +203,9 @@ func New(prog *cfg.Program, conf Config) *VM {
 	}
 	if conf.TraceCapacity > 0 {
 		vm.trace = make([]int, conf.TraceCapacity)
+	}
+	if conf.Profile {
+		vm.prof = newProfiler()
 	}
 	src := conf.Source
 	if src == nil && conf.Density > 0 {
@@ -280,6 +293,11 @@ func (vm *VM) finish(res Result) Result {
 	if vm.buf != nil {
 		res.Output = vm.buf.String()
 	}
+	if vm.prof != nil {
+		// By now every vm.call frame has unwound (its deferred exit
+		// claimed trailing steps), so the tree accounts for Steps exactly.
+		res.Profile = vm.prof.profile()
+	}
 	return res
 }
 
@@ -298,6 +316,12 @@ func (vm *VM) call(fn *cfg.Func, args []Value) (Value, error) {
 	if vm.depth > vm.maxDepth {
 		return Value{}, &Trap{Kind: TrapStackOverflow, Msg: fn.Name}
 	}
+	if vm.prof != nil {
+		vm.prof.enter(fn.Name, vm.steps)
+		// The deferred exit also runs on trap unwinding, so every step
+		// charged below this frame is attributed before the tree pops.
+		defer func() { vm.prof.exit(vm.steps) }()
+	}
 	fr := &frame{fn: fn, locals: make([]Value, len(fn.Locals))}
 	for i, l := range fn.Locals {
 		fr.locals[i] = ZeroFor(l.Type)
@@ -310,14 +334,27 @@ func (vm *VM) call(fn *cfg.Func, args []Value) (Value, error) {
 	b := fn.Entry
 	for {
 		for _, in := range b.Instrs {
-			if err := vm.execInstr(fr, in); err != nil {
+			err := vm.execInstr(fr, in)
+			if vm.prof != nil {
+				// Charge everything since the last sync point — this
+				// instruction's fuel, its expression evaluations, probe
+				// work — to the instruction's path kind. A nested call
+				// already claimed its own steps at deeper nodes, so the
+				// delta here is caller-side work only.
+				vm.prof.take(instrKind(in), vm.steps)
+			}
+			if err != nil {
 				return Value{}, err
 			}
 		}
 		if err := vm.step(minic.Pos{}); err != nil {
+			if vm.prof != nil {
+				vm.prof.take(PathBaseline, vm.steps)
+			}
 			return Value{}, err
 		}
-		switch t := b.Term.(type) {
+		term := b.Term
+		switch t := term.(type) {
 		case *cfg.Goto:
 			b = t.To
 		case *cfg.If:
@@ -343,6 +380,18 @@ func (vm *VM) call(fn *cfg.Func, args []Value) (Value, error) {
 			}
 		default:
 			return Value{}, &Trap{Kind: TrapBadProgram, Msg: "missing terminator"}
+		}
+		if vm.prof != nil {
+			// The block's terminator charge (one step, plus any branch
+			// condition evaluation). Threshold checks are the sampling
+			// transformation's region dispatch; everything else is the
+			// program's own control flow. Ret returns above, where the
+			// deferred exit claims its trailing steps.
+			if _, ok := term.(*cfg.Threshold); ok {
+				vm.prof.take(PathThreshold, vm.steps)
+			} else {
+				vm.prof.take(PathBaseline, vm.steps)
+			}
 		}
 	}
 }

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// buildVersion and buildGoVersion are read once at process start; every
+// registry exports them as the constant `cbi_build_info` gauge so any
+// scraped /metrics page identifies the binary that produced it.
+var buildVersion, buildGoVersion = readBuildInfo()
+
+func readBuildInfo() (version, goVersion string) {
+	version, goVersion = "unknown", runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, goVersion
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	// A VCS revision is more useful than "(devel)" when present.
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+			version = s.Value[:12]
+		}
+	}
+	return version, goVersion
+}
+
+// registerBuildInfo pins the standard build-information gauge (value 1,
+// identity in the labels) into a registry; NewRegistry calls it so every
+// exposition carries it.
+func (r *Registry) registerBuildInfo() {
+	r.Gauge(fmt.Sprintf(`cbi_build_info{version=%q,go_version=%q}`, buildVersion, buildGoVersion)).Set(1)
+}
+
+// BuildVersion returns the version string exported in cbi_build_info.
+func BuildVersion() string { return buildVersion }

@@ -45,6 +45,96 @@ func TestSpanRecordsHistogramAndSummary(t *testing.T) {
 	}
 }
 
+// seedSpan plants a deterministic aggregate, bypassing the wall clock.
+func seedSpan(r *Registry, name string, count uint64, total, min, max time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans[name] = &SpanStat{Name: name, Count: count, Total: total, Min: min, Max: max}
+	r.spanSeq = append(r.spanSeq, name)
+}
+
+func TestTopSpansOrdering(t *testing.T) {
+	r := NewRegistry()
+	seedSpan(r, "fold", 10, 300*time.Millisecond, time.Millisecond, 90*time.Millisecond)
+	seedSpan(r, "decode", 10, 500*time.Millisecond, time.Millisecond, 80*time.Millisecond)
+	seedSpan(r, "rank", 1, 100*time.Millisecond, 100*time.Millisecond, 100*time.Millisecond)
+	// Ties on Total break by name, ascending.
+	seedSpan(r, "zeta", 2, 300*time.Millisecond, time.Millisecond, time.Millisecond)
+
+	got := r.TopSpans(0)
+	wantOrder := []string{"decode", "fold", "zeta", "rank"}
+	if len(got) != len(wantOrder) {
+		t.Fatalf("TopSpans(0) returned %d spans, want %d", len(got), len(wantOrder))
+	}
+	for i, name := range wantOrder {
+		if got[i].Name != name {
+			t.Errorf("TopSpans[%d] = %s, want %s", i, got[i].Name, name)
+		}
+	}
+
+	top2 := r.TopSpans(2)
+	if len(top2) != 2 || top2[0].Name != "decode" || top2[1].Name != "fold" {
+		t.Errorf("TopSpans(2) = %+v", top2)
+	}
+	// k larger than the population returns everything.
+	if got := r.TopSpans(99); len(got) != 4 {
+		t.Errorf("TopSpans(99) returned %d spans", len(got))
+	}
+	if got := NewRegistry().TopSpans(3); len(got) != 0 {
+		t.Errorf("empty registry TopSpans = %+v", got)
+	}
+}
+
+func TestFormatSpanSummaryOrderingAndRounding(t *testing.T) {
+	r := NewRegistry()
+	if r.FormatSpanSummary() != "" {
+		t.Error("empty registry must format to empty string")
+	}
+	// First-start order, not alphabetical or by total.
+	seedSpan(r, "zz.first", 3, 3001500*time.Nanosecond, 999500*time.Nanosecond, 1100*time.Microsecond)
+	seedSpan(r, "aa.second", 1, 1234567*time.Nanosecond, 1234567*time.Nanosecond, 1234567*time.Nanosecond)
+	seedSpan(r, "big.third", 2, 3*time.Second+1500*time.Microsecond, time.Second, 2*time.Second)
+
+	text := r.FormatSpanSummary()
+	if !strings.HasPrefix(text, "stage timings:\n") {
+		t.Errorf("missing header:\n%s", text)
+	}
+	zi := strings.Index(text, "zz.first")
+	ai := strings.Index(text, "aa.second")
+	if zi < 0 || ai < 0 || zi > ai {
+		t.Errorf("spans out of first-start order (zz at %d, aa at %d):\n%s", zi, ai, text)
+	}
+	// >= 1s totals round to milliseconds: big.third's 3.0015s -> "3.002s".
+	if !strings.Contains(text, "3.002s total") {
+		t.Errorf("second-scale rounding:\n%s", text)
+	}
+	// Millisecond-scale durations round to whole microseconds: zz.first's
+	// total of 3001.5µs rounds up to "3.002ms", its avg of 1000.5µs to
+	// "1.001ms"; its sub-millisecond min prints at 100ns precision.
+	if !strings.Contains(text, "3.002ms total") {
+		t.Errorf("millisecond-scale total rounding:\n%s", text)
+	}
+	if !strings.Contains(text, "avg 1.001ms") {
+		t.Errorf("millisecond-scale rounding:\n%s", text)
+	}
+	if !strings.Contains(text, "min 999.5µs") {
+		t.Errorf("sub-millisecond rounding:\n%s", text)
+	}
+	// Single-count spans omit the (avg, min, max) tail.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "aa.second") && strings.Contains(line, "avg") {
+			t.Errorf("single-count span must not print avg: %q", line)
+		}
+	}
+	// 1234567ns rounds to the nearest microsecond: "1.235ms".
+	if !strings.Contains(text, "1.235ms") {
+		t.Errorf("microsecond rounding:\n%s", text)
+	}
+	if !strings.Contains(text, "3×") || !strings.Contains(text, "1×") || !strings.Contains(text, "2×") {
+		t.Errorf("counts missing:\n%s", text)
+	}
+}
+
 func TestHealthTransitions(t *testing.T) {
 	var h Health
 	get := func() (int, string) {

@@ -175,13 +175,16 @@ type Registry struct {
 	logOn    atomic.Bool
 }
 
-// NewRegistry creates an empty registry.
+// NewRegistry creates a registry holding only the standard
+// cbi_build_info gauge (see buildinfo.go).
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		metrics:  make(map[string]*metricEntry),
 		families: make(map[string]metricKind),
 		spans:    make(map[string]*SpanStat),
 	}
+	r.registerBuildInfo()
+	return r
 }
 
 // Default is the process-wide registry used by the package-level helpers.

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -73,6 +74,16 @@ func TestPrometheusExpositionGolden(t *testing.T) {
 	if err := r.WritePrometheus(&b); err != nil {
 		t.Fatal(err)
 	}
+	// The build-info gauge is present in every registry with
+	// toolchain-dependent labels; strip it before the golden compare.
+	var kept []string
+	for _, line := range strings.SplitAfter(b.String(), "\n") {
+		if line == "" || strings.Contains(line, "cbi_build_info") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	got := strings.Join(kept, "")
 	want := `# TYPE crash_ratio gauge
 crash_ratio 0.25
 # TYPE decode_seconds histogram
@@ -87,8 +98,26 @@ ingest_total 42
 rejected_total{reason="decode"} 3
 rejected_total{reason="fold"} 0
 `
-	if b.String() != want {
-		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestBuildInfoGaugePresent(t *testing.T) {
+	var b strings.Builder
+	if err := NewRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "# TYPE cbi_build_info gauge") {
+		t.Errorf("missing build-info TYPE line:\n%s", text)
+	}
+	re := regexp.MustCompile(`cbi_build_info\{version="[^"]+",go_version="[^"]+"\} 1\n`)
+	if !re.MatchString(text) {
+		t.Errorf("missing build-info sample:\n%s", text)
+	}
+	if BuildVersion() == "" {
+		t.Error("BuildVersion must not be empty")
 	}
 }
 

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X"
+// complete events plus "M" metadata events), the schema Perfetto and
+// chrome://tracing load natively.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`            // microseconds
+	Dur  float64           `json:"dur,omitempty"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports every finished span as Chrome trace-event
+// JSON. Each trace gets its own named track (tid), so one fleet run's
+// spans nest vertically within a track while distinct runs stack as
+// separate tracks. Timestamps are microseconds relative to the earliest
+// span, keeping the numbers small and the viewer anchored at zero.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	recs := c.Records()
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
+
+	var epoch int64 // ns of the earliest span
+	for i, r := range recs {
+		if ns := r.Start.UnixNano(); i == 0 || ns < epoch {
+			epoch = ns
+		}
+	}
+
+	tids := make(map[string]int)
+	f := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, r := range recs {
+		tid, ok := tids[r.TraceID]
+		if !ok {
+			tid = len(tids) + 1
+			tids[r.TraceID] = tid
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]string{"name": "trace " + shortID(r.TraceID)},
+			})
+		}
+		args := map[string]string{
+			"trace_id": r.TraceID,
+			"span_id":  r.SpanID,
+		}
+		if r.ParentID != "" {
+			args["parent_id"] = r.ParentID
+		}
+		for k, v := range r.Attrs {
+			args[k] = v
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: r.Name,
+			Cat:  "cbi",
+			Ph:   "X",
+			Ts:   float64(r.Start.UnixNano()-epoch) / 1e3,
+			Dur:  float64(r.Duration.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  tid,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+func shortID(id string) string {
+	if len(id) > 8 {
+		return id[:8]
+	}
+	return id
+}
+
+// WriteJSONL exports every finished span as one JSON object per line,
+// the format fleet scripts grep and join offline.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range c.Records() {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile exports to path, choosing the format by extension: ".jsonl"
+// gets JSONL, anything else the Chrome trace-event JSON.
+func (c *Collector) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if hasSuffixFold(path, ".jsonl") {
+		werr = c.WriteJSONL(f)
+	} else {
+		werr = c.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+func hasSuffixFold(s, suffix string) bool {
+	if len(s) < len(suffix) {
+		return false
+	}
+	tail := s[len(s)-len(suffix):]
+	for i := 0; i < len(suffix); i++ {
+		a, b := tail[i], suffix[i]
+		if a >= 'A' && a <= 'Z' {
+			a += 'a' - 'A'
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}

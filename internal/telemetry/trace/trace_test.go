@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanLineage(t *testing.T) {
+	col := NewCollector()
+	root := col.StartSpan("fleet.run")
+	root.SetAttr("workload", "ccrypt")
+	child := root.StartChild("client.submit")
+	grand := child.StartChild("client.attempt")
+	grand.End()
+	child.End()
+	root.End()
+
+	recs := col.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	// End order: attempt, submit, run.
+	attempt, submit, run := recs[0], recs[1], recs[2]
+	if run.TraceID != submit.TraceID || run.TraceID != attempt.TraceID {
+		t.Errorf("trace IDs diverge: %s %s %s", run.TraceID, submit.TraceID, attempt.TraceID)
+	}
+	if run.ParentID != "" {
+		t.Errorf("root has parent %q", run.ParentID)
+	}
+	if submit.ParentID != run.SpanID {
+		t.Errorf("submit parent = %q, want %q", submit.ParentID, run.SpanID)
+	}
+	if attempt.ParentID != submit.SpanID {
+		t.Errorf("attempt parent = %q, want %q", attempt.ParentID, submit.SpanID)
+	}
+	if run.Attrs["workload"] != "ccrypt" {
+		t.Errorf("attrs = %v", run.Attrs)
+	}
+	if len(run.TraceID) != 32 || len(run.SpanID) != 16 {
+		t.Errorf("id lengths: trace %d, span %d", len(run.TraceID), len(run.SpanID))
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	col := NewCollector()
+	sp := col.StartSpan("client.submit")
+	hv := sp.HeaderValue()
+	traceID, spanID, ok := ParseHeader(hv)
+	if !ok {
+		t.Fatalf("ParseHeader(%q) rejected", hv)
+	}
+	if traceID != sp.TraceID() || spanID != sp.SpanID() {
+		t.Errorf("round trip: got %s/%s, want %s/%s", traceID, spanID, sp.TraceID(), sp.SpanID())
+	}
+
+	cont := col.ContinueSpan("server.ingest", hv)
+	if cont.TraceID() != sp.TraceID() {
+		t.Errorf("continued trace ID %s, want %s", cont.TraceID(), sp.TraceID())
+	}
+	cont.End()
+	sp.End()
+	recs := col.Records()
+	if recs[0].ParentID != sp.SpanID() {
+		t.Errorf("continued span parent %q, want %q", recs[0].ParentID, sp.SpanID())
+	}
+}
+
+func TestParseHeaderRejectsMalformed(t *testing.T) {
+	for _, v := range []string{
+		"", "nodash", "short-abc",
+		strings.Repeat("g", 32) + "-" + strings.Repeat("a", 16), // non-hex
+		strings.Repeat("a", 32) + "-" + strings.Repeat("a", 15), // short span
+		strings.Repeat("A", 32) + "-" + strings.Repeat("a", 16), // uppercase
+	} {
+		if _, _, ok := ParseHeader(v); ok {
+			t.Errorf("ParseHeader(%q) accepted", v)
+		}
+	}
+}
+
+func TestContinueSpanWithBadHeaderStartsFreshTrace(t *testing.T) {
+	col := NewCollector()
+	sp := col.ContinueSpan("server.ingest", "garbage")
+	if sp.TraceID() == "" || len(sp.TraceID()) != 32 {
+		t.Errorf("fresh trace ID %q", sp.TraceID())
+	}
+	sp.End()
+	if col.Records()[0].ParentID != "" {
+		t.Error("bad header must not produce a parent link")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var col *Collector
+	sp := col.StartSpan("x")
+	if sp != nil {
+		t.Fatal("nil collector must yield nil span")
+	}
+	child := sp.StartChild("y")
+	if child != nil {
+		t.Fatal("nil span must yield nil child")
+	}
+	sp.SetAttr("k", "v")
+	sp.End()
+	if sp.HeaderValue() != "" || sp.TraceID() != "" || sp.SpanID() != "" {
+		t.Error("nil span accessors must return empty")
+	}
+	if col.Len() != 0 || col.Records() != nil {
+		t.Error("nil collector accessors must return zero values")
+	}
+	ctx := NewContext(context.Background(), nil)
+	if FromContext(ctx) != nil {
+		t.Error("nil span must not be stored in context")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	col := NewCollector()
+	sp := col.StartSpan("fleet.run")
+	ctx := NewContext(context.Background(), sp)
+	if FromContext(ctx) != sp {
+		t.Error("span lost in context")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context must yield nil span")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	col := NewCollector()
+	root := col.StartSpan("fleet.run")
+	time.Sleep(time.Millisecond)
+	child := root.StartChild("client.submit")
+	child.SetAttr("attempt", "1")
+	child.End()
+	root.End()
+	other := col.StartSpan("other.trace")
+	other.End()
+
+	var b strings.Builder
+	if err := col.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b.String())
+	}
+	// 3 spans + 2 thread_name metadata events (one per trace).
+	if len(f.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5:\n%s", len(f.TraceEvents), b.String())
+	}
+	byName := map[string][]int{}
+	for i, ev := range f.TraceEvents {
+		byName[ev.Name] = append(byName[ev.Name], i)
+	}
+	run := f.TraceEvents[byName["fleet.run"][0]]
+	sub := f.TraceEvents[byName["client.submit"][0]]
+	oth := f.TraceEvents[byName["other.trace"][0]]
+	if run.Ph != "X" || sub.Ph != "X" {
+		t.Errorf("span phase: %s %s, want X", run.Ph, sub.Ph)
+	}
+	if run.Tid != sub.Tid {
+		t.Errorf("same-trace spans on different tracks: %d vs %d", run.Tid, sub.Tid)
+	}
+	if oth.Tid == run.Tid {
+		t.Error("distinct traces must get distinct tracks")
+	}
+	// Nesting: the child's [ts, ts+dur] lies within the parent's.
+	if sub.Ts < run.Ts || sub.Ts+sub.Dur > run.Ts+run.Dur+1 { // +1µs rounding slack
+		t.Errorf("child [%f,%f] not nested in parent [%f,%f]",
+			sub.Ts, sub.Ts+sub.Dur, run.Ts, run.Ts+run.Dur)
+	}
+	if sub.Args["parent_id"] != run.Args["span_id"] {
+		t.Errorf("args parent link: %q vs %q", sub.Args["parent_id"], run.Args["span_id"])
+	}
+	if sub.Args["attempt"] != "1" {
+		t.Errorf("attr lost: %v", sub.Args)
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	col := NewCollector()
+	col.StartSpan("a").End()
+	col.StartSpan("b").End()
+	var b strings.Builder
+	if err := col.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var r Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("line %q not JSON: %v", line, err)
+		}
+		if r.Name != "a" && r.Name != "b" {
+			t.Errorf("unexpected record %+v", r)
+		}
+	}
+}
+
+func TestConcurrentSpanRecording(t *testing.T) {
+	col := NewCollector()
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp := col.StartSpan("concurrent")
+				sp.StartChild("child").End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if col.Len() != workers*per*2 {
+		t.Errorf("recorded %d spans, want %d", col.Len(), workers*per*2)
+	}
+	ids := make(map[string]bool)
+	for _, r := range col.Records() {
+		if ids[r.SpanID] {
+			t.Fatalf("duplicate span ID %s", r.SpanID)
+		}
+		ids[r.SpanID] = true
+	}
+}

@@ -1,13 +1,16 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"cbi/internal/cfg"
 	"cbi/internal/interp"
 	"cbi/internal/report"
 	"cbi/internal/telemetry"
+	"cbi/internal/telemetry/trace"
 )
 
 // ReportOf converts a VM result into a §2.5 feedback report.
@@ -38,8 +41,13 @@ type FleetConfig struct {
 	// interp.Config.TraceCapacity).
 	TraceCapacity int
 	// Submit, when set, receives every report as it is produced (e.g. a
-	// collect.Server's Submit); reports are also returned in the DB.
-	Submit func(*report.Report) error
+	// collect.Client's SubmitContext); reports are also returned in the
+	// DB. The context carries the run's trace span when Tracer is set,
+	// so a trace-aware submitter extends the same trace across the wire.
+	Submit func(context.Context, *report.Report) error
+	// Tracer, when set, opens one distributed-tracing trace per run: a
+	// fleet.run root span whose context flows into Submit.
+	Tracer *trace.Collector
 }
 
 // fleetMetrics caches the per-workload telemetry handles so the run loop
@@ -74,24 +82,36 @@ func runFleet(workload string, prog *cfg.Program, fc FleetConfig,
 	db := report.NewDB(workload, prog.NumCounters)
 	crashed := 0
 	for i := 0; i < fc.Runs; i++ {
+		// One trace per deployed run: execute + submit nest under it, and
+		// the collector's ingest spans continue it (all nil-safe when no
+		// Tracer is configured).
+		runSpan := fc.Tracer.StartSpan("fleet.run")
+		runSpan.SetAttr("workload", workload)
+		runSpan.SetAttr("run_id", strconv.Itoa(i))
+		execSpan := runSpan.StartChild("fleet.execute")
 		t0 := time.Now()
 		res := interp.Run(prog, confFor(i))
 		m.runSeconds.Observe(time.Since(t0).Seconds())
+		execSpan.End()
 		m.runSteps.Observe(float64(res.Steps))
 		m.runs.Inc()
 		if res.Outcome == interp.OutcomeCrash {
 			m.crashes.Inc()
 			crashed++
+			runSpan.SetAttr("crashed", "true")
 		}
 		rep := ReportOf(workload, uint64(i), res)
 		if err := db.Add(rep); err != nil {
+			runSpan.End()
 			return nil, err
 		}
 		if fc.Submit != nil {
-			if err := fc.Submit(rep); err != nil {
+			if err := fc.Submit(trace.NewContext(context.Background(), runSpan), rep); err != nil {
+				runSpan.End()
 				return nil, err
 			}
 		}
+		runSpan.End()
 	}
 	if fc.Runs > 0 {
 		m.crashRatio.Set(float64(crashed) / float64(fc.Runs))
