@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,8 @@ func main() {
 		runs     = flag.Int("runs", 3000, "number of fuzzed runs")
 		density  = flag.Float64("density", 1.0/100, "sampling density (0 = unconditional)")
 		seed     = flag.Int64("seed", 42, "fleet seed")
+		workers  = flag.Int("workers", 0, "concurrent fleet runs (0 = NumCPU; results are identical at any worker count)")
+		batch    = flag.Int("batch", 1, "with -submit, buffer this many reports per POST to /reports (1 = one /report POST per run)")
 		topK     = flag.Int("top", 5, "ranked predicates to show (bc)")
 		submit   = flag.String("submit", "", "also submit every fleet report to this collection server base URL (ccrypt)")
 		traceOut = flag.String("trace-out", "", "record one distributed trace per fleet run and write them to this file (.json Chrome trace-event, .jsonl span records)")
@@ -74,14 +77,25 @@ func main() {
 	}
 	switch *study {
 	case "ccrypt":
-		conf := core.CcryptStudyConfig{Runs: *runs, Density: *density, Seed: *seed, Tracer: tracer}
+		conf := core.CcryptStudyConfig{
+			Runs: *runs, Density: *density, Seed: *seed,
+			Workers: *workers, Tracer: tracer,
+		}
+		var client *collect.Client
 		if *submit != "" {
-			client := collect.NewClient(*submit)
+			client = collect.NewClient(*submit)
+			client.BatchSize = *batch
 			conf.Submit = client.SubmitContext
 		}
 		s, err := core.RunCcryptStudyOpts(conf)
 		if err != nil {
 			fatal(err)
+		}
+		if client != nil {
+			// Ship any reports still buffered by the batched client.
+			if err := client.Flush(context.Background()); err != nil {
+				fatal(err)
+			}
 		}
 		if *save != "" {
 			if err := s.DB.WriteFile(*save); err != nil {
@@ -106,7 +120,8 @@ func main() {
 		}
 	case "bc":
 		s, err := core.RunBCStudy(core.BCStudyConfig{
-			Runs: *runs, Density: *density, Seed: *seed, TopK: *topK, Tracer: tracer,
+			Runs: *runs, Density: *density, Seed: *seed, TopK: *topK,
+			Workers: *workers, Tracer: tracer,
 		})
 		if err != nil {
 			fatal(err)

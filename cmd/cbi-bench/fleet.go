@@ -1,0 +1,168 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cbi/internal/collect"
+	"cbi/internal/instrument"
+	"cbi/internal/report"
+	"cbi/internal/workloads"
+)
+
+// fleetBenchDoc is the JSON document the fleet subcommand writes to
+// -bench-out: measured serial-vs-parallel fleet wall time and
+// single-vs-batched ingest throughput, so CI can archive the numbers.
+type fleetBenchDoc struct {
+	Fleet struct {
+		Workload        string  `json:"workload"`
+		Runs            int     `json:"runs"`
+		Workers         int     `json:"workers"`
+		SerialSeconds   float64 `json:"serial_seconds"`
+		ParallelSeconds float64 `json:"parallel_seconds"`
+		Speedup         float64 `json:"speedup"`
+		Identical       bool    `json:"identical"`
+	} `json:"fleet"`
+	Ingest struct {
+		Reports             int     `json:"reports"`
+		BatchSize           int     `json:"batch_size"`
+		SingleSeconds       float64 `json:"single_seconds"`
+		BatchSeconds        float64 `json:"batch_seconds"`
+		SingleReportsPerSec float64 `json:"single_reports_per_sec"`
+		BatchReportsPerSec  float64 `json:"batch_reports_per_sec"`
+		Speedup             float64 `json:"speedup"`
+	} `json:"ingest"`
+}
+
+// fleet measures the two perf paths this repo parallelizes: fleet
+// execution (worker pool vs serial loop, asserting bit-identical
+// reports) and collector ingest (one POST per report vs batched
+// /reports). Results print as a table and land in -bench-out.
+func fleet() error {
+	header("Fleet scaling: parallel execution and batched ingest")
+	w := *workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	built, err := workloads.BuildCcrypt(instrument.SchemeSet{Returns: true}, true)
+	if err != nil {
+		return err
+	}
+	conf := workloads.FleetConfig{Runs: *runs, Density: *density, SeedBase: *seed}
+
+	var doc fleetBenchDoc
+	conf.Workers = 1
+	t0 := time.Now()
+	serialDB, err := workloads.CcryptFleet(built.Program, conf)
+	if err != nil {
+		return err
+	}
+	serialSec := time.Since(t0).Seconds()
+
+	conf.Workers = w
+	t0 = time.Now()
+	parallelDB, err := workloads.CcryptFleet(built.Program, conf)
+	if err != nil {
+		return err
+	}
+	parallelSec := time.Since(t0).Seconds()
+
+	doc.Fleet.Workload = "ccrypt"
+	doc.Fleet.Runs = *runs
+	doc.Fleet.Workers = w
+	doc.Fleet.SerialSeconds = serialSec
+	doc.Fleet.ParallelSeconds = parallelSec
+	doc.Fleet.Speedup = serialSec / parallelSec
+	doc.Fleet.Identical = sameReports(serialDB, parallelDB)
+	fmt.Printf("fleet (ccrypt, %d runs @ %s): serial %.2fs, %d workers %.2fs — %.2fx speedup, identical=%v\n",
+		*runs, frac(*density), serialSec, w, parallelSec, doc.Fleet.Speedup, doc.Fleet.Identical)
+	if !doc.Fleet.Identical {
+		return fmt.Errorf("fleet: parallel reports differ from serial baseline")
+	}
+
+	// Ingest: replay the serial fleet's reports against a live collector,
+	// once as per-report POSTs to /report, once batched to /reports.
+	srv := collect.NewServer("ccrypt", built.Program.NumCounters, collect.AggregateOnly)
+	srv.ExposeTelemetry = false
+	bound, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Stop()
+	base := "http://" + bound
+	reps := serialDB.Reports
+	ctx := context.Background()
+
+	single := collect.NewClient(base)
+	t0 = time.Now()
+	for _, rep := range reps {
+		if err := single.SubmitContext(ctx, rep); err != nil {
+			return err
+		}
+	}
+	singleSec := time.Since(t0).Seconds()
+
+	const batchSize = 64
+	batched := collect.NewClient(base)
+	batched.BatchSize = batchSize
+	t0 = time.Now()
+	for _, rep := range reps {
+		if err := batched.SubmitContext(ctx, rep); err != nil {
+			return err
+		}
+	}
+	if err := batched.Flush(ctx); err != nil {
+		return err
+	}
+	batchSec := time.Since(t0).Seconds()
+
+	doc.Ingest.Reports = len(reps)
+	doc.Ingest.BatchSize = batchSize
+	doc.Ingest.SingleSeconds = singleSec
+	doc.Ingest.BatchSeconds = batchSec
+	doc.Ingest.SingleReportsPerSec = float64(len(reps)) / singleSec
+	doc.Ingest.BatchReportsPerSec = float64(len(reps)) / batchSec
+	doc.Ingest.Speedup = singleSec / batchSec
+	fmt.Printf("ingest (%d reports): per-report %.2fs (%.0f rep/s), batch=%d %.2fs (%.0f rep/s) — %.2fx speedup\n",
+		len(reps), singleSec, doc.Ingest.SingleReportsPerSec,
+		batchSize, batchSec, doc.Ingest.BatchReportsPerSec, doc.Ingest.Speedup)
+
+	agg := srv.Aggregate()
+	if agg.Runs != 2*len(reps) {
+		return fmt.Errorf("fleet: collector folded %d runs, want %d", agg.Runs, 2*len(reps))
+	}
+
+	out, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*benchOut, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("measurements written to", *benchOut)
+	return nil
+}
+
+// sameReports reports whether two fleet DBs hold byte-identical reports
+// in the same order.
+func sameReports(a, b *report.DB) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Reports {
+		ae, be := a.Reports[i].Encode(), b.Reports[i].Encode()
+		if len(ae) != len(be) {
+			return false
+		}
+		for j := range ae {
+			if ae[j] != be[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -34,6 +34,8 @@ var (
 	density   = flag.Float64("density", 1.0/100, "sampling density for ccrypt")
 	bcDensity = flag.Float64("bc-density", 1.0/10, "sampling density for bc (scaled to the workload's dynamic site count; see EXPERIMENTS.md)")
 	wall      = flag.Bool("wall", true, "also report wall-clock ratios in table2/fig4")
+	workers   = flag.Int("workers", 0, "concurrent fleet runs (0 = NumCPU; fleet results are identical at any worker count)")
+	benchOut  = flag.String("bench-out", "BENCH_fleet.json", "where the fleet subcommand writes its measured speedups")
 )
 
 func main() {
@@ -44,6 +46,7 @@ func main() {
 	}
 	cmds := map[string]func() error{
 		"adaptive":   adaptive,
+		"fleet":      fleet,
 		"table1":     table1,
 		"table2":     table2,
 		"selective":  selective,
@@ -135,7 +138,9 @@ func frac(f float64) string { return fmt.Sprintf("1/%g", 1/f) }
 
 func ccrypt() error {
 	header(fmt.Sprintf("§3.2.3: ccrypt predicate elimination (%d runs @ %s sampling)", *runs, frac(*density)))
-	s, err := core.RunCcryptStudy(*runs, *density, *seed)
+	s, err := core.RunCcryptStudyOpts(core.CcryptStudyConfig{
+		Runs: *runs, Density: *density, Seed: *seed, Workers: *workers,
+	})
 	if err != nil {
 		return err
 	}
@@ -154,7 +159,9 @@ func ccrypt() error {
 
 func fig2() error {
 	header("Figure 2: progressive elimination by successful counterexample")
-	s, err := core.RunCcryptStudy(*runs, *density, *seed)
+	s, err := core.RunCcryptStudyOpts(core.CcryptStudyConfig{
+		Runs: *runs, Density: *density, Seed: *seed, Workers: *workers,
+	})
 	if err != nil {
 		return err
 	}
@@ -176,7 +183,7 @@ func fig2() error {
 
 func bc() error {
 	header(fmt.Sprintf("§3.3.3: bc statistical debugging (%d runs @ %s sampling)", *bcRuns, frac(*bcDensity)))
-	s, err := core.RunBCStudy(core.BCStudyConfig{Runs: *bcRuns, Density: *bcDensity, Seed: *seed})
+	s, err := core.RunBCStudy(core.BCStudyConfig{Runs: *bcRuns, Density: *bcDensity, Seed: *seed, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -209,6 +216,7 @@ func adaptive() error {
 	header("Adaptive isolation: sites removed round by round (§3.1.2 extension)")
 	res, err := core.RunAdaptiveCcrypt(core.AdaptiveConfig{
 		Rounds: 3, RunsPerRound: *runs / 2, StartDensity: *density, Seed: *seed,
+		Workers: *workers,
 	})
 	if err != nil {
 		return err

@@ -1,7 +1,9 @@
 // cbi-collect is the standalone central collection server: it accepts
-// encoded run reports over HTTP at /report and serves a summary at
-// /stats. In aggregate mode it retains only sufficient statistics, the
-// §5 privacy posture. With -metrics (the default) it also serves
+// encoded run reports over HTTP — one per POST at /report, or many per
+// POST at /reports (report.EncodeBatch framing) — and serves a summary
+// at /stats. Ingest stripes across -shards mutexes hashed on run ID, so
+// concurrent submissions scale with cores. In aggregate mode it retains
+// only sufficient statistics, the §5 privacy posture. With -metrics (the default) it also serves
 // Prometheus metrics at /metrics and a liveness/drain probe at /healthz;
 // -log-json emits one structured JSON event per accepted report.
 //
@@ -37,6 +39,7 @@ func main() {
 		program    = flag.String("program", "", "program build name (empty accepts any)")
 		counters   = flag.Int("counters", 0, "expected counter-vector length (0 accepts any)")
 		mode       = flag.String("mode", "store", "store | aggregate")
+		shards     = flag.Int("shards", 0, "ingest stripes, rounded up to a power of two (0 = NumCPU)")
 		metrics    = flag.Bool("metrics", true, "serve /metrics and /healthz")
 		metricsOut = flag.String("metrics-out", "", "write a final Prometheus metrics snapshot to this file on graceful shutdown")
 		pprof      = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
@@ -55,6 +58,7 @@ func main() {
 	srv := collect.NewServer(*program, *counters, m)
 	srv.ExposeTelemetry = *metrics
 	srv.EnablePprof = *pprof
+	srv.Shards = *shards
 	if *traceOut != "" {
 		srv.Tracer = trace.NewCollector()
 	}

@@ -44,6 +44,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "run seed (program rand and fuzzed environment)")
 		cdSeed   = flag.Int64("countdown-seed", 1, "countdown bank seed")
 		submit   = flag.String("submit", "", "collection server base URL")
+		batch    = flag.Int("batch", 1, "with -submit, post via the batched /reports endpoint when > 1")
 		out      = flag.String("report", "", "write the encoded report to this file")
 		traceCap = flag.Int("trace", 0, "keep an ordered trace of the last N sampled events")
 		showOut  = flag.Bool("stdout", true, "echo program output")
@@ -180,7 +181,12 @@ func main() {
 	}
 	if *submit != "" {
 		ctx := trace.NewContext(context.Background(), rootSpan)
-		if err := collect.NewClient(*submit).SubmitContext(ctx, rep); err != nil {
+		client := collect.NewClient(*submit)
+		client.BatchSize = *batch
+		if err := client.SubmitContext(ctx, rep); err != nil {
+			fatal(err)
+		}
+		if err := client.Flush(ctx); err != nil {
 			fatal(err)
 		}
 		fmt.Println("report submitted to", *submit)

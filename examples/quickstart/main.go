@@ -6,7 +6,13 @@
 // predicate elimination point at the bug.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -workers 8 -batch 64
 //	go run ./examples/quickstart -trace-out quickstart-trace.json
+//
+// -workers runs the simulated user community concurrently (the analysis
+// is unchanged: per-user seeds are fixed and the collector's snapshot is
+// ordered by run ID); -batch ships reports in batched POSTs to /reports
+// instead of one /report POST per user.
 //
 // With -trace-out, every user run opens a distributed trace that the
 // collection server continues across the HTTP hop (fleet.run →
@@ -20,6 +26,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cbi/internal/analysis/elim"
 	"cbi/internal/cfg"
@@ -60,6 +69,8 @@ int main() {
 
 func main() {
 	traceOut := flag.String("trace-out", "", "write one Chrome trace-event JSON file covering every run's fleet→collector trace")
+	workers := flag.Int("workers", 0, "concurrent simulated users (0 = NumCPU)")
+	batch := flag.Int("batch", 1, "reports buffered per POST to /reports (1 = one /report POST per user)")
 	flag.Parse()
 	var tracer *trace.Collector
 	if *traceOut != "" {
@@ -90,32 +101,58 @@ func main() {
 	}
 	defer srv.Stop()
 	client := collect.NewClient("http://" + addr)
+	client.BatchSize = *batch
 
 	// 3. Simulate the user community: each user runs with 1/10 sampling
-	//    and phones home.
+	//    and phones home. Users are independent, so they run across
+	//    -workers goroutines; seeds are per-user and the collector's
+	//    snapshot is ordered by run ID, so the analysis below is the same
+	//    at any worker count.
 	const users = 2000
-	crashes := 0
-	for u := int64(0); u < users; u++ {
-		runSpan := tracer.StartSpan("fleet.run")
-		runSpan.SetAttr("run_id", fmt.Sprint(u))
-		res := interp.Run(sampled, interp.Config{
-			Seed:          u,
-			Density:       1.0 / 10,
-			CountdownSeed: u * 31,
-		})
-		if res.Outcome == interp.OutcomeCrash {
-			crashes++
-		}
-		ctx := trace.NewContext(context.Background(), runSpan)
-		err := client.SubmitContext(ctx, workloads.ReportOf("quickstart", uint64(u), res))
-		runSpan.End()
-		if err != nil {
-			log.Fatal(err)
-		}
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.NumCPU()
+	}
+	var crashes, nextUser atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				u := nextUser.Add(1) - 1
+				if u >= users {
+					return
+				}
+				runSpan := tracer.StartSpan("fleet.run")
+				runSpan.SetAttr("run_id", fmt.Sprint(u))
+				res := interp.Run(sampled, interp.Config{
+					Seed:          u,
+					Density:       1.0 / 10,
+					CountdownSeed: u * 31,
+				})
+				if res.Outcome == interp.OutcomeCrash {
+					crashes.Add(1)
+				}
+				ctx := trace.NewContext(context.Background(), runSpan)
+				err := client.SubmitContext(ctx, workloads.ReportOf("quickstart", uint64(u), res))
+				runSpan.End()
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := client.Flush(context.Background()); err != nil {
+		log.Fatal(err)
 	}
 	st, err := client.Stats()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if int64(st.Crashes) != crashes.Load() {
+		log.Fatalf("collector saw %d crashes, community observed %d", st.Crashes, crashes.Load())
 	}
 	fmt.Printf("community: %d runs collected, %d crashes\n", st.Runs, st.Crashes)
 

@@ -1,0 +1,115 @@
+package cbi_test
+
+// Benchmarks for the parallel pipeline: fleet execution across a worker
+// pool (vs the serial loop it replaced, asserting bit-identical reports)
+// and collector ingest via the batched /reports endpoint (vs one POST
+// per report). cbi-bench's fleet subcommand prints the same measurements
+// as a table and writes them to BENCH_fleet.json.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cbi/internal/collect"
+	"cbi/internal/instrument"
+	"cbi/internal/report"
+	"cbi/internal/workloads"
+)
+
+const fleetBenchRuns = 200
+
+var (
+	fleetBenchOnce   sync.Once
+	fleetBenchProg   *workloads.Built
+	fleetBenchSerial *report.DB
+	fleetBenchErr    error
+)
+
+// fleetBenchSetup builds the sampled ccrypt program once and records the
+// serial (Workers: 1) fleet as the correctness baseline for every
+// parallel sub-benchmark.
+func fleetBenchSetup(b *testing.B) (*workloads.Built, *report.DB) {
+	fleetBenchOnce.Do(func() {
+		fleetBenchProg, fleetBenchErr = workloads.BuildCcrypt(instrument.SchemeSet{Returns: true}, true)
+		if fleetBenchErr != nil {
+			return
+		}
+		fleetBenchSerial, fleetBenchErr = workloads.CcryptFleet(fleetBenchProg.Program, workloads.FleetConfig{
+			Runs: fleetBenchRuns, Density: 1.0 / 50, SeedBase: 3, Workers: 1,
+		})
+	})
+	if fleetBenchErr != nil {
+		b.Fatal(fleetBenchErr)
+	}
+	return fleetBenchProg, fleetBenchSerial
+}
+
+func BenchmarkFleetParallel(b *testing.B) {
+	built, serial := fleetBenchSetup(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db, err := workloads.CcryptFleet(built.Program, workloads.FleetConfig{
+					Runs: fleetBenchRuns, Density: 1.0 / 50, SeedBase: 3, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if db.Len() != serial.Len() {
+					b.Fatalf("got %d reports, want %d", db.Len(), serial.Len())
+				}
+				for j := range db.Reports {
+					if !bytes.Equal(db.Reports[j].Encode(), serial.Reports[j].Encode()) {
+						b.Fatalf("report %d differs from serial baseline", j)
+					}
+				}
+			}
+			b.ReportMetric(float64(fleetBenchRuns)*float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+		})
+	}
+}
+
+func BenchmarkIngestBatch(b *testing.B) {
+	built, serial := fleetBenchSetup(b)
+	reps := serial.Reports
+	cases := []struct {
+		name      string
+		batchSize int
+	}{
+		{"single", 1},
+		{"batch64", 64},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			srv := collect.NewServer("ccrypt", built.Program.NumCounters, collect.AggregateOnly)
+			srv.ExposeTelemetry = false
+			bound, err := srv.Start("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Stop()
+			client := collect.NewClient("http://" + bound)
+			client.BatchSize = c.batchSize
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, rep := range reps {
+					if err := client.SubmitContext(ctx, rep); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := client.Flush(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if agg := srv.Aggregate(); agg.Runs != b.N*len(reps) {
+				b.Fatalf("collector folded %d runs, want %d", agg.Runs, b.N*len(reps))
+			}
+			b.ReportMetric(float64(len(reps))*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+		})
+	}
+}

@@ -3,6 +3,14 @@
 // deployed clients and either stores them or folds them into sufficient
 // statistics, and the client used by instrumented runs to phone home.
 //
+// Ingest is striped: reports hash on RunID onto independent shards, each
+// holding its own aggregate (and report store in StoreAll mode), so
+// concurrent submissions scale with cores instead of serializing on one
+// mutex. Shards are merged lazily when a snapshot is taken — legal
+// because the §2.5 feedback statistics are order-free. Clients may POST
+// one report per request (/report) or amortize the round-trip by
+// batching many reports into a single /reports request.
+//
 // The server exposes the operational surface a deployed collector needs:
 // Prometheus metrics at /metrics, a liveness/drain signal at /healthz,
 // and per-request ingest counters and latency histograms (package
@@ -15,12 +23,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/bits"
 	"math/rand"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cbi/internal/report"
@@ -45,32 +57,59 @@ const (
 // to drain before forcing connections closed.
 const ShutdownTimeout = 5 * time.Second
 
+// MaxBodyBytes is the largest request body /report and /reports accept;
+// anything bigger is rejected with 413 Request Entity Too Large.
+const MaxBodyBytes = 64 << 20
+
+// maxShards caps the stripe count; beyond this the fixed cost of
+// merging shards on snapshot outweighs any contention win.
+const maxShards = 256
+
 // serverMetrics caches the hot-path metric handles so request handling
 // never takes the registry lock.
 type serverMetrics struct {
-	accepted       *telemetry.Counter
-	rejectedMethod *telemetry.Counter
-	rejectedRead   *telemetry.Counter
-	rejectedDecode *telemetry.Counter
-	rejectedFold   *telemetry.Counter
-	bytesIngested  *telemetry.Counter
-	reportBytes    *telemetry.Histogram
-	decodeSeconds  *telemetry.Histogram
-	foldSeconds    *telemetry.Histogram
+	accepted        *telemetry.Counter
+	rejectedMethod  *telemetry.Counter
+	rejectedRead    *telemetry.Counter
+	rejectedDecode  *telemetry.Counter
+	rejectedFold    *telemetry.Counter
+	rejectedSize    *telemetry.Counter
+	batchesAccepted *telemetry.Counter
+	batchReportsIn  *telemetry.Counter
+	batchReports    *telemetry.Histogram
+	bytesIngested   *telemetry.Counter
+	reportBytes     *telemetry.Histogram
+	decodeSeconds   *telemetry.Histogram
+	foldSeconds     *telemetry.Histogram
 }
+
+// BatchSizeBuckets are histogram buckets for reports-per-batch.
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
 func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 	return serverMetrics{
-		accepted:       reg.Counter("collect_reports_accepted_total"),
-		rejectedMethod: reg.Counter(`collect_reports_rejected_total{reason="method"}`),
-		rejectedRead:   reg.Counter(`collect_reports_rejected_total{reason="read"}`),
-		rejectedDecode: reg.Counter(`collect_reports_rejected_total{reason="decode"}`),
-		rejectedFold:   reg.Counter(`collect_reports_rejected_total{reason="fold"}`),
-		bytesIngested:  reg.Counter("collect_bytes_ingested_total"),
-		reportBytes:    reg.Histogram("collect_report_bytes", telemetry.SizeBuckets),
-		decodeSeconds:  reg.Histogram("collect_decode_seconds", telemetry.DefBuckets),
-		foldSeconds:    reg.Histogram("collect_fold_seconds", telemetry.DefBuckets),
+		accepted:        reg.Counter("collect_reports_accepted_total"),
+		rejectedMethod:  reg.Counter(`collect_reports_rejected_total{reason="method"}`),
+		rejectedRead:    reg.Counter(`collect_reports_rejected_total{reason="read"}`),
+		rejectedDecode:  reg.Counter(`collect_reports_rejected_total{reason="decode"}`),
+		rejectedFold:    reg.Counter(`collect_reports_rejected_total{reason="fold"}`),
+		rejectedSize:    reg.Counter(`collect_reports_rejected_total{reason="too-large"}`),
+		batchesAccepted: reg.Counter("collect_batches_accepted_total"),
+		batchReportsIn:  reg.Counter("collect_batch_reports_total"),
+		batchReports:    reg.Histogram("collect_batch_reports", BatchSizeBuckets),
+		bytesIngested:   reg.Counter("collect_bytes_ingested_total"),
+		reportBytes:     reg.Histogram("collect_report_bytes", telemetry.SizeBuckets),
+		decodeSeconds:   reg.Histogram("collect_decode_seconds", telemetry.DefBuckets),
+		foldSeconds:     reg.Histogram("collect_fold_seconds", telemetry.DefBuckets),
 	}
+}
+
+// ingestShard is one stripe of the collector state: a mutex narrow
+// enough that concurrent submissions for different run IDs rarely meet.
+type ingestShard struct {
+	mu  sync.Mutex
+	db  *report.DB
+	agg *report.Aggregate
 }
 
 // Server is the central collection endpoint.
@@ -88,14 +127,26 @@ type Server struct {
 	EnablePprof bool
 
 	// Tracer, when set, records server-side ingest spans: each /report
-	// POST gets a server.ingest span with server.decode and server.fold
-	// children, continuing the client's trace when the request carries
-	// an X-CBI-Trace header. Set before traffic arrives.
+	// or /reports POST gets a server.ingest span with server.decode and
+	// server.fold children, continuing the client's trace when the
+	// request carries an X-CBI-Trace header. Set before traffic arrives.
 	Tracer *trace.Collector
 
-	mu  sync.Mutex
-	db  *report.DB
-	agg *report.Aggregate
+	// Shards is the number of ingest stripes, rounded up to a power of
+	// two (default: smallest power of two ≥ NumCPU, capped at 256). Set
+	// before the first submission; later writes are ignored.
+	Shards int
+
+	program     string
+	numCounters int
+	// shape is the expected counter-vector length; 0 until an
+	// "accept any" server sees its first non-empty report, after which
+	// every shard folds against the same fixed shape.
+	shape atomic.Int64
+
+	initOnce  sync.Once
+	shardMask uint64
+	shards    []ingestShard
 
 	reg    *telemetry.Registry
 	health telemetry.Health
@@ -110,14 +161,46 @@ type Server struct {
 // servers — and tests — do not share counters.
 func NewServer(program string, numCounters int, mode Mode) *Server {
 	reg := telemetry.NewRegistry()
-	return &Server{
+	s := &Server{
 		mode:            mode,
 		ExposeTelemetry: true,
-		db:              report.NewDB(program, numCounters),
-		agg:             report.NewAggregate(program, numCounters),
+		program:         program,
+		numCounters:     numCounters,
 		reg:             reg,
 		m:               newServerMetrics(reg),
 	}
+	s.shape.Store(int64(numCounters))
+	return s
+}
+
+// init lazily allocates the shard array, honoring a Shards override set
+// after NewServer but before the first submission.
+func (s *Server) init() {
+	s.initOnce.Do(func() {
+		n := s.Shards
+		if n <= 0 {
+			n = runtime.NumCPU()
+		}
+		if n > maxShards {
+			n = maxShards
+		}
+		if n&(n-1) != 0 {
+			n = 1 << bits.Len(uint(n))
+		}
+		s.shardMask = uint64(n - 1)
+		s.shards = make([]ingestShard, n)
+		for i := range s.shards {
+			s.shards[i].db = report.NewDB(s.program, s.numCounters)
+			s.shards[i].agg = report.NewAggregate(s.program, s.numCounters)
+		}
+		s.reg.Gauge("collect_shards").Set(float64(n))
+	})
+}
+
+// shardFor picks the stripe for a run ID (Fibonacci hashing so
+// sequential fleet IDs spread evenly).
+func (s *Server) shardFor(runID uint64) *ingestShard {
+	return &s.shards[(runID*0x9E3779B97F4A7C15)>>32&s.shardMask]
 }
 
 // Registry returns the server's telemetry registry (scraped at /metrics).
@@ -130,6 +213,7 @@ func (s *Server) Health() *telemetry.Health { return &s.health }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/reports", s.handleReports)
 	mux.HandleFunc("/stats", s.handleStats)
 	if s.ExposeTelemetry {
 		mux.Handle("/metrics", s.reg.Handler())
@@ -145,6 +229,30 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// readBody pulls in a request body up to MaxBodyBytes, rejecting
+// oversize payloads with 413 instead of silently truncating them into a
+// confusing decode error. The bool result reports success.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, ingest *trace.Span) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxBodyBytes+1))
+	if err != nil {
+		s.m.rejectedRead.Inc()
+		ingest.SetAttr("outcome", "rejected-read")
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if len(body) > MaxBodyBytes {
+		s.m.rejectedSize.Inc()
+		ingest.SetAttr("outcome", "rejected-too-large")
+		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", MaxBodyBytes),
+			http.StatusRequestEntityTooLarge)
+		return nil, false
+	}
+	ingest.SetAttr("bytes", strconv.Itoa(len(body)))
+	s.m.bytesIngested.Add(uint64(len(body)))
+	s.m.reportBytes.Observe(float64(len(body)))
+	return body, true
+}
+
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.m.rejectedMethod.Inc()
@@ -155,16 +263,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	// with no Tracer every span below is nil and records nothing).
 	ingest := s.Tracer.ContinueSpan("server.ingest", r.Header.Get(trace.Header))
 	defer ingest.End()
-	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
-	if err != nil {
-		s.m.rejectedRead.Inc()
-		ingest.SetAttr("outcome", "rejected-read")
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	body, ok := s.readBody(w, r, ingest)
+	if !ok {
 		return
 	}
-	ingest.SetAttr("bytes", strconv.Itoa(len(body)))
-	s.m.bytesIngested.Add(uint64(len(body)))
-	s.m.reportBytes.Observe(float64(len(body)))
 	decodeSpan := ingest.StartChild("server.decode")
 	t0 := time.Now()
 	rep, err := report.Decode(body)
@@ -195,38 +297,144 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusAccepted)
 }
 
+// handleReports ingests a batched payload (report.EncodeBatch) in one
+// round-trip. The batch is validated as a whole before any report is
+// folded, so a rejected batch leaves no partial state behind. A plain
+// single-report body is also accepted, so old clients can be pointed at
+// /reports unchanged.
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.m.rejectedMethod.Inc()
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	ingest := s.Tracer.ContinueSpan("server.ingest", r.Header.Get(trace.Header))
+	defer ingest.End()
+	body, ok := s.readBody(w, r, ingest)
+	if !ok {
+		return
+	}
+	decodeSpan := ingest.StartChild("server.decode")
+	t0 := time.Now()
+	var reps []*report.Report
+	var err error
+	if report.IsBatch(body) {
+		reps, err = report.DecodeBatch(body)
+	} else {
+		var rep *report.Report
+		rep, err = report.Decode(body)
+		reps = []*report.Report{rep}
+	}
+	s.m.decodeSeconds.Observe(time.Since(t0).Seconds())
+	decodeSpan.End()
+	if err != nil {
+		s.m.rejectedDecode.Inc()
+		ingest.SetAttr("outcome", "rejected-decode")
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ingest.SetAttr("batch", strconv.Itoa(len(reps)))
+	s.init()
+	// Validate the whole batch up front: shape and program mismatches
+	// reject everything, so concurrent batches never half-apply.
+	for _, rep := range reps {
+		if err := s.validate(rep); err != nil {
+			s.m.rejectedFold.Inc()
+			ingest.SetAttr("outcome", "rejected-fold")
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	foldSpan := ingest.StartChild("server.fold")
+	for _, rep := range reps {
+		if err := s.Submit(rep); err != nil {
+			foldSpan.End()
+			ingest.SetAttr("outcome", "rejected-fold")
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	foldSpan.End()
+	s.m.batchesAccepted.Inc()
+	s.m.batchReportsIn.Add(uint64(len(reps)))
+	s.m.batchReports.Observe(float64(len(reps)))
+	ingest.SetAttr("outcome", "accepted")
+	if s.reg.LogEnabled() {
+		s.reg.Event("batch_accepted", map[string]any{
+			"reports": len(reps), "bytes": len(body),
+		})
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
 // Stats is the JSON summary served at /stats.
 type Stats struct {
 	Runs    int `json:"runs"`
 	Crashes int `json:"crashes"`
+	// NumCounters is the counter-vector length the server is folding
+	// (0 until an "accept any" server sees its first report).
+	NumCounters int `json:"num_counters"`
+	// Batches and BatchReports count accepted /reports payloads and the
+	// reports they carried.
+	Batches      int `json:"batches"`
+	BatchReports int `json:"batch_reports"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	st := Stats{Runs: s.agg.Runs, Crashes: s.agg.Crashes}
-	s.mu.Unlock()
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.init()
+	st := Stats{
+		NumCounters:  int(s.shape.Load()),
+		Batches:      int(s.m.batchesAccepted.Value()),
+		BatchReports: int(s.m.batchReportsIn.Value()),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st.Runs += sh.agg.Runs
+		st.Crashes += sh.agg.Crashes
+		sh.mu.Unlock()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(st); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 
-// Submit folds a report into the server state directly (used by in-process
-// fleets and by the HTTP handler). It records fold latency and the
-// accepted/rejected counters, so both ingestion paths are measured.
+// validate checks a report against the server's program and counter
+// shape without folding it. An "accept any" server fixes its shape from
+// the first non-empty report, atomically, so every shard folds against
+// the same expectation.
+func (s *Server) validate(rep *report.Report) error {
+	if s.program != "" && rep.Program != "" && rep.Program != s.program {
+		return fmt.Errorf("report: program %q does not match collector %q", rep.Program, s.program)
+	}
+	want := s.shape.Load()
+	if want == 0 && len(rep.Counters) > 0 {
+		if !s.shape.CompareAndSwap(0, int64(len(rep.Counters))) {
+			want = s.shape.Load()
+		} else {
+			want = int64(len(rep.Counters))
+		}
+	}
+	if int64(len(rep.Counters)) != want {
+		return fmt.Errorf("report: counter vector length %d, want %d", len(rep.Counters), want)
+	}
+	return nil
+}
+
+// Submit folds a report into the server state directly (used by
+// in-process fleets and by the HTTP handlers). It records fold latency
+// and the accepted/rejected counters, so every ingestion path is
+// measured. Safe for concurrent use: reports stripe across shards by
+// run ID.
 func (s *Server) Submit(rep *report.Report) error {
+	s.init()
 	t0 := time.Now()
-	s.mu.Lock()
-	err := s.agg.Fold(rep)
-	if err == nil && s.db.NumCounters == 0 {
-		// "Accept any" server: the first report fixes the counter shape
-		// for both retention paths.
-		s.db.NumCounters = s.agg.NumCounters
-	}
-	if err == nil && s.mode == StoreAll {
-		err = s.db.Add(rep)
-	}
-	s.mu.Unlock()
+	err := s.fold(rep)
 	s.m.foldSeconds.Observe(time.Since(t0).Seconds())
 	if err != nil {
 		s.m.rejectedFold.Inc()
@@ -236,24 +444,62 @@ func (s *Server) Submit(rep *report.Report) error {
 	return nil
 }
 
-// DB returns a snapshot of the stored reports (StoreAll mode).
-func (s *Server) DB() *report.DB {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	snapshot := *s.db
-	snapshot.Reports = append([]*report.Report(nil), s.db.Reports...)
-	return &snapshot
+func (s *Server) fold(rep *report.Report) error {
+	if err := s.validate(rep); err != nil {
+		return err
+	}
+	sh := s.shardFor(rep.RunID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.agg.Fold(rep); err != nil {
+		return err
+	}
+	if sh.db.NumCounters == 0 {
+		// "Accept any" server: the adopted shape fixes the shard's
+		// retention path too.
+		sh.db.NumCounters = sh.agg.NumCounters
+	}
+	if s.mode == StoreAll {
+		return sh.db.Add(rep)
+	}
+	return nil
 }
 
-// Aggregate returns a snapshot of the sufficient statistics.
+// DB returns a snapshot of the stored reports (StoreAll mode). Shard
+// stores are merged and ordered by run ID (stable for ties), so the
+// snapshot is deterministic regardless of ingest interleaving.
+func (s *Server) DB() *report.DB {
+	s.init()
+	db := report.NewDB(s.program, int(s.shape.Load()))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		db.Reports = append(db.Reports, sh.db.Reports...)
+		sh.mu.Unlock()
+	}
+	sort.SliceStable(db.Reports, func(i, j int) bool {
+		return db.Reports[i].RunID < db.Reports[j].RunID
+	})
+	return db
+}
+
+// Aggregate returns a snapshot of the sufficient statistics: the
+// order-free merge of every shard's fold, identical to a serial fold of
+// the same reports.
 func (s *Server) Aggregate() *report.Aggregate {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cp := *s.agg
-	cp.NonzeroInSuccess = append([]bool(nil), s.agg.NonzeroInSuccess...)
-	cp.NonzeroInFailure = append([]bool(nil), s.agg.NonzeroInFailure...)
-	cp.Totals = append([]uint64(nil), s.agg.Totals...)
-	return &cp
+	s.init()
+	agg := report.NewAggregate(s.program, int(s.shape.Load()))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		err := agg.Merge(sh.agg)
+		sh.mu.Unlock()
+		if err != nil {
+			// Unreachable: validate() fixes one shape for every shard.
+			panic(fmt.Sprintf("collect: shard merge: %v", err))
+		}
+	}
+	return agg
 }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
@@ -287,7 +533,9 @@ func (s *Server) Stop() error {
 }
 
 // Client submits reports to a remote collection server, with bounded
-// jittered retries for transient failures.
+// jittered retries for transient failures. With BatchSize > 1 it
+// buffers reports and ships them in one /reports POST per batch; it is
+// safe for concurrent use from many fleet workers either way.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
@@ -300,6 +548,13 @@ type Client struct {
 	// Metrics receives submit latency/outcome metrics (default
 	// telemetry.Default).
 	Metrics *telemetry.Registry
+	// BatchSize, when > 1, buffers submitted reports and POSTs them as
+	// one batch to /reports whenever the buffer fills. Call Flush after
+	// the last submission to ship the remainder. Set before first use.
+	BatchSize int
+
+	batchMu sync.Mutex
+	pending []*report.Report
 }
 
 // NewClient creates a client for the server at baseURL
@@ -315,7 +570,8 @@ func (c *Client) registry() *telemetry.Registry {
 	return telemetry.Default
 }
 
-// Submit posts one report, retrying transient failures.
+// Submit posts one report, retrying transient failures. In batched mode
+// the report may only be buffered; see SubmitContext.
 func (c *Client) Submit(rep *report.Report) error {
 	return c.SubmitContext(context.Background(), rep)
 }
@@ -325,12 +581,87 @@ func (c *Client) Submit(rep *report.Report) error {
 // a client.submit child span with one client.attempt child per POST, and
 // the attempt's span context rides the X-CBI-Trace header so the
 // collector continues the same trace.
+//
+// With BatchSize > 1 the report is buffered instead, and a filled
+// buffer is shipped as one batched POST (whose spans and trace header
+// parent to the submission that triggered the flush).
 func (c *Client) SubmitContext(ctx context.Context, rep *report.Report) error {
+	if c.BatchSize > 1 {
+		c.batchMu.Lock()
+		c.pending = append(c.pending, rep)
+		if len(c.pending) < c.BatchSize {
+			c.batchMu.Unlock()
+			return nil
+		}
+		batch := c.pending
+		c.pending = nil
+		c.batchMu.Unlock()
+		return c.postBatch(ctx, batch)
+	}
 	reg := c.registry()
 	sub := trace.FromContext(ctx).StartChild("client.submit")
 	sub.SetAttr("run_id", strconv.FormatUint(rep.RunID, 10))
 	defer sub.End()
-	body := rep.Encode()
+	start := time.Now()
+	err := c.post(ctx, sub, "/report", rep.Encode())
+	if err != nil {
+		sub.SetAttr("outcome", "error")
+		reg.Counter("client_submit_errors_total").Inc()
+		return err
+	}
+	sub.SetAttr("outcome", "accepted")
+	reg.Histogram("client_submit_seconds", telemetry.DefBuckets).
+		Observe(time.Since(start).Seconds())
+	reg.Counter("client_submits_total").Inc()
+	return nil
+}
+
+// Flush ships any buffered reports (batched mode). Call it after the
+// last submission; a fleet that exits without flushing strands its tail.
+func (c *Client) Flush(ctx context.Context) error {
+	c.batchMu.Lock()
+	batch := c.pending
+	c.pending = nil
+	c.batchMu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	return c.postBatch(ctx, batch)
+}
+
+// Pending returns the number of buffered, unshipped reports.
+func (c *Client) Pending() int {
+	c.batchMu.Lock()
+	defer c.batchMu.Unlock()
+	return len(c.pending)
+}
+
+// postBatch encodes and ships one batch, with the same retry policy and
+// trace propagation as single submissions.
+func (c *Client) postBatch(ctx context.Context, batch []*report.Report) error {
+	reg := c.registry()
+	sub := trace.FromContext(ctx).StartChild("client.submit_batch")
+	sub.SetAttr("batch", strconv.Itoa(len(batch)))
+	defer sub.End()
+	start := time.Now()
+	err := c.post(ctx, sub, "/reports", report.EncodeBatch(batch))
+	if err != nil {
+		sub.SetAttr("outcome", "error")
+		reg.Counter("client_batch_errors_total").Inc()
+		return err
+	}
+	sub.SetAttr("outcome", "accepted")
+	reg.Histogram("client_submit_seconds", telemetry.DefBuckets).
+		Observe(time.Since(start).Seconds())
+	reg.Counter("client_batch_flushes_total").Inc()
+	reg.Counter("client_batch_reports_total").Add(uint64(len(batch)))
+	return nil
+}
+
+// post drives the bounded-retry loop for one payload against one
+// endpoint, recording a client.attempt span per POST under sub.
+func (c *Client) post(ctx context.Context, sub *trace.Span, path string, body []byte) error {
+	reg := c.registry()
 	attempts := c.MaxAttempts
 	if attempts <= 0 {
 		attempts = 3
@@ -339,7 +670,6 @@ func (c *Client) SubmitContext(ctx context.Context, rep *report.Report) error {
 	if backoff <= 0 {
 		backoff = 50 * time.Millisecond
 	}
-	start := time.Now()
 	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
@@ -352,31 +682,25 @@ func (c *Client) SubmitContext(ctx context.Context, rep *report.Report) error {
 		att := sub.StartChild("client.attempt")
 		att.SetAttr("attempt", strconv.Itoa(attempt+1))
 		var retryable bool
-		retryable, err = c.trySubmit(ctx, att, body)
+		retryable, err = c.tryPost(ctx, att, path, body)
 		att.End()
 		if err == nil {
 			sub.SetAttr("attempts", strconv.Itoa(attempt+1))
-			sub.SetAttr("outcome", "accepted")
-			reg.Histogram("client_submit_seconds", telemetry.DefBuckets).
-				Observe(time.Since(start).Seconds())
-			reg.Counter("client_submits_total").Inc()
 			return nil
 		}
 		if !retryable {
 			break
 		}
 	}
-	sub.SetAttr("outcome", "error")
-	reg.Counter("client_submit_errors_total").Inc()
 	return err
 }
 
-// trySubmit performs one POST and reports whether a failure is worth
+// tryPost performs one POST and reports whether a failure is worth
 // retrying. The attempt span's context (not the whole submission's)
 // rides the trace header, so server-side spans parent to the POST that
 // actually reached them.
-func (c *Client) trySubmit(ctx context.Context, att *trace.Span, body []byte) (retryable bool, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/report",
+func (c *Client) tryPost(ctx context.Context, att *trace.Span, path string, body []byte) (retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path,
 		bytes.NewReader(body))
 	if err != nil {
 		return false, err

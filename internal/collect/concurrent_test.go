@@ -1,0 +1,341 @@
+package collect
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"cbi/internal/report"
+)
+
+// serialAggregate folds reports one by one — the reference the sharded
+// server must match exactly.
+func serialAggregate(t *testing.T, reports []*report.Report) *report.Aggregate {
+	t.Helper()
+	agg := report.NewAggregate("p", 3)
+	for _, r := range reports {
+		if err := agg.Fold(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return agg
+}
+
+func assertSameAggregate(t *testing.T, got, want *report.Aggregate) {
+	t.Helper()
+	if got.Runs != want.Runs || got.Crashes != want.Crashes || got.NumCounters != want.NumCounters {
+		t.Fatalf("got runs=%d crashes=%d shape=%d, want runs=%d crashes=%d shape=%d",
+			got.Runs, got.Crashes, got.NumCounters, want.Runs, want.Crashes, want.NumCounters)
+	}
+	for i := 0; i < want.NumCounters; i++ {
+		if got.Totals[i] != want.Totals[i] ||
+			got.NonzeroInSuccess[i] != want.NonzeroInSuccess[i] ||
+			got.NonzeroInFailure[i] != want.NonzeroInFailure[i] {
+			t.Fatalf("counter %d diverges", i)
+		}
+	}
+}
+
+// TestConcurrentShardedIngestMatchesSerialFold hammers Submit and the
+// batched /reports endpoint from many goroutines in both retention
+// modes, then checks the merged aggregate is identical to a serial fold
+// of the same reports — the order-freedom that makes sharding legal.
+func TestConcurrentShardedIngestMatchesSerialFold(t *testing.T) {
+	for _, mode := range []Mode{StoreAll, AggregateOnly} {
+		name := map[Mode]string{StoreAll: "StoreAll", AggregateOnly: "AggregateOnly"}[mode]
+		t.Run(name, func(t *testing.T) {
+			const workers, per = 8, 50
+			var all []*report.Report
+			for id := 0; id < workers*per; id++ {
+				all = append(all, mkReport(uint64(id), id%5 == 0))
+			}
+
+			srv := NewServer("p", 3, mode)
+			addr, err := srv.Start("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Stop()
+
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					mine := all[w*per : (w+1)*per]
+					if w%2 == 0 {
+						// Direct in-process submission.
+						for _, r := range mine {
+							if err := srv.Submit(r); err != nil {
+								errs <- err
+								return
+							}
+						}
+						return
+					}
+					// Batched HTTP ingest, ten reports per POST.
+					client := NewClient("http://" + addr)
+					client.BatchSize = 10
+					for _, r := range mine {
+						if err := client.Submit(r); err != nil {
+							errs <- err
+							return
+						}
+					}
+					if err := client.Flush(context.Background()); err != nil {
+						errs <- err
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			assertSameAggregate(t, srv.Aggregate(), serialAggregate(t, all))
+			if mode == StoreAll {
+				db := srv.DB()
+				if db.Len() != len(all) {
+					t.Fatalf("stored %d reports, want %d", db.Len(), len(all))
+				}
+				// Snapshot is merged in run-ID order, deterministically.
+				for i, r := range db.Reports {
+					if r.RunID != uint64(i) {
+						t.Fatalf("report %d has run ID %d; snapshot not in run-ID order", i, r.RunID)
+					}
+				}
+			} else if srv.DB().Len() != 0 {
+				t.Error("aggregate-only server must not retain reports")
+			}
+		})
+	}
+}
+
+func TestBatchEndpointAcceptsAndCounts(t *testing.T) {
+	srv := NewServer("p", 3, StoreAll)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	client := NewClient("http://" + addr)
+	client.BatchSize = 8
+	for i := 0; i < 20; i++ {
+		if err := client.Submit(mkReport(uint64(i), i%4 == 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := client.Pending(); p != 4 {
+		t.Errorf("pending = %d, want 4 (two batches of 8 shipped)", p)
+	}
+	if err := client.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p := client.Pending(); p != 0 {
+		t.Errorf("pending after flush = %d", p)
+	}
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 20 || st.Crashes != 5 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.Batches != 3 || st.BatchReports != 20 {
+		t.Errorf("batch totals: batches=%d reports=%d, want 3/20", st.Batches, st.BatchReports)
+	}
+	if st.NumCounters != 3 {
+		t.Errorf("num_counters = %d, want 3", st.NumCounters)
+	}
+	if got := srv.Registry().Histogram("collect_batch_reports", BatchSizeBuckets).Count(); got != 3 {
+		t.Errorf("batch size histogram count = %d, want 3", got)
+	}
+}
+
+// TestBatchRejectionIsAtomic: one bad report rejects the whole batch and
+// nothing from it is folded.
+func TestBatchRejectionIsAtomic(t *testing.T) {
+	srv := NewServer("p", 3, StoreAll)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	batch := []*report.Report{
+		mkReport(1, false),
+		{RunID: 2, Program: "p", Counters: make([]uint64, 99)}, // wrong shape
+		mkReport(3, false),
+	}
+	resp, err := http.Post("http://"+addr+"/reports", "application/octet-stream",
+		bytes.NewReader(report.EncodeBatch(batch)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mixed batch: %s, want 400", resp.Status)
+	}
+	if got := srv.Aggregate().Runs; got != 0 {
+		t.Errorf("rejected batch folded %d reports", got)
+	}
+}
+
+func TestBatchEndpointAcceptsSingleReportFraming(t *testing.T) {
+	srv := NewServer("p", 3, StoreAll)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	resp, err := http.Post("http://"+addr+"/reports", "application/octet-stream",
+		bytes.NewReader(mkReport(7, true).Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("single-report framing on /reports: %s", resp.Status)
+	}
+	if srv.Aggregate().Runs != 1 {
+		t.Error("report not folded")
+	}
+}
+
+func TestOversizeBodyRejectedWith413(t *testing.T) {
+	srv := NewServer("p", 3, StoreAll)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	for _, path := range []string{"/report", "/reports"} {
+		// A valid report padded far past the limit exercises the
+		// oversize rejection, not the decoder.
+		huge := make([]byte, MaxBodyBytes+2)
+		resp, err := http.Post("http://"+addr+path, "application/octet-stream",
+			bytes.NewReader(huge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s oversize: %s, want 413", path, resp.Status)
+		}
+	}
+	if got := srv.Registry().Counter(`collect_reports_rejected_total{reason="too-large"}`).Value(); got != 2 {
+		t.Errorf(`too-large rejection counter = %d, want 2`, got)
+	}
+	if got := srv.Registry().Counter(`collect_reports_rejected_total{reason="decode"}`).Value(); got != 0 {
+		t.Errorf("oversize misreported as decode error (%d)", got)
+	}
+}
+
+func TestStatsRequiresGET(t *testing.T) {
+	srv := NewServer("p", 3, StoreAll)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	resp, err := http.Post("http://"+addr+"/stats", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /stats: %s, want 405", resp.Status)
+	}
+}
+
+// TestShardCountIsConfigurable pins the Shards override and the
+// power-of-two rounding.
+func TestShardCountIsConfigurable(t *testing.T) {
+	for _, tc := range []struct{ set, want int }{{1, 1}, {4, 4}, {5, 8}, {1 << 20, maxShards}} {
+		srv := NewServer("p", 3, AggregateOnly)
+		srv.Shards = tc.set
+		if err := srv.Submit(mkReport(1, false)); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(srv.shards); got != tc.want {
+			t.Errorf("Shards=%d: %d shards, want %d", tc.set, got, tc.want)
+		}
+		if got := int(srv.Registry().Gauge("collect_shards").Value()); got != tc.want {
+			t.Errorf("Shards=%d: collect_shards gauge = %d, want %d", tc.set, got, tc.want)
+		}
+	}
+}
+
+// TestShardsSpreadRuns sanity-checks the run-ID hash: a contiguous fleet
+// must not land every report on one stripe.
+func TestShardsSpreadRuns(t *testing.T) {
+	srv := NewServer("p", 3, AggregateOnly)
+	srv.Shards = 8
+	for id := 0; id < 800; id++ {
+		if err := srv.Submit(mkReport(uint64(id), false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range srv.shards {
+		if n := srv.shards[i].agg.Runs; n == 0 || n == 800 {
+			t.Errorf("shard %d holds %d of 800 runs; hash not spreading", i, n)
+		}
+	}
+	if srv.Aggregate().Runs != 800 {
+		t.Errorf("merged runs = %d", srv.Aggregate().Runs)
+	}
+}
+
+// TestAcceptAnyShapeIsSharedAcrossShards: an "accept any" server must
+// fix one counter shape for every shard, even under concurrency.
+func TestAcceptAnyShapeIsSharedAcrossShards(t *testing.T) {
+	srv := NewServer("", 0, AggregateOnly)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				// Every goroutine submits 3-counter reports; losers of the
+				// shape race must still agree.
+				_ = srv.Submit(mkReport(uint64(w*25+i), false))
+			}
+		}(w)
+	}
+	wg.Wait()
+	agg := srv.Aggregate()
+	if agg.NumCounters != 3 || agg.Runs != 200 {
+		t.Errorf("adopted shape %d with %d runs, want 3/200", agg.NumCounters, agg.Runs)
+	}
+	// A mismatched report is now rejected everywhere.
+	bad := &report.Report{RunID: 999, Counters: make([]uint64, 7)}
+	if err := srv.Submit(bad); err == nil {
+		t.Error("mismatched report accepted after shape adoption")
+	}
+}
+
+func BenchmarkShardedSubmit(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			srv := NewServer("p", 3, AggregateOnly)
+			srv.Shards = shards
+			b.RunParallel(func(pb *testing.PB) {
+				id := uint64(0)
+				for pb.Next() {
+					id++
+					if err := srv.Submit(mkReport(id, id%5 == 0)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

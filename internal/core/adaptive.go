@@ -44,6 +44,9 @@ type AdaptiveConfig struct {
 	StartDensity  float64
 	DensityGrowth float64
 	Seed          int64
+	// Workers is each round's fleet concurrency (default
+	// runtime.NumCPU()); round results are deterministic regardless.
+	Workers int
 }
 
 // siteKey identifies a site stably across rebuilds of the same file.
@@ -86,6 +89,7 @@ func RunAdaptiveCcrypt(conf AdaptiveConfig) (*AdaptiveResult, error) {
 			Runs:     conf.RunsPerRound,
 			Density:  density,
 			SeedBase: conf.Seed + int64(round)*1_000_000,
+			Workers:  conf.Workers,
 		})
 		if err != nil {
 			return nil, err

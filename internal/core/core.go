@@ -52,6 +52,9 @@ type CcryptStudyConfig struct {
 	Runs    int
 	Density float64 // 0 = unconditional instrumentation
 	Seed    int64
+	// Workers is the fleet's concurrency (default runtime.NumCPU();
+	// results are deterministic regardless — see workloads.FleetConfig).
+	Workers int
 	// Submit, when set, additionally routes every fleet report through it
 	// — e.g. a collect.Client's SubmitContext, exercising the full HTTP
 	// ingest path of a remote collector. The context carries the run's
@@ -88,7 +91,7 @@ func RunCcryptStudyOpts(conf CcryptStudyConfig) (*CcryptStudy, error) {
 	}
 	db, err := workloads.CcryptFleet(built.Program, workloads.FleetConfig{
 		Runs: conf.Runs, Density: effDensity, SeedBase: conf.Seed,
-		Submit: conf.Submit, Tracer: conf.Tracer,
+		Workers: conf.Workers, Submit: conf.Submit, Tracer: conf.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -170,6 +173,8 @@ type BCStudyConfig struct {
 	Runs    int
 	Density float64 // 0 = unconditional instrumentation
 	Seed    int64
+	// Workers mirrors CcryptStudyConfig.Workers.
+	Workers int
 	Lambdas []float64 // cross-validated; default {0.05, 0.1, 0.3, 1.0}
 	Epochs  int
 	TopK    int
@@ -198,7 +203,7 @@ func RunBCStudy(conf BCStudyConfig) (*BCStudy, error) {
 	}
 	db, err := workloads.BCFleet(built.Program, workloads.FleetConfig{
 		Runs: conf.Runs, Density: conf.Density, SeedBase: conf.Seed,
-		Submit: conf.Submit, Tracer: conf.Tracer,
+		Workers: conf.Workers, Submit: conf.Submit, Tracer: conf.Tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// This file implements the batched wire protocol: many reports framed
+// into one payload, so a client can amortize an HTTP round-trip over a
+// whole buffer of runs. The framing reuses the store.go convention —
+// uvarint length prefix, then one Encode()d report per frame — behind a
+// distinct magic so a collector can tell a batch from a single report.
+//
+//	magic "CBB1"
+//	varint #reports
+//	repeated: varint len, report bytes (Encode format)
+
+var batchMagic = []byte("CBB1")
+
+// ErrBadBatch is returned by DecodeBatch for malformed input.
+var ErrBadBatch = errors.New("report: malformed batch encoding")
+
+// MaxBatchReports bounds how many frames DecodeBatch will accept, so a
+// hostile length prefix cannot force a huge allocation.
+const MaxBatchReports = 1 << 20
+
+// EncodeBatch serializes many reports into one length-prefixed payload.
+func EncodeBatch(reports []*Report) []byte {
+	e := &encoder{buf: append([]byte(nil), batchMagic...)}
+	e.uvarint(uint64(len(reports)))
+	for _, r := range reports {
+		e.bytes(r.Encode())
+	}
+	return e.buf
+}
+
+// DecodeBatch parses a payload produced by EncodeBatch.
+func DecodeBatch(data []byte) ([]*Report, error) {
+	if len(data) < len(batchMagic) || string(data[:len(batchMagic)]) != string(batchMagic) {
+		return nil, ErrBadBatch
+	}
+	off := len(batchMagic)
+	n, w := binary.Uvarint(data[off:])
+	if w <= 0 || n > MaxBatchReports {
+		return nil, ErrBadBatch
+	}
+	off += w
+	out := make([]*Report, 0, n)
+	for i := uint64(0); i < n; i++ {
+		size, w := binary.Uvarint(data[off:])
+		if w <= 0 {
+			return nil, ErrBadBatch
+		}
+		off += w
+		if size > uint64(len(data)-off) {
+			return nil, ErrBadBatch
+		}
+		rep, err := Decode(data[off : off+int(size)])
+		if err != nil {
+			return nil, err
+		}
+		off += int(size)
+		out = append(out, rep)
+	}
+	if off != len(data) {
+		return nil, ErrBadBatch
+	}
+	return out, nil
+}
+
+// IsBatch reports whether data carries the batch magic (as opposed to a
+// single report's "CBR1"), letting an endpoint accept either framing.
+func IsBatch(data []byte) bool {
+	return len(data) >= len(batchMagic) && string(data[:len(batchMagic)]) == string(batchMagic)
+}

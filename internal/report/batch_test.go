@@ -1,0 +1,154 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+)
+
+func batchReports(n int) []*Report {
+	out := make([]*Report, 0, n)
+	for i := 0; i < n; i++ {
+		r := &Report{
+			RunID:    uint64(i),
+			Program:  "p",
+			Crashed:  i%3 == 0,
+			ExitCode: int64(i - 2),
+			Counters: make([]uint64, 50),
+		}
+		if r.Crashed {
+			r.TrapKind = "out-of-bounds access"
+		}
+		for j := i % 7; j < len(r.Counters); j += 7 {
+			r.Counters[j] = uint64(i*j + 1)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	reports := batchReports(17)
+	enc := EncodeBatch(reports)
+	if !IsBatch(enc) {
+		t.Fatal("IsBatch(EncodeBatch(...)) = false")
+	}
+	if IsBatch(reports[0].Encode()) {
+		t.Fatal("single report misdetected as batch")
+	}
+	dec, err := DecodeBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(reports) {
+		t.Fatalf("decoded %d reports, want %d", len(dec), len(reports))
+	}
+	for i, r := range reports {
+		if !bytes.Equal(r.Encode(), dec[i].Encode()) {
+			t.Errorf("report %d not identical after round trip", i)
+		}
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	dec, err := DecodeBatch(EncodeBatch(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Fatalf("decoded %d reports from empty batch", len(dec))
+	}
+}
+
+func TestBatchRejectsCorruption(t *testing.T) {
+	enc := EncodeBatch(batchReports(3))
+	cases := map[string][]byte{
+		"wrong magic":    append([]byte("XXXX"), enc[4:]...),
+		"single report":  batchReports(1)[0].Encode(),
+		"truncated":      enc[:len(enc)-5],
+		"trailing bytes": append(append([]byte(nil), enc...), 0xff),
+		"empty":          nil,
+	}
+	for name, data := range cases {
+		if _, err := DecodeBatch(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestAggregateMergeMatchesSerialFold(t *testing.T) {
+	reports := batchReports(40)
+	serial := NewAggregate("p", 50)
+	for _, r := range reports {
+		if err := serial.Fold(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fold into 4 shards by run ID, then merge in shard order.
+	shards := make([]*Aggregate, 4)
+	for i := range shards {
+		shards[i] = NewAggregate("p", 50)
+	}
+	for _, r := range reports {
+		if err := shards[r.RunID%4].Fold(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := NewAggregate("p", 50)
+	for _, sh := range shards {
+		if err := merged.Merge(sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertAggregatesEqual(t, merged, serial)
+}
+
+func assertAggregatesEqual(t *testing.T, got, want *Aggregate) {
+	t.Helper()
+	if got.Runs != want.Runs || got.Crashes != want.Crashes || got.NumCounters != want.NumCounters {
+		t.Fatalf("got runs=%d crashes=%d counters=%d, want runs=%d crashes=%d counters=%d",
+			got.Runs, got.Crashes, got.NumCounters, want.Runs, want.Crashes, want.NumCounters)
+	}
+	for i := 0; i < want.NumCounters; i++ {
+		if got.Totals[i] != want.Totals[i] ||
+			got.NonzeroInSuccess[i] != want.NonzeroInSuccess[i] ||
+			got.NonzeroInFailure[i] != want.NonzeroInFailure[i] {
+			t.Fatalf("counter %d diverges: totals %d/%d succ %v/%v fail %v/%v", i,
+				got.Totals[i], want.Totals[i],
+				got.NonzeroInSuccess[i], want.NonzeroInSuccess[i],
+				got.NonzeroInFailure[i], want.NonzeroInFailure[i])
+		}
+	}
+}
+
+func TestAggregateMergeAdoptsShape(t *testing.T) {
+	a := NewAggregate("", 0)
+	o := NewAggregate("p", 3)
+	if err := o.Fold(&Report{Program: "p", Crashed: true, Counters: []uint64{1, 0, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCounters != 3 || a.Runs != 1 || a.Crashes != 1 || a.Program != "p" {
+		t.Errorf("adopted aggregate: %+v", a)
+	}
+	// Merging an empty unshaped aggregate is a no-op.
+	before := a.Runs
+	if err := a.Merge(NewAggregate("", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Runs != before {
+		t.Error("empty merge changed run count")
+	}
+}
+
+func TestAggregateMergeRejectsShapeMismatch(t *testing.T) {
+	a := NewAggregate("p", 3)
+	o := NewAggregate("p", 4)
+	if err := o.Fold(&Report{Program: "p", Counters: []uint64{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(o); err == nil {
+		t.Error("mismatched merge accepted")
+	}
+}

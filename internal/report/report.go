@@ -349,3 +349,35 @@ func (a *Aggregate) FromDB(db *DB) error {
 	}
 	return nil
 }
+
+// Merge absorbs another aggregate into a. Because every statistic here
+// is order-free (run/crash counts sum, "ever nonzero" bits OR, totals
+// sum), folding reports into shards and merging the shards yields
+// exactly the same aggregate as folding every report serially — the
+// property that makes concurrent sharded collection legal. An aggregate
+// that has not yet fixed its counter shape adopts o's, mirroring Fold.
+func (a *Aggregate) Merge(o *Aggregate) error {
+	if o.Runs == 0 && o.NumCounters == 0 {
+		return nil
+	}
+	if a.NumCounters == 0 && a.Runs == 0 && o.NumCounters > 0 {
+		a.NumCounters = o.NumCounters
+		a.NonzeroInSuccess = make([]bool, o.NumCounters)
+		a.NonzeroInFailure = make([]bool, o.NumCounters)
+		a.Totals = make([]uint64, o.NumCounters)
+	}
+	if o.NumCounters != a.NumCounters {
+		return fmt.Errorf("report: aggregate shape %d, want %d", o.NumCounters, a.NumCounters)
+	}
+	if a.Program == "" {
+		a.Program = o.Program
+	}
+	a.Runs += o.Runs
+	a.Crashes += o.Crashes
+	for i := 0; i < o.NumCounters; i++ {
+		a.Totals[i] += o.Totals[i]
+		a.NonzeroInSuccess[i] = a.NonzeroInSuccess[i] || o.NonzeroInSuccess[i]
+		a.NonzeroInFailure[i] = a.NonzeroInFailure[i] || o.NonzeroInFailure[i]
+	}
+	return nil
+}

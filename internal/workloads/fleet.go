@@ -3,7 +3,10 @@ package workloads
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cbi/internal/cfg"
@@ -37,6 +40,11 @@ type FleetConfig struct {
 	Density  float64
 	SeedBase int64
 	Fuel     uint64
+	// Workers is the number of runs executed concurrently (default
+	// runtime.NumCPU()). Per-run seeds derive deterministically from the
+	// run index, and results are merged in run-ID order, so the produced
+	// DB is bit-identical to a serial (Workers: 1) fleet.
+	Workers int
 	// TraceCapacity enables the bounded ordered trace (see
 	// interp.Config.TraceCapacity).
 	TraceCapacity int
@@ -44,6 +52,8 @@ type FleetConfig struct {
 	// collect.Client's SubmitContext); reports are also returned in the
 	// DB. The context carries the run's trace span when Tracer is set,
 	// so a trace-aware submitter extends the same trace across the wire.
+	// With Workers > 1 Submit is called concurrently and must be safe
+	// for concurrent use (collect.Client is, including batched mode).
 	Submit func(context.Context, *report.Report) error
 	// Tracer, when set, opens one distributed-tracing trace per run: a
 	// fleet.run root span whose context flows into Submit.
@@ -74,18 +84,50 @@ func newFleetMetrics(workload string) fleetMetrics {
 // runFleet drives the shared fleet loop: one interpreter run per
 // iteration, per-run duration/fuel histograms, crash counters, and the
 // crash-rate gauge, all under a "fleet.<workload>" span.
+//
+// Runs execute on a pool of fc.Workers goroutines. Each run's seed
+// derives only from its index (confFor(i)), and every worker writes its
+// report into a run-ID-indexed slot, so the assembled DB is
+// bit-identical to the serial loop regardless of scheduling.
 func runFleet(workload string, prog *cfg.Program, fc FleetConfig,
 	confFor func(i int) interp.Config) (*report.DB, error) {
 	span := telemetry.StartSpan("fleet." + workload)
 	defer span.End()
+	workers := fc.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > fc.Runs && fc.Runs > 0 {
+		workers = fc.Runs
+	}
+	telemetry.G(fmt.Sprintf("fleet_workers{workload=%q}", workload)).Set(float64(workers))
 	m := newFleetMetrics(workload)
-	db := report.NewDB(workload, prog.NumCounters)
-	crashed := 0
-	for i := 0; i < fc.Runs; i++ {
-		// One trace per deployed run: execute + submit nest under it, and
-		// the collector's ingest spans continue it (all nil-safe when no
-		// Tracer is configured).
+
+	var (
+		reps    = make([]*report.Report, fc.Runs)
+		crashed atomic.Int64
+		next    atomic.Int64
+		failed  atomic.Bool
+		errMu   sync.Mutex
+		errRun  int
+		errVal  error
+	)
+	// fail records the error from the lowest-indexed failing run, so the
+	// reported error is deterministic even under concurrent failures.
+	fail := func(i int, err error) {
+		errMu.Lock()
+		if errVal == nil || i < errRun {
+			errRun, errVal = i, err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+	}
+	// One trace per deployed run: execute + submit nest under it, and
+	// the collector's ingest spans continue it (all nil-safe when no
+	// Tracer is configured).
+	runOne := func(i int) error {
 		runSpan := fc.Tracer.StartSpan("fleet.run")
+		defer runSpan.End()
 		runSpan.SetAttr("workload", workload)
 		runSpan.SetAttr("run_id", strconv.Itoa(i))
 		execSpan := runSpan.StartChild("fleet.execute")
@@ -97,24 +139,49 @@ func runFleet(workload string, prog *cfg.Program, fc FleetConfig,
 		m.runs.Inc()
 		if res.Outcome == interp.OutcomeCrash {
 			m.crashes.Inc()
-			crashed++
+			crashed.Add(1)
 			runSpan.SetAttr("crashed", "true")
 		}
 		rep := ReportOf(workload, uint64(i), res)
+		reps[i] = rep
+		if fc.Submit != nil {
+			return fc.Submit(trace.NewContext(context.Background(), runSpan), rep)
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= fc.Runs {
+					return
+				}
+				if err := runOne(i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errVal != nil {
+		return nil, errVal
+	}
+
+	// Assemble in run-ID order: Add validates each report's shape exactly
+	// as the serial loop did, and ordering is independent of scheduling.
+	db := report.NewDB(workload, prog.NumCounters)
+	for _, rep := range reps {
 		if err := db.Add(rep); err != nil {
-			runSpan.End()
 			return nil, err
 		}
-		if fc.Submit != nil {
-			if err := fc.Submit(trace.NewContext(context.Background(), runSpan), rep); err != nil {
-				runSpan.End()
-				return nil, err
-			}
-		}
-		runSpan.End()
 	}
 	if fc.Runs > 0 {
-		m.crashRatio.Set(float64(crashed) / float64(fc.Runs))
+		m.crashRatio.Set(float64(crashed.Load()) / float64(fc.Runs))
 	}
 	return db, nil
 }

@@ -1,0 +1,99 @@
+package workloads
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"cbi/internal/instrument"
+	"cbi/internal/report"
+)
+
+// TestFleetParallelIsDeterministic asserts the tentpole invariant: a
+// worker-pool fleet produces a DB bit-identical to the serial loop,
+// because seeds derive from the run index and reports are merged in
+// run-ID order.
+func TestFleetParallelIsDeterministic(t *testing.T) {
+	b, err := BuildCcrypt(instrument.SchemeSet{Returns: true}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := FleetConfig{Runs: 200, Density: 1.0 / 50, SeedBase: 3}
+
+	serialConf := base
+	serialConf.Workers = 1
+	serial, err := CcryptFleet(b.Program, serialConf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelConf := base
+	parallelConf.Workers = 8
+	parallel, err := CcryptFleet(b.Program, parallelConf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if serial.Len() != parallel.Len() {
+		t.Fatalf("runs: serial %d, parallel %d", serial.Len(), parallel.Len())
+	}
+	for i := range serial.Reports {
+		se, pe := serial.Reports[i].Encode(), parallel.Reports[i].Encode()
+		if !bytes.Equal(se, pe) {
+			t.Fatalf("report %d differs between serial and 8-worker fleets", i)
+		}
+	}
+}
+
+// TestFleetParallelSubmitsEveryReport checks that the concurrent Submit
+// path still delivers exactly one report per run.
+func TestFleetParallelSubmitsEveryReport(t *testing.T) {
+	b, err := BuildBC(instrument.SchemeSet{ScalarPairs: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted atomic.Int64
+	seen := make([]atomic.Bool, 60)
+	db, err := BCFleet(b.Program, FleetConfig{
+		Runs: 60, SeedBase: 5, Workers: 4,
+		Submit: func(_ context.Context, r *report.Report) error {
+			submitted.Add(1)
+			if seen[r.RunID].Swap(true) {
+				t.Errorf("run %d submitted twice", r.RunID)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := submitted.Load(); got != 60 {
+		t.Errorf("submitted %d reports, want 60", got)
+	}
+	if db.Len() != 60 {
+		t.Errorf("db has %d reports, want 60", db.Len())
+	}
+}
+
+// TestFleetSubmitErrorStopsFleet: a failing submitter aborts the fleet
+// with its error, as the serial loop did.
+func TestFleetSubmitErrorStopsFleet(t *testing.T) {
+	b, err := BuildBC(instrument.SchemeSet{ScalarPairs: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("collector down")
+	_, err = BCFleet(b.Program, FleetConfig{
+		Runs: 40, SeedBase: 5, Workers: 4,
+		Submit: func(_ context.Context, r *report.Report) error {
+			if r.RunID >= 10 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("fleet error = %v, want %v", err, boom)
+	}
+}
