@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 
 	"cbi/internal/collect"
 	"cbi/internal/instrument"
+	"cbi/internal/interp"
 	"cbi/internal/report"
 	"cbi/internal/workloads"
 )
@@ -36,6 +38,27 @@ type fleetBenchDoc struct {
 		BatchReportsPerSec  float64 `json:"batch_reports_per_sec"`
 		Speedup             float64 `json:"speedup"`
 	} `json:"ingest"`
+	// Engines holds one row per (workload, engine): the compiled VM
+	// against the tree walker on the Table-2 benchmarks, with per-run
+	// allocation counts so frame-pooling regressions are visible.
+	Engines []engineBenchRow `json:"engines"`
+}
+
+type engineBenchRow struct {
+	Workload     string  `json:"workload"`
+	Engine       string  `json:"engine"`
+	Runs         int     `json:"runs"`
+	Steps        uint64  `json:"steps"`
+	Seconds      float64 `json:"seconds"`
+	StepsPerSec  float64 `json:"steps_per_sec"`
+	AllocsPerRun float64 `json:"allocs_per_run"`
+	BytesPerRun  float64 `json:"bytes_per_run"`
+	// Speedup is steps/sec relative to the tree engine on the same
+	// workload (1.0 on the tree rows themselves).
+	Speedup float64 `json:"speedup"`
+	// Identical reports whether every run's report and step count matched
+	// the tree engine bit for bit.
+	Identical bool `json:"identical"`
 }
 
 // fleet measures the two perf paths this repo parallelizes: fleet
@@ -136,6 +159,10 @@ func fleet() error {
 		return fmt.Errorf("fleet: collector folded %d runs, want %d", agg.Runs, 2*len(reps))
 	}
 
+	if err := engineRows(&doc); err != nil {
+		return err
+	}
+
 	out, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		return err
@@ -144,6 +171,97 @@ func fleet() error {
 		return err
 	}
 	fmt.Println("measurements written to", *benchOut)
+	return nil
+}
+
+// engineRows races the compiled VM against the tree walker on every
+// Table-2 workload (bounds scheme, sampled): steps/sec throughput,
+// allocations per run, and a bit-identical-reports check per run pair.
+func engineRows(doc *fleetBenchDoc) error {
+	const perEngine = 3
+	fmt.Printf("\nengines (Table-2 workloads, bounds scheme sampled @ %s, %d runs each):\n",
+		frac(*density), perEngine)
+	fmt.Printf("%-10s %10s %14s %14s %12s %9s %10s\n",
+		"workload", "engine", "steps/sec", "allocs/run", "bytes/run", "speedup", "identical")
+	for _, b := range workloads.All() {
+		built, err := workloads.BuildBenchmark(b.Name, instrument.SchemeSet{Bounds: true}, true)
+		if err != nil {
+			return fmt.Errorf("engines %s: %w", b.Name, err)
+		}
+		confFor := func(eng interp.Engine, i int) interp.Config {
+			return interp.Config{
+				Engine:        eng,
+				Seed:          *seed + int64(i),
+				Density:       *density,
+				CountdownSeed: *seed + int64(i)*17,
+			}
+		}
+		measure := func(eng interp.Engine) (engineBenchRow, []interp.Result, error) {
+			var code *interp.Compiled
+			if eng == interp.EngineCompiled {
+				code = interp.Compile(built.Program)
+			}
+			runtime.GC()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			t0 := time.Now()
+			var results []interp.Result
+			var steps uint64
+			for i := 0; i < perEngine; i++ {
+				var res interp.Result
+				if code != nil {
+					res = code.Run(confFor(eng, i))
+				} else {
+					res = interp.Run(built.Program, confFor(eng, i))
+				}
+				if res.Outcome != interp.OutcomeOK {
+					return engineBenchRow{}, nil, fmt.Errorf("engines %s (%s): crashed: %v", b.Name, eng, res.Trap)
+				}
+				steps += res.Steps
+				results = append(results, res)
+			}
+			sec := time.Since(t0).Seconds()
+			runtime.ReadMemStats(&ms1)
+			return engineBenchRow{
+				Workload:     b.Name,
+				Engine:       eng.String(),
+				Runs:         perEngine,
+				Steps:        steps,
+				Seconds:      sec,
+				StepsPerSec:  float64(steps) / sec,
+				AllocsPerRun: float64(ms1.Mallocs-ms0.Mallocs) / perEngine,
+				BytesPerRun:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / perEngine,
+			}, results, nil
+		}
+		treeRow, treeRes, err := measure(interp.EngineTree)
+		if err != nil {
+			return err
+		}
+		compRow, compRes, err := measure(interp.EngineCompiled)
+		if err != nil {
+			return err
+		}
+		treeRow.Speedup = 1
+		treeRow.Identical = true
+		compRow.Speedup = compRow.StepsPerSec / treeRow.StepsPerSec
+		compRow.Identical = true
+		for i := range treeRes {
+			tr := workloads.ReportOf(b.Name, uint64(i), treeRes[i])
+			cr := workloads.ReportOf(b.Name, uint64(i), compRes[i])
+			if !bytes.Equal(tr.Encode(), cr.Encode()) || treeRes[i].Steps != compRes[i].Steps {
+				compRow.Identical = false
+			}
+		}
+		for _, row := range []engineBenchRow{treeRow, compRow} {
+			fmt.Printf("%-10s %10s %14.0f %14.0f %12.0f %8.2fx %10v\n",
+				row.Workload, row.Engine, row.StepsPerSec, row.AllocsPerRun,
+				row.BytesPerRun, row.Speedup, row.Identical)
+		}
+		if !compRow.Identical {
+			return fmt.Errorf("engines %s: compiled reports differ from tree baseline", b.Name)
+		}
+		doc.Engines = append(doc.Engines, treeRow, compRow)
+	}
 	return nil
 }
 

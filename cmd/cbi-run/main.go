@@ -40,6 +40,7 @@ func main() {
 		workload = flag.String("workload", "", "built-in workload name")
 		scheme   = flag.String("scheme", "", "schemes: returns, scalar-pairs, branches, bounds, asserts (comma separated)")
 		sample   = flag.Bool("sample", false, "apply the sampling transformation")
+		engine   = flag.String("engine", "compiled", "execution engine: compiled (bytecode VM) or tree (reference walker)")
 		density  = flag.Float64("density", 1.0/1000, "sampling density for -sample")
 		seed     = flag.Int64("seed", 1, "run seed (program rand and fuzzed environment)")
 		cdSeed   = flag.Int64("countdown-seed", 1, "countdown bank seed")
@@ -116,7 +117,14 @@ func main() {
 		effDensity = *density
 	}
 
+	eng, ok := interp.EngineOf(*engine)
+	if !ok {
+		fatal(fmt.Errorf("unknown engine %q (want compiled or tree)", *engine))
+	}
+	telemetry.G(fmt.Sprintf("vm_engine{engine=%q}", eng)).Set(1)
+
 	conf := interp.Config{
+		Engine:        eng,
 		Seed:          *seed,
 		Density:       effDensity,
 		CountdownSeed: *cdSeed,
@@ -127,9 +135,22 @@ func main() {
 	if *showOut {
 		conf.Stdout = os.Stdout
 	}
+	// Compile-once lowering; the telemetry span exposes its cost next to
+	// run.build / run.execute in the stage-timing summary.
+	var code *interp.Compiled
+	if eng == interp.EngineCompiled {
+		compileSpan := telemetry.StartSpan("run.compile")
+		code = interp.Compile(prog)
+		compileSpan.End()
+	}
 	execSpan := telemetry.StartSpan("run.execute")
 	execChild := rootSpan.StartChild("run.execute")
-	res := interp.Run(prog, conf)
+	var res interp.Result
+	if code != nil {
+		res = code.Run(conf)
+	} else {
+		res = interp.Run(prog, conf)
+	}
 	execChild.End()
 	execSpan.End()
 	telemetry.H("run_steps", telemetry.StepBuckets).Observe(float64(res.Steps))

@@ -15,6 +15,7 @@ import (
 
 	"cbi/internal/collect"
 	"cbi/internal/instrument"
+	"cbi/internal/interp"
 	"cbi/internal/report"
 	"cbi/internal/workloads"
 )
@@ -49,26 +50,32 @@ func fleetBenchSetup(b *testing.B) (*workloads.Built, *report.DB) {
 
 func BenchmarkFleetParallel(b *testing.B) {
 	built, serial := fleetBenchSetup(b)
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				db, err := workloads.CcryptFleet(built.Program, workloads.FleetConfig{
-					Runs: fleetBenchRuns, Density: 1.0 / 50, SeedBase: 3, Workers: workers,
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				if db.Len() != serial.Len() {
-					b.Fatalf("got %d reports, want %d", db.Len(), serial.Len())
-				}
-				for j := range db.Reports {
-					if !bytes.Equal(db.Reports[j].Encode(), serial.Reports[j].Encode()) {
-						b.Fatalf("report %d differs from serial baseline", j)
+	for _, engine := range []interp.Engine{interp.EngineCompiled, interp.EngineTree} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("engine=%s/workers%d", engine, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					db, err := workloads.CcryptFleet(built.Program, workloads.FleetConfig{
+						Runs: fleetBenchRuns, Density: 1.0 / 50, SeedBase: 3,
+						Workers: workers, Engine: engine,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if db.Len() != serial.Len() {
+						b.Fatalf("got %d reports, want %d", db.Len(), serial.Len())
+					}
+					// Both engines, at any worker count, must reproduce the
+					// serial compiled baseline bit for bit.
+					for j := range db.Reports {
+						if !bytes.Equal(db.Reports[j].Encode(), serial.Reports[j].Encode()) {
+							b.Fatalf("report %d differs from serial baseline", j)
+						}
 					}
 				}
-			}
-			b.ReportMetric(float64(fleetBenchRuns)*float64(b.N)/b.Elapsed().Seconds(), "runs/s")
-		})
+				b.ReportMetric(float64(fleetBenchRuns)*float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+			})
+		}
 	}
 }
 

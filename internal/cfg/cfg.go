@@ -224,9 +224,82 @@ type Null struct{}
 // VarUse reads a variable.
 type VarUse struct{ V *Var }
 
+// UnOp is a typed unary operator. Operator spellings are interned to
+// these enums at CFG-build time so the interpreters dispatch on a small
+// integer instead of comparing strings on every step.
+type UnOp uint8
+
+const (
+	UnNeg UnOp = iota // -
+	UnNot             // !
+)
+
+// String returns the source spelling, for the printer and diagnostics.
+func (op UnOp) String() string {
+	if op == UnNeg {
+		return "-"
+	}
+	return "!"
+}
+
+// UnOpOf interns a MiniC unary operator spelling.
+func UnOpOf(s string) (UnOp, bool) {
+	switch s {
+	case "-":
+		return UnNeg, true
+	case "!":
+		return UnNot, true
+	}
+	return 0, false
+}
+
+// BinOp is a typed binary operator.
+type BinOp uint8
+
+const (
+	BinAdd BinOp = iota // +
+	BinSub              // -
+	BinMul              // *
+	BinDiv              // /
+	BinMod              // %
+	BinEq               // ==
+	BinNe               // !=
+	BinLt               // <
+	BinLe               // <=
+	BinGt               // >
+	BinGe               // >=
+)
+
+var binOpNames = [...]string{
+	BinAdd: "+", BinSub: "-", BinMul: "*", BinDiv: "/", BinMod: "%",
+	BinEq: "==", BinNe: "!=", BinLt: "<", BinLe: "<=", BinGt: ">", BinGe: ">=",
+}
+
+// String returns the source spelling, for the printer and diagnostics.
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return "?"
+}
+
+// IsComparison reports whether the operator yields a boolean.
+func (op BinOp) IsComparison() bool { return op >= BinEq }
+
+// BinOpOf interns a MiniC binary operator spelling ("&&" and "||" are not
+// binary operators at this level; the lowerer expands them).
+func BinOpOf(s string) (BinOp, bool) {
+	for op, name := range binOpNames {
+		if name == s {
+			return BinOp(op), true
+		}
+	}
+	return 0, false
+}
+
 // Un applies "-" or "!".
 type Un struct {
-	Op string
+	Op UnOp
 	X  Expr
 }
 
@@ -234,7 +307,7 @@ type Un struct {
 // appear: the lowerer expands them to control flow to preserve
 // short-circuit evaluation.
 type Bin struct {
-	Op   string
+	Op   BinOp
 	X, Y Expr
 	Pos  minic.Pos
 }

@@ -176,7 +176,9 @@ func TestShortCircuitLowersToControlFlow(t *testing.T) {
 func hasAndOr(e Expr) bool {
 	switch x := e.(type) {
 	case *Bin:
-		return x.Op == "&&" || x.Op == "||" || hasAndOr(x.X) || hasAndOr(x.Y)
+		// "&&"/"||" have no BinOp encoding; an un-internable operator
+		// would have failed lowering, so only recurse.
+		return hasAndOr(x.X) || hasAndOr(x.Y)
 	case *Un:
 		return hasAndOr(x.X)
 	case *Load:
@@ -343,7 +345,7 @@ func TestCompoundAssignToCell(t *testing.T) {
 			if _, ok := a.LV.(*CellRef); ok {
 				found = true
 				bin, ok := a.X.(*Bin)
-				if !ok || bin.Op != "+" {
+				if !ok || bin.Op != BinAdd {
 					t.Errorf("compound rhs: %s", FormatExpr(a.X))
 				}
 			}

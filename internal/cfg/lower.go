@@ -412,7 +412,10 @@ func (lw *lowerer) lowerAssign(x *minic.AssignStmt) error {
 		return err
 	}
 	if x.Op != "=" {
-		op := x.Op[:1] // "+=" -> "+"
+		op, ok := BinOpOf(x.Op[:1]) // "+=" -> "+"
+		if !ok {
+			return &LowerError{Pos: x.Pos, Msg: fmt.Sprintf("unknown compound operator %q", x.Op)}
+		}
 		rhs = &Bin{Op: op, X: loadLV, Y: rhs, Pos: x.Pos}
 	}
 	lw.emit(&Assign{LV: lv, X: rhs, Pos: x.Pos})
@@ -695,7 +698,11 @@ func (lw *lowerer) lowerExpr(e minic.Expr) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Un{Op: x.Op, X: sub}, nil
+		op, ok := UnOpOf(x.Op)
+		if !ok {
+			return nil, &LowerError{Pos: x.Pos, Msg: fmt.Sprintf("unknown unary operator %q", x.Op)}
+		}
+		return &Un{Op: op, X: sub}, nil
 	case *minic.BinaryExpr:
 		if x.Op == "&&" || x.Op == "||" {
 			return lw.lowerShortCircuit(x)
@@ -708,7 +715,11 @@ func (lw *lowerer) lowerExpr(e minic.Expr) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Bin{Op: x.Op, X: a, Y: b, Pos: x.Pos}, nil
+		op, ok := BinOpOf(x.Op)
+		if !ok {
+			return nil, &LowerError{Pos: x.Pos, Msg: fmt.Sprintf("unknown operator %q", x.Op)}
+		}
+		return &Bin{Op: op, X: a, Y: b, Pos: x.Pos}, nil
 	case *minic.CallExpr:
 		if x.Callee == "assert" {
 			if err := lw.lowerAssert(x); err != nil {
@@ -812,7 +823,7 @@ func (lw *lowerer) lowerShortCircuit(x *minic.BinaryExpr) (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	lw.emit(&Assign{LV: &VarRef{V: res}, X: &Un{Op: "!", X: &Un{Op: "!", X: b}}})
+	lw.emit(&Assign{LV: &VarRef{V: res}, X: &Un{Op: UnNot, X: &Un{Op: UnNot, X: b}}})
 	lw.seal(&Goto{To: exit})
 	lw.cur = exit
 	return &VarUse{V: res}, nil

@@ -112,7 +112,7 @@ func FormatExpr(e Expr) string {
 	case *VarUse:
 		return x.V.Name
 	case *Un:
-		return x.Op + FormatExpr(x.X)
+		return x.Op.String() + FormatExpr(x.X)
 	case *Bin:
 		return fmt.Sprintf("(%s %s %s)", FormatExpr(x.X), x.Op, FormatExpr(x.Y))
 	case *Load:

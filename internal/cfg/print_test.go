@@ -53,8 +53,8 @@ func TestFormatExprAllKinds(t *testing.T) {
 		&StrConst{S: "hi"}:             `"hi"`,
 		&Null{}:                        "null",
 		&VarUse{V: v}:                  "y",
-		&Un{Op: "!", X: &VarUse{V: v}}: "!y",
-		&Bin{Op: "+", X: &Const{V: 1}, Y: &Const{V: 2}}: "(1 + 2)",
+		&Un{Op: UnNot, X: &VarUse{V: v}}:                   "!y",
+		&Bin{Op: BinAdd, X: &Const{V: 1}, Y: &Const{V: 2}}: "(1 + 2)",
 		&Load{Ptr: &VarUse{V: v}, Idx: &Const{V: 0}}:    "y[0]",
 		&NewObj{StructName: "node"}:                     "new node",
 	}

@@ -1,0 +1,586 @@
+package interp
+
+import (
+	"cbi/internal/cfg"
+	"cbi/internal/minic"
+)
+
+// Engine selects which execution engine runs a program.
+type Engine uint8
+
+const (
+	// EngineCompiled is the compile-once bytecode VM: the CFG is lowered
+	// to a flat instruction stream with enum opcodes, pre-resolved
+	// variable slots, and jump-target program counters, built once and
+	// shared read-only across every run (and every fleet goroutine).
+	// It is the zero value, i.e. the default.
+	EngineCompiled Engine = iota
+	// EngineTree is the reference tree-walking interpreter, retained as
+	// the differential oracle for the compiled engine.
+	EngineTree
+)
+
+// String returns the engine's flag spelling.
+func (e Engine) String() string {
+	if e == EngineTree {
+		return "tree"
+	}
+	return "compiled"
+}
+
+// EngineOf parses an engine flag value ("" means the default).
+func EngineOf(s string) (Engine, bool) {
+	switch s {
+	case "compiled", "":
+		return EngineCompiled, true
+	case "tree":
+		return EngineTree, true
+	}
+	return 0, false
+}
+
+// ----------------------------------------------------------------------------
+// Compiled representation
+//
+// The tree walker spends most of its time on dispatch: interface type
+// switches per instruction and per expression node, string comparisons
+// per operator, map lookups per call, and a frame + locals allocation per
+// call. The compiled form eliminates all four while preserving the tree
+// walker's observable behaviour *exactly* — same counters, outcome, trap
+// kind/position, step totals, sample counts, and profiler attribution.
+//
+// Step-count parity dictates the shape. The tree walker charges one step
+// per instruction, one per block terminator, and one per expression node
+// in pre-order, and a run can trap mid-expression; so expressions cannot
+// be flattened to post-order stack code (an enclosing operator's
+// pre-order charge would be missing at the trap point). Instead each
+// function gets a pool of expression nodes evaluated recursively in the
+// same pre-order — identical charging, but with enum dispatch, interned
+// operators, and resolved slots instead of interface walks.
+
+// copcode is a compiled instruction or terminator opcode. Terminator
+// opcodes are grouped at the end so the exec loop can classify with one
+// compare (op >= opGoto).
+type copcode uint8
+
+const (
+	// Instructions (cfg.Instr analogues).
+	opAssignLocal  copcode = iota // locals[slot] = eval(a)
+	opAssignGlobal                // globals[slot] = eval(a)
+	opAssignCell                  // eval(a)[...] — X=a, Ptr=b, Idx=c
+	opCall                        // user function call
+	opCallBuiltin                 // builtin / host-intrinsic call
+	opSite                        // unconditional probe
+	opGuardedSite                 // countdown-guarded probe (slow path)
+	opCountdownDec                // countdown -= slot
+	opCDImport                    // frame countdown = global countdown
+	opCDExport                    // global countdown = frame countdown
+	opBad                         // malformed instruction; traps when reached
+
+	// Terminators (cfg.Term analogues).
+	opGoto      // pc = b
+	opIf        // if eval(a) then pc = b else pc = c
+	opRet       // return eval(a)
+	opRetVoid   // return 0
+	opThreshold // if countdown > slot then pc = b else pc = c
+	opBadTerm   // missing/malformed terminator; traps when reached
+)
+
+// opKinds maps instruction opcodes to the profiler path kind their steps
+// belong to, mirroring instrKind on the cfg.Instr forms.
+var opKinds = [opBadTerm + 1]PathKind{
+	opAssignLocal:  PathBaseline,
+	opAssignGlobal: PathBaseline,
+	opAssignCell:   PathBaseline,
+	opCall:         PathBaseline,
+	opCallBuiltin:  PathBaseline,
+	opSite:         PathSlowSite,
+	opGuardedSite:  PathSlowSite,
+	opCountdownDec: PathFastDec,
+	opCDImport:     PathFastDec,
+	opCDExport:     PathFastDec,
+	opBad:          PathBaseline,
+}
+
+// cinstr is one compiled instruction or terminator.
+type cinstr struct {
+	op        copcode
+	fresh     bool  // opCallBuiltin: host intrinsic — args need a fresh slice
+	dstGlobal bool  // call result goes to a global slot
+	slot      int32 // dst slot (calls/assigns), countdown delta, threshold weight
+	a, b, c   int32 // expression node indices or jump-target pcs (see opcodes)
+	args      []int32
+	site      *cfg.Site
+	callee    *compiledFunc
+	name      string // callee/builtin name, or opBad diagnostic
+	pos       minic.Pos
+}
+
+// ekind discriminates compiled expression nodes.
+type ekind uint8
+
+const (
+	eConst ekind = iota
+	eStr
+	eNull
+	eLocal
+	eGlobal
+	eUn
+	eBin
+	eLoad
+	eNew
+	eBad
+)
+
+// enode is one compiled expression node. Children are indices into the
+// owning function's node pool; evaluation recurses in the same pre-order
+// as the tree walker so step charges land node-for-node identically.
+type enode struct {
+	kind ekind
+	op   uint8 // cfg.UnOp or cfg.BinOp
+	slot int32 // variable slot (eLocal/eGlobal) or field count (eNew)
+	a, b int32 // child node indices
+	val  Value  // precomputed constant (eConst/eStr/eNull)
+	sval string // eBad diagnostic
+	pos  minic.Pos
+}
+
+// compiledFunc is one function lowered to a flat instruction stream.
+type compiledFunc struct {
+	name           string
+	code           []cinstr
+	nodes          []enode
+	zero           []Value // locals template: declared-type zero values
+	paramSlots     []int32
+	localCountdown bool
+	entry          int // pc of the entry block
+}
+
+// Compiled is a program lowered once to bytecode. It is immutable after
+// Compile returns and safe to share across any number of concurrent
+// runs — the fleet compiles once and hands the same Compiled to every
+// worker goroutine.
+type Compiled struct {
+	prog  *cfg.Program
+	funcs map[string]*compiledFunc
+	main  *compiledFunc
+}
+
+// Run executes the compiled program's main under conf and builds the
+// report. Concurrent calls are safe; all per-run state lives in the VM.
+func (c *Compiled) Run(conf Config) Result {
+	return c.NewVM(conf).Run()
+}
+
+// NewVM prepares a VM bound to this compiled program without running it
+// (used by harnesses that install intrinsics referring to the VM).
+func (c *Compiled) NewVM(conf Config) *VM {
+	conf.Engine = EngineCompiled
+	vm := New(c.prog, conf)
+	vm.code = c
+	return vm
+}
+
+// cframe is a pooled call frame of the compiled engine. Frames are
+// reused per call depth and the locals arena is reused across calls, so
+// a run allocates at most one frame per stack depth ever reached.
+type cframe struct {
+	fn     *compiledFunc
+	locals []Value
+	cd     int64
+}
+
+// frameAt returns the pooled frame for call depth d (1-based).
+func (vm *VM) frameAt(d int) *cframe {
+	for len(vm.cframes) < d {
+		vm.cframes = append(vm.cframes, &cframe{})
+	}
+	return vm.cframes[d-1]
+}
+
+func (vm *VM) cdGetC(fr *cframe) int64 {
+	if fr.fn.localCountdown {
+		return fr.cd
+	}
+	return vm.cd
+}
+
+func (vm *VM) cdSetC(fr *cframe, v int64) {
+	if fr.fn.localCountdown {
+		fr.cd = v
+	} else {
+		vm.cd = v
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Execution
+
+// callC runs a compiled function and returns its value. It mirrors
+// vm.call step for step: the same fuel charges in the same order, the
+// same profiler synchronization points, and the same trap positions.
+func (vm *VM) callC(fn *compiledFunc, args []Value) (Value, error) {
+	vm.depth++
+	defer func() { vm.depth-- }()
+	if vm.depth > vm.maxDepth {
+		return Value{}, &Trap{Kind: TrapStackOverflow, Msg: fn.name}
+	}
+	if vm.prof != nil {
+		vm.prof.enter(fn.name, vm.steps)
+		defer func() { vm.prof.exit(vm.steps) }()
+	}
+	fr := vm.frameAt(vm.depth)
+	fr.fn = fn
+	if cap(fr.locals) >= len(fn.zero) {
+		fr.locals = fr.locals[:len(fn.zero)]
+	} else {
+		fr.locals = make([]Value, len(fn.zero))
+	}
+	copy(fr.locals, fn.zero)
+	for i, s := range fn.paramSlots {
+		if i < len(args) {
+			fr.locals[s] = args[i]
+		}
+	}
+	fr.cd = 0
+
+	code := fn.code
+	nodes := fn.nodes
+	pc := fn.entry
+	for {
+		in := &code[pc]
+		if in.op >= opGoto {
+			// Terminator: one fuel-checked step, then dispatch. On fuel
+			// exhaustion the charge is baseline, as in the tree walker.
+			if err := vm.step(minic.Pos{}); err != nil {
+				if vm.prof != nil {
+					vm.prof.take(PathBaseline, vm.steps)
+				}
+				return Value{}, err
+			}
+			thresh := false
+			switch in.op {
+			case opGoto:
+				pc = int(in.b)
+			case opIf:
+				v, err := vm.evalC(fr, nodes, in.a)
+				if err != nil {
+					// No take: the deferred profiler exit claims these
+					// steps as baseline, exactly like the tree walker.
+					return Value{}, err
+				}
+				if v.Truthy() {
+					pc = int(in.b)
+				} else {
+					pc = int(in.c)
+				}
+			case opRetVoid:
+				return IntVal(0), nil
+			case opRet:
+				return vm.evalC(fr, nodes, in.a)
+			case opThreshold:
+				thresh = true
+				if vm.cdGetC(fr) > int64(in.slot) {
+					pc = int(in.b)
+				} else {
+					pc = int(in.c)
+				}
+			default:
+				return Value{}, &Trap{Kind: TrapBadProgram, Msg: "missing terminator"}
+			}
+			if vm.prof != nil {
+				if thresh {
+					vm.prof.take(PathThreshold, vm.steps)
+				} else {
+					vm.prof.take(PathBaseline, vm.steps)
+				}
+			}
+			continue
+		}
+
+		// Instruction: one fuel-checked step, the op body, then the
+		// profiler charge — which, as in the tree walker, runs even when
+		// the body (or the fuel check itself) produced the error.
+		err := vm.step(minic.Pos{})
+		if err == nil {
+			switch in.op {
+			case opAssignLocal:
+				var v Value
+				if v, err = vm.evalC(fr, nodes, in.a); err == nil {
+					fr.locals[in.slot] = v
+				}
+			case opAssignGlobal:
+				var v Value
+				if v, err = vm.evalC(fr, nodes, in.a); err == nil {
+					vm.globals[in.slot] = v
+				}
+			case opAssignCell:
+				err = vm.assignCellC(fr, nodes, in)
+			case opCall:
+				err = vm.callUserC(fr, nodes, in)
+			case opCallBuiltin:
+				err = vm.callBuiltinC(fr, nodes, in)
+			case opSite:
+				err = vm.fireProbeC(fr, nodes, in.site, in.args)
+			case opGuardedSite:
+				cd := vm.cdGetC(fr) - 1
+				if cd == 0 {
+					if err = vm.fireProbeC(fr, nodes, in.site, in.args); err != nil {
+						break // countdown write skipped, as in the tree walker
+					}
+					cd = vm.source.Next()
+				}
+				vm.cdSetC(fr, cd)
+			case opCountdownDec:
+				vm.cdSetC(fr, vm.cdGetC(fr)-int64(in.slot))
+			case opCDImport:
+				fr.cd = vm.cd
+			case opCDExport:
+				vm.cd = fr.cd
+			default:
+				err = &Trap{Kind: TrapBadProgram, Msg: in.name}
+			}
+		}
+		if vm.prof != nil {
+			vm.prof.take(opKinds[in.op], vm.steps)
+		}
+		if err != nil {
+			return Value{}, err
+		}
+		pc++
+	}
+}
+
+// assignCellC stores eval(X) into Ptr[Idx], evaluating X, Ptr, Idx in
+// the tree walker's order.
+func (vm *VM) assignCellC(fr *cframe, nodes []enode, in *cinstr) error {
+	v, err := vm.evalC(fr, nodes, in.a)
+	if err != nil {
+		return err
+	}
+	ptr, err := vm.evalC(fr, nodes, in.b)
+	if err != nil {
+		return err
+	}
+	idx, err := vm.evalC(fr, nodes, in.c)
+	if err != nil {
+		return err
+	}
+	// Valid stores resolve in place, mirroring evalC's load fast path.
+	if ptr.Kind == KPtr && idx.Kind == KInt && !ptr.Obj.Freed {
+		if off := ptr.Off + int(idx.I); off >= 0 && off < len(ptr.Obj.Data) {
+			ptr.Obj.Data[off] = v
+			return nil
+		}
+	}
+	cell, err := resolveCell(ptr, idx, in.pos)
+	if err != nil {
+		return err
+	}
+	*cell = v
+	return nil
+}
+
+// callUserC evaluates arguments into the LIFO scratch stack and invokes
+// the pre-resolved callee. The scratch window is safe to reuse because
+// callC copies arguments into the callee's locals before evaluating
+// anything that could push further arguments.
+func (vm *VM) callUserC(fr *cframe, nodes []enode, in *cinstr) error {
+	base := len(vm.argStack)
+	for _, a := range in.args {
+		v, err := vm.evalC(fr, nodes, a)
+		if err != nil {
+			vm.argStack = vm.argStack[:base]
+			return err
+		}
+		vm.argStack = append(vm.argStack, v)
+	}
+	if in.callee == nil {
+		vm.argStack = vm.argStack[:base]
+		return &Trap{Kind: TrapBadProgram, Pos: in.pos, Msg: "unknown function " + in.name}
+	}
+	ret, err := vm.callC(in.callee, vm.argStack[base:])
+	vm.argStack = vm.argStack[:base]
+	if err != nil {
+		return err
+	}
+	if in.slot >= 0 {
+		if in.dstGlobal {
+			vm.globals[in.slot] = ret
+		} else {
+			fr.locals[in.slot] = ret
+		}
+	}
+	return nil
+}
+
+// callBuiltinC invokes a builtin. Standard builtins never retain their
+// argument slice, so they share the non-nesting scratch buffer; host
+// intrinsics (fresh) get a fresh slice since they may keep it.
+func (vm *VM) callBuiltinC(fr *cframe, nodes []enode, in *cinstr) error {
+	var args []Value
+	if in.fresh {
+		args = make([]Value, 0, len(in.args))
+	} else {
+		args = vm.scratch[:0]
+	}
+	for _, a := range in.args {
+		v, err := vm.evalC(fr, nodes, a)
+		if err != nil {
+			return err
+		}
+		args = append(args, v)
+	}
+	if !in.fresh {
+		vm.scratch = args[:0]
+	}
+	ret, err := vm.callBuiltin(in.name, args, in.pos)
+	if err != nil {
+		return err
+	}
+	if in.slot >= 0 {
+		if in.dstGlobal {
+			vm.globals[in.slot] = ret
+		} else {
+			fr.locals[in.slot] = ret
+		}
+	}
+	return nil
+}
+
+// fireProbeC is fireProbe for the compiled engine: sample accounting
+// first (argument evaluation may trap), then the shared probe body.
+func (vm *VM) fireProbeC(fr *cframe, nodes []enode, s *cfg.Site, argNodes []int32) error {
+	vm.recordSample(s)
+	args := vm.scratch[:0]
+	for _, a := range argNodes {
+		v, err := vm.evalC(fr, nodes, a)
+		if err != nil {
+			return err
+		}
+		args = append(args, v)
+	}
+	vm.scratch = args[:0]
+	return vm.probe(s, args)
+}
+
+// leafC fetches a leaf node's (kind <= eGlobal) value. Kept small so it
+// inlines into evalC's operand fast paths.
+func (vm *VM) leafC(fr *cframe, n *enode) Value {
+	if n.kind == eLocal {
+		return fr.locals[n.slot]
+	}
+	if n.kind == eGlobal {
+		return vm.globals[n.slot]
+	}
+	return n.val
+}
+
+// evalC evaluates a compiled expression node. The pre-order step charge
+// at entry makes step totals — including at mid-expression trap points —
+// identical to the tree walker's eval.
+//
+// Operand positions take a non-recursive fast path when the child is a
+// leaf: the child's +1 charge is applied in place. This cannot be
+// observed — leaves never trap, and expression charges are not
+// fuel-checked, so the step total at every possible stop point (an
+// operator trap, an instruction boundary) is unchanged.
+func (vm *VM) evalC(fr *cframe, nodes []enode, i int32) (Value, error) {
+	vm.steps++
+	n := &nodes[i]
+	switch n.kind {
+	case eConst, eStr, eNull:
+		return n.val, nil
+	case eLocal:
+		return fr.locals[n.slot], nil
+	case eGlobal:
+		return vm.globals[n.slot], nil
+	case eUn:
+		var v Value
+		var err error
+		if c := &nodes[n.a]; c.kind <= eGlobal {
+			vm.steps++
+			v = vm.leafC(fr, c)
+		} else if v, err = vm.evalC(fr, nodes, n.a); err != nil {
+			return Value{}, err
+		}
+		return unop(cfg.UnOp(n.op), v)
+	case eBin:
+		var a, b Value
+		var err error
+		if c := &nodes[n.a]; c.kind <= eGlobal {
+			vm.steps++
+			a = vm.leafC(fr, c)
+		} else if a, err = vm.evalC(fr, nodes, n.a); err != nil {
+			return Value{}, err
+		}
+		if c := &nodes[n.b]; c.kind <= eGlobal {
+			vm.steps++
+			b = vm.leafC(fr, c)
+		} else if b, err = vm.evalC(fr, nodes, n.b); err != nil {
+			return Value{}, err
+		}
+		if a.Kind == KInt && b.Kind == KInt {
+			// Integer operators resolved in place; the semantics are those
+			// of binop on two KInt values (Cmp on int pairs is the plain
+			// three-way compare). Div and mod fall through for the
+			// zero-divisor trap.
+			switch cfg.BinOp(n.op) {
+			case cfg.BinAdd:
+				return IntVal(a.I + b.I), nil
+			case cfg.BinSub:
+				return IntVal(a.I - b.I), nil
+			case cfg.BinMul:
+				return IntVal(a.I * b.I), nil
+			case cfg.BinEq:
+				return boolVal(a.I == b.I), nil
+			case cfg.BinNe:
+				return boolVal(a.I != b.I), nil
+			case cfg.BinLt:
+				return boolVal(a.I < b.I), nil
+			case cfg.BinLe:
+				return boolVal(a.I <= b.I), nil
+			case cfg.BinGt:
+				return boolVal(a.I > b.I), nil
+			case cfg.BinGe:
+				return boolVal(a.I >= b.I), nil
+			}
+		}
+		return binop(cfg.BinOp(n.op), a, b, n.pos)
+	case eLoad:
+		var ptr, idx Value
+		var err error
+		if c := &nodes[n.a]; c.kind <= eGlobal {
+			vm.steps++
+			ptr = vm.leafC(fr, c)
+		} else if ptr, err = vm.evalC(fr, nodes, n.a); err != nil {
+			return Value{}, err
+		}
+		if c := &nodes[n.b]; c.kind <= eGlobal {
+			vm.steps++
+			idx = vm.leafC(fr, c)
+		} else if idx, err = vm.evalC(fr, nodes, n.b); err != nil {
+			return Value{}, err
+		}
+		// Valid loads resolve in place; anything else (null, freed,
+		// out-of-bounds, non-int index) re-derives its trap in resolveCell.
+		if ptr.Kind == KPtr && idx.Kind == KInt && !ptr.Obj.Freed {
+			if off := ptr.Off + int(idx.I); off >= 0 && off < len(ptr.Obj.Data) {
+				return ptr.Obj.Data[off], nil
+			}
+		}
+		cell, err := resolveCell(ptr, idx, n.pos)
+		if err != nil {
+			return Value{}, err
+		}
+		return *cell, nil
+	case eNew:
+		v := vm.alloc(int(n.slot))
+		// Structs get exactly their field count: field access cannot
+		// overrun, matching C struct semantics.
+		v.Obj.Data = v.Obj.Data[:n.slot]
+		v.Obj.Size = int(n.slot)
+		return v, nil
+	}
+	return Value{}, &Trap{Kind: TrapBadProgram, Msg: n.sval}
+}

@@ -1,0 +1,291 @@
+package interp
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cbi/internal/cfg"
+	"cbi/internal/instrument"
+	"cbi/internal/minic"
+	"cbi/internal/progen"
+)
+
+// The compiled engine must be bit-identical to the tree walker: same
+// counters, outcome, exit code, output, trap kind/position/message, step
+// totals, sample counts, and flight-recorder traces. These tests run the
+// same program through both engines and require the full Result to match.
+
+var allSchemes = instrument.SchemeSet{
+	Returns: true, ScalarPairs: true, Branches: true, Bounds: true, Asserts: true,
+}
+
+// buildVariants parses src and returns it lowered three ways: baseline
+// (no instrumentation), unconditionally instrumented, and sampled.
+func buildVariants(t testing.TB, src string) map[string]*cfg.Program {
+	t.Helper()
+	variants := map[string]*cfg.Program{}
+	f, err := minic.Parse("t.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	base, err := cfg.Build(f, nil, nil)
+	if err != nil {
+		t.Fatalf("build baseline: %v", err)
+	}
+	variants["baseline"] = base
+	f2, err := minic.Parse("t.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	uncond, err := cfg.Build(f2, nil, &instrument.Schemes{Set: allSchemes})
+	if err != nil {
+		t.Fatalf("build instrumented: %v", err)
+	}
+	variants["unconditional"] = uncond
+	variants["sampled"] = instrument.Sample(uncond, instrument.DefaultOptions())
+	return variants
+}
+
+// diffEngines runs p under conf on both engines and fails on any
+// difference in the observable Result.
+func diffEngines(t testing.TB, label string, p *cfg.Program, conf Config) {
+	t.Helper()
+	tc, cc := conf, conf
+	tc.Engine = EngineTree
+	cc.Engine = EngineCompiled
+	tree := Run(p, tc)
+	compiled := Run(p, cc)
+	assertSameResult(t, label, tree, compiled)
+}
+
+func assertSameResult(t testing.TB, label string, tree, compiled Result) {
+	t.Helper()
+	if tree.Outcome != compiled.Outcome {
+		t.Errorf("%s: outcome tree=%v compiled=%v", label, tree.Outcome, compiled.Outcome)
+	}
+	if tree.ExitCode != compiled.ExitCode {
+		t.Errorf("%s: exit code tree=%d compiled=%d", label, tree.ExitCode, compiled.ExitCode)
+	}
+	if tree.Steps != compiled.Steps {
+		t.Errorf("%s: steps tree=%d compiled=%d", label, tree.Steps, compiled.Steps)
+	}
+	if tree.Output != compiled.Output {
+		t.Errorf("%s: output tree=%q compiled=%q", label, tree.Output, compiled.Output)
+	}
+	if tree.SamplesTaken != compiled.SamplesTaken {
+		t.Errorf("%s: samples tree=%d compiled=%d", label, tree.SamplesTaken, compiled.SamplesTaken)
+	}
+	if !reflect.DeepEqual(tree.Counters, compiled.Counters) {
+		t.Errorf("%s: counter vectors differ\ntree:     %v\ncompiled: %v",
+			label, tree.Counters, compiled.Counters)
+	}
+	if !reflect.DeepEqual(tree.Trace, compiled.Trace) {
+		t.Errorf("%s: traces differ\ntree:     %v\ncompiled: %v", label, tree.Trace, compiled.Trace)
+	}
+	switch {
+	case (tree.Trap == nil) != (compiled.Trap == nil):
+		t.Errorf("%s: trap tree=%v compiled=%v", label, tree.Trap, compiled.Trap)
+	case tree.Trap != nil && *tree.Trap != *compiled.Trap:
+		t.Errorf("%s: traps differ tree=%v compiled=%v", label, tree.Trap, compiled.Trap)
+	}
+	if tree.Profile != nil || compiled.Profile != nil {
+		if (tree.Profile == nil) != (compiled.Profile == nil) {
+			t.Fatalf("%s: profile presence differs", label)
+		}
+		tt, ct := tree.Profile.Totals(), compiled.Profile.Totals()
+		if tt != ct {
+			t.Errorf("%s: profile totals differ tree=%v compiled=%v", label, tt, ct)
+		}
+		var sum uint64
+		for _, v := range ct {
+			sum += v
+		}
+		if sum != compiled.Steps {
+			t.Errorf("%s: compiled profile sums to %d, steps %d", label, sum, compiled.Steps)
+		}
+	}
+}
+
+func diffAllVariants(t testing.TB, name, src string, seed int64) {
+	for variant, p := range buildVariants(t, src) {
+		conf := Config{
+			Seed:          seed,
+			CountdownSeed: seed * 7,
+			Density:       1.0 / 29,
+			TraceCapacity: 8,
+		}
+		diffEngines(t, name+"/"+variant, p, conf)
+		// Same again with the profiler attached: its exact-total
+		// guarantee must hold on the compiled engine too.
+		conf.Profile = true
+		diffEngines(t, name+"/"+variant+"/profiled", p, conf)
+	}
+}
+
+func TestEnginesAgreeOnProgenPrograms(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 8
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		src := progen.Generate(seed, progen.DefaultConfig())
+		diffAllVariants(t, fmt.Sprintf("seed%d", seed), src, seed)
+	}
+}
+
+// FuzzEnginesDifferential is the open-ended version: any seed must
+// produce engine-identical behaviour on all three variants. CI runs it
+// for a fixed budget under -race.
+func FuzzEnginesDifferential(f *testing.F) {
+	for _, seed := range []int64{1, 2, 17, 1234, 99991} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := progen.Generate(seed, progen.DefaultConfig())
+		diffAllVariants(t, fmt.Sprintf("seed%d", seed), src, seed)
+	})
+}
+
+// TestEnginesAgreeOnTraps exercises the mid-expression and mid-probe
+// trap points progen deliberately avoids: the engines must agree on the
+// trap kind, position, message, and the exact step count at the fault.
+func TestEnginesAgreeOnTraps(t *testing.T) {
+	cases := map[string]string{
+		"null deref":     `int main() { int* p = null; return p[0]; }`,
+		"out of bounds":  `int main() { int* p = alloc(2); return p[40]; }`,
+		"div by zero":    `int main() { int z = 0; return 4 / z; }`,
+		"mod by zero":    `int main() { int z = 0; return 4 % z; }`,
+		"use after free": `int main() { int* p = alloc(2); free(p); return p[0]; }`,
+		"abort":          `int main() { abort("boom"); return 0; }`,
+		"assert":         `int main() { int x = 2; assert(x > 5); return 0; }`,
+		"deep recursion": `int f(int n) { return f(n + 1); } int main() { return f(0); }`,
+		"trap in cell store": `
+int main() { int* p = alloc(2); int z = 0; p[1 / z] = 3; return 0; }`,
+		"trap in call arg": `
+int g(int x) { return x; } int main() { int z = 0; return g(7 / z); }`,
+		"trap in return expr": `
+int main() { int* p = alloc(1); free(p); return p[0] + 1; }`,
+		"lucky overrun then fatal": `
+int main() {
+	int* p = alloc(5);
+	p[6] = 1;
+	int s = p[6];
+	return s + p[900];
+}`,
+	}
+	for name, src := range cases {
+		diffAllVariants(t, name, src, 11)
+	}
+}
+
+// TestEnginesAgreeOnFuelExhaustion pins the fuel-trap boundary: fuel can
+// run out at an instruction or terminator charge, and both engines must
+// stop on the same step with the same trap.
+func TestEnginesAgreeOnFuelExhaustion(t *testing.T) {
+	src := `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 1000000; i++) { s = s + i; }
+	return s;
+}`
+	for variant, p := range buildVariants(t, src) {
+		for _, fuel := range []uint64{1, 2, 3, 50, 51, 52, 53, 54, 1000} {
+			conf := Config{Fuel: fuel, Density: 1.0 / 13, CountdownSeed: 5, Profile: true}
+			diffEngines(t, fmt.Sprintf("%s/fuel%d", variant, fuel), p, conf)
+		}
+	}
+}
+
+// TestEnginesAgreeWithIntrinsics covers host intrinsics (compiled as
+// "fresh" builtin calls) including one that retains its argument slice.
+func TestEnginesAgreeWithIntrinsics(t *testing.T) {
+	src := `
+int main() {
+	int acc = 0;
+	for (int i = 0; i < 10; i++) { acc = acc + probe2(i, acc); }
+	return acc;
+}`
+	f, err := minic.Parse("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtins := map[string]minic.BuiltinSig{
+		"probe2": {MinArgs: 2, MaxArgs: 2, Ret: minic.IntType},
+	}
+	p, err := cfg.Build(f, builtins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retained [][]Value
+	conf := Config{
+		Intrinsics: map[string]Intrinsic{
+			"probe2": func(vm *VM, args []Value) (Value, error) {
+				retained = append(retained, args) // must not alias scratch
+				return IntVal(args[0].I + args[1].I%3), nil
+			},
+		},
+	}
+	tc, cc := conf, conf
+	tc.Engine = EngineTree
+	cc.Engine = EngineCompiled
+	tree := Run(p, tc)
+	treeRetained := retained
+	retained = nil
+	compiled := Run(p, cc)
+	assertSameResult(t, "intrinsics", tree, compiled)
+	if !reflect.DeepEqual(treeRetained, retained) {
+		t.Errorf("retained intrinsic args differ:\ntree:     %v\ncompiled: %v",
+			treeRetained, retained)
+	}
+}
+
+// TestCompiledSharedAcrossRuns checks the compile-once contract: one
+// Compiled value reused for many runs with different seeds matches
+// per-run tree-walker executions exactly.
+func TestCompiledSharedAcrossRuns(t *testing.T) {
+	src := progen.Generate(42, progen.DefaultConfig())
+	p := buildVariants(t, src)["sampled"]
+	code := Compile(p)
+	for seed := int64(0); seed < 10; seed++ {
+		conf := Config{Seed: seed, CountdownSeed: seed, Density: 1.0 / 17, TraceCapacity: 4}
+		tc := conf
+		tc.Engine = EngineTree
+		tree := Run(p, tc)
+		compiled := code.Run(conf)
+		assertSameResult(t, fmt.Sprintf("shared/seed%d", seed), tree, compiled)
+	}
+}
+
+// TestCmpMatchesLessEqual is the property behind the single-pass
+// comparison fix: Cmp must agree with the historical Less/Equal pair on
+// every kind combination.
+func TestCmpMatchesLessEqual(t *testing.T) {
+	obj1 := &Object{ID: 1, Data: make([]Value, 4), Size: 4}
+	obj2 := &Object{ID: 2, Data: make([]Value, 4), Size: 4}
+	vals := []Value{
+		IntVal(-3), IntVal(0), IntVal(5),
+		StrVal(""), StrVal("a"), StrVal("b"),
+		NullVal(),
+		PtrVal(obj1, 0), PtrVal(obj1, 2), PtrVal(obj2, 0),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			c := a.Cmp(b)
+			if got, want := c == -1, a.Less(b); got != want {
+				t.Errorf("Cmp(%v,%v)=%d: lt=%v want %v", a, b, c, got, want)
+			}
+			if got, want := c == 0, a.Equal(b); got != want {
+				t.Errorf("Cmp(%v,%v)=%d: eq=%v want %v", a, b, c, got, want)
+			}
+			if got, want := c == 1, b.Less(a); got != want {
+				t.Errorf("Cmp(%v,%v)=%d: gt=%v want %v", a, b, c, got, want)
+			}
+			// Antisymmetry, including the unordered marker.
+			rc := b.Cmp(a)
+			if c == CmpUnordered != (rc == CmpUnordered) || (c != CmpUnordered && rc != -c) {
+				t.Errorf("Cmp(%v,%v)=%d but Cmp(%v,%v)=%d", a, b, c, b, a, rc)
+			}
+		}
+	}
+}

@@ -145,6 +145,58 @@ func (v Value) Less(o Value) bool {
 	}
 }
 
+// CmpUnordered is Cmp's result for value pairs the total order does not
+// relate (e.g. a string against an integer): every ordering comparison on
+// such a pair is false, matching the historical Less/Equal behaviour.
+const CmpUnordered = 2
+
+// Cmp compares two values in a single pass: -1, 0, or 1 when the pair is
+// ordered under the deterministic total order of Less/Equal, CmpUnordered
+// otherwise. It is the one comparison both engines dispatch <, <=, >, >=
+// and the scalar-pairs probe through, replacing the old Less-then-Equal
+// double walk.
+func (v Value) Cmp(o Value) int {
+	switch {
+	case v.Kind == KInt && o.Kind == KInt:
+		return cmpInt(v.I, o.I)
+	case v.Kind == KStr && o.Kind == KStr:
+		switch {
+		case v.S < o.S:
+			return -1
+		case v.S > o.S:
+			return 1
+		}
+		return 0
+	case v.Kind == KPtr && o.Kind == KPtr:
+		if v.Obj != o.Obj {
+			return cmpInt(v.Obj.ID, o.Obj.ID)
+		}
+		return cmpInt(int64(v.Off), int64(o.Off))
+	case v.Kind == KNull && o.Kind == KNull:
+		return 0
+	case v.Kind == KNull && o.Kind == KInt:
+		return cmpInt(0, o.I)
+	case v.Kind == KInt && o.Kind == KNull:
+		return cmpInt(v.I, 0)
+	case v.Kind == KNull && o.Kind == KPtr:
+		return -1
+	case v.Kind == KPtr && o.Kind == KNull:
+		return 1
+	default:
+		return CmpUnordered
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
 // String renders the value for diagnostics and print output.
 func (v Value) String() string {
 	switch v.Kind {

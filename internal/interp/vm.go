@@ -72,6 +72,11 @@ type Intrinsic func(vm *VM, args []Value) (Value, error)
 
 // Config configures one run.
 type Config struct {
+	// Engine selects the execution engine: the compile-once bytecode VM
+	// (EngineCompiled, the zero value and default) or the reference
+	// tree-walking interpreter (EngineTree), kept as the differential
+	// oracle. Both produce bit-identical Results.
+	Engine Engine
 	// Seed drives the program-visible rand() builtin.
 	Seed int64
 	// Density is the sampling density for sampled programs (e.g. 1.0/1000).
@@ -164,6 +169,16 @@ type VM struct {
 	traceLen      int
 	traceNext     int
 	prof          *profiler
+
+	engine Engine
+	code   *Compiled // compiled form (EngineCompiled); shared, read-only
+	// Per-run execution state of the compiled engine: frames are pooled
+	// per call depth and locals arenas are reused across calls, so a run
+	// allocates at most one frame per stack depth ever reached instead of
+	// one frame + locals slice per call.
+	cframes  []*cframe
+	argStack []Value // user-call argument scratch; LIFO with the call stack
+	scratch  []Value // probe/std-builtin argument scratch; never nests
 }
 
 type frame struct {
@@ -172,7 +187,10 @@ type frame struct {
 	cd     int64
 }
 
-// Run executes prog's main function under cfg.
+// Run executes prog's main function under cfg. With the default
+// EngineCompiled the program is lowered to bytecode first; callers that
+// execute the same program many times should Compile once and reuse the
+// result (see Compiled.Run).
 func Run(prog *cfg.Program, conf Config) Result {
 	vm := New(prog, conf)
 	return vm.Run()
@@ -183,6 +201,7 @@ func Run(prog *cfg.Program, conf Config) Result {
 func New(prog *cfg.Program, conf Config) *VM {
 	vm := &VM{
 		prog:          prog,
+		engine:        conf.Engine,
 		counters:      make([]uint64, prog.NumCounters),
 		rng:           rand.New(rand.NewSource(conf.Seed)),
 		fuel:          conf.Fuel,
@@ -253,13 +272,27 @@ func (vm *VM) Rand() *rand.Rand { return vm.rng }
 // Run executes main and builds the report.
 func (vm *VM) Run() Result {
 	res := Result{}
-	main := vm.prog.Funcs["main"]
-	if main == nil {
-		res.Outcome = OutcomeCrash
-		res.Trap = &Trap{Kind: TrapBadProgram, Msg: "no main function"}
-		return vm.finish(res)
+	var v Value
+	var err error
+	if vm.engine == EngineTree {
+		main := vm.prog.Funcs["main"]
+		if main == nil {
+			res.Outcome = OutcomeCrash
+			res.Trap = &Trap{Kind: TrapBadProgram, Msg: "no main function"}
+			return vm.finish(res)
+		}
+		v, err = vm.call(main, nil)
+	} else {
+		if vm.code == nil {
+			vm.code = Compile(vm.prog)
+		}
+		if vm.code.main == nil {
+			res.Outcome = OutcomeCrash
+			res.Trap = &Trap{Kind: TrapBadProgram, Msg: "no main function"}
+			return vm.finish(res)
+		}
+		v, err = vm.callC(vm.code.main, nil)
 	}
-	v, err := vm.call(main, nil)
 	if err != nil {
 		res.Outcome = OutcomeCrash
 		if tr, ok := err.(*Trap); ok {
@@ -486,14 +519,7 @@ func (vm *VM) execCall(fr *frame, c *cfg.Call) error {
 // fireProbe executes a site's probe and bumps the chosen counter (§2.5:
 // the report is a vector of predicate counters).
 func (vm *VM) fireProbe(fr *frame, s *cfg.Site) error {
-	vm.samples++
-	if vm.trace != nil {
-		vm.trace[vm.traceNext] = s.ID
-		vm.traceNext = (vm.traceNext + 1) % len(vm.trace)
-		if vm.traceLen < len(vm.trace) {
-			vm.traceLen++
-		}
-	}
+	vm.recordSample(s)
 	args := make([]Value, len(s.Args))
 	for i, a := range s.Args {
 		v, err := vm.eval(fr, a)
@@ -502,6 +528,26 @@ func (vm *VM) fireProbe(fr *frame, s *cfg.Site) error {
 		}
 		args[i] = v
 	}
+	return vm.probe(s, args)
+}
+
+// recordSample counts a probe firing and records it in the flight
+// recorder, before argument evaluation (which may trap) — shared by both
+// engines so SamplesTaken and Trace agree on trapping runs.
+func (vm *VM) recordSample(s *cfg.Site) {
+	vm.samples++
+	if vm.trace != nil {
+		vm.trace[vm.traceNext] = s.ID
+		vm.traceNext = (vm.traceNext + 1) % len(vm.trace)
+		if vm.traceLen < len(vm.trace) {
+			vm.traceLen++
+		}
+	}
+}
+
+// probe bumps the site's chosen counter given its evaluated arguments.
+// Shared by the tree and compiled engines.
+func (vm *VM) probe(s *cfg.Site, args []Value) error {
 	bump := func(i int) { vm.counters[s.CounterBase+i]++ }
 	switch s.Kind {
 	case cfg.SiteReturns:
@@ -514,11 +560,12 @@ func (vm *VM) fireProbe(fr *frame, s *cfg.Site) error {
 			bump(2)
 		}
 	case cfg.SiteScalarPair:
-		a, b := args[0], args[1]
-		switch {
-		case a.Less(b):
+		// Single three-way comparison; unordered pairs land in the
+		// "greater" bucket, matching the old Less-then-Equal cascade.
+		switch args[0].Cmp(args[1]) {
+		case -1:
 			bump(0)
-		case a.Equal(b):
+		case 0:
 			bump(1)
 		default:
 			bump(2)
@@ -595,6 +642,13 @@ func (vm *VM) cell(fr *frame, ptrE, idxE cfg.Expr, pos minic.Pos) (*Value, error
 	if err != nil {
 		return nil, err
 	}
+	return resolveCell(ptr, idx, pos)
+}
+
+// resolveCell checks an evaluated pointer/index pair against the memory
+// model and returns the cell address. Shared by the tree and compiled
+// engines.
+func resolveCell(ptr, idx Value, pos minic.Pos) (*Value, error) {
 	if ptr.Kind == KNull {
 		return nil, &Trap{Kind: TrapNullDeref, Pos: pos}
 	}
@@ -652,16 +706,7 @@ func (vm *VM) eval(fr *frame, e cfg.Expr) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		switch x.Op {
-		case "-":
-			return IntVal(-v.I), nil
-		case "!":
-			if v.Truthy() {
-				return IntVal(0), nil
-			}
-			return IntVal(1), nil
-		}
-		return Value{}, &Trap{Kind: TrapBadProgram, Msg: "unary " + x.Op}
+		return unop(x.Op, v)
 	case *cfg.Bin:
 		return vm.evalBin(fr, x)
 	case *cfg.Load:
@@ -697,50 +742,74 @@ func (vm *VM) evalBin(fr *frame, x *cfg.Bin) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	switch x.Op {
-	case "==":
+	return binop(x.Op, a, b, x.Pos)
+}
+
+// unop applies a unary operator to an evaluated operand. Shared by the
+// tree and compiled engines.
+func unop(op cfg.UnOp, v Value) (Value, error) {
+	switch op {
+	case cfg.UnNeg:
+		return IntVal(-v.I), nil
+	case cfg.UnNot:
+		if v.Truthy() {
+			return IntVal(0), nil
+		}
+		return IntVal(1), nil
+	}
+	return Value{}, &Trap{Kind: TrapBadProgram, Msg: "unary " + op.String()}
+}
+
+// binop applies a binary operator to evaluated operands. Shared by the
+// tree and compiled engines. Orderings dispatch through the single-pass
+// Value.Cmp rather than a Less-then-Equal double comparison.
+func binop(op cfg.BinOp, a, b Value, pos minic.Pos) (Value, error) {
+	switch op {
+	case cfg.BinEq:
 		return boolVal(a.Equal(b)), nil
-	case "!=":
+	case cfg.BinNe:
 		return boolVal(!a.Equal(b)), nil
-	case "<":
-		return boolVal(a.Less(b)), nil
-	case "<=":
-		return boolVal(a.Less(b) || a.Equal(b)), nil
-	case ">":
-		return boolVal(b.Less(a)), nil
-	case ">=":
-		return boolVal(b.Less(a) || a.Equal(b)), nil
+	case cfg.BinLt:
+		return boolVal(a.Cmp(b) == -1), nil
+	case cfg.BinLe:
+		c := a.Cmp(b)
+		return boolVal(c == -1 || c == 0), nil
+	case cfg.BinGt:
+		return boolVal(a.Cmp(b) == 1), nil
+	case cfg.BinGe:
+		c := a.Cmp(b)
+		return boolVal(c == 1 || c == 0), nil
 	}
 	// Pointer arithmetic.
 	if a.Kind == KPtr && b.Kind == KInt {
-		switch x.Op {
-		case "+":
+		switch op {
+		case cfg.BinAdd:
 			return PtrVal(a.Obj, a.Off+int(b.I)), nil
-		case "-":
+		case cfg.BinSub:
 			return PtrVal(a.Obj, a.Off-int(b.I)), nil
 		}
 	}
 	if a.Kind != KInt || b.Kind != KInt {
-		return Value{}, &Trap{Kind: TrapBadProgram, Pos: x.Pos,
-			Msg: fmt.Sprintf("operator %s on %s and %s", x.Op, a, b)}
+		return Value{}, &Trap{Kind: TrapBadProgram, Pos: pos,
+			Msg: fmt.Sprintf("operator %s on %s and %s", op, a, b)}
 	}
-	switch x.Op {
-	case "+":
+	switch op {
+	case cfg.BinAdd:
 		return IntVal(a.I + b.I), nil
-	case "-":
+	case cfg.BinSub:
 		return IntVal(a.I - b.I), nil
-	case "*":
+	case cfg.BinMul:
 		return IntVal(a.I * b.I), nil
-	case "/":
+	case cfg.BinDiv:
 		if b.I == 0 {
-			return Value{}, &Trap{Kind: TrapDivByZero, Pos: x.Pos}
+			return Value{}, &Trap{Kind: TrapDivByZero, Pos: pos}
 		}
 		return IntVal(a.I / b.I), nil
-	case "%":
+	case cfg.BinMod:
 		if b.I == 0 {
-			return Value{}, &Trap{Kind: TrapDivByZero, Pos: x.Pos}
+			return Value{}, &Trap{Kind: TrapDivByZero, Pos: pos}
 		}
 		return IntVal(a.I % b.I), nil
 	}
-	return Value{}, &Trap{Kind: TrapBadProgram, Pos: x.Pos, Msg: "operator " + x.Op}
+	return Value{}, &Trap{Kind: TrapBadProgram, Pos: pos, Msg: "operator " + op.String()}
 }

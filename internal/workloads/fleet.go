@@ -40,6 +40,11 @@ type FleetConfig struct {
 	Density  float64
 	SeedBase int64
 	Fuel     uint64
+	// Engine selects the execution engine (default interp.EngineCompiled).
+	// With the compiled engine the program is lowered to bytecode once,
+	// before the workers launch, and the read-only compiled form is shared
+	// by every worker goroutine.
+	Engine interp.Engine
 	// Workers is the number of runs executed concurrently (default
 	// runtime.NumCPU()). Per-run seeds derive deterministically from the
 	// run index, and results are merged in run-ID order, so the produced
@@ -101,7 +106,18 @@ func runFleet(workload string, prog *cfg.Program, fc FleetConfig,
 		workers = fc.Runs
 	}
 	telemetry.G(fmt.Sprintf("fleet_workers{workload=%q}", workload)).Set(float64(workers))
+	telemetry.G(fmt.Sprintf("vm_engine{workload=%q,engine=%q}", workload, fc.Engine)).Set(1)
 	m := newFleetMetrics(workload)
+
+	// Compile once, share everywhere: the bytecode form is immutable, so
+	// all workers execute the same Compiled with per-run state confined
+	// to their own VMs.
+	var code *interp.Compiled
+	if fc.Engine == interp.EngineCompiled {
+		compileSpan := telemetry.StartSpan("fleet.compile")
+		code = interp.Compile(prog)
+		compileSpan.End()
+	}
 
 	var (
 		reps    = make([]*report.Report, fc.Runs)
@@ -131,8 +147,15 @@ func runFleet(workload string, prog *cfg.Program, fc FleetConfig,
 		runSpan.SetAttr("workload", workload)
 		runSpan.SetAttr("run_id", strconv.Itoa(i))
 		execSpan := runSpan.StartChild("fleet.execute")
+		conf := confFor(i)
+		conf.Engine = fc.Engine
 		t0 := time.Now()
-		res := interp.Run(prog, confFor(i))
+		var res interp.Result
+		if code != nil {
+			res = code.Run(conf)
+		} else {
+			res = interp.Run(prog, conf)
+		}
 		m.runSeconds.Observe(time.Since(t0).Seconds())
 		execSpan.End()
 		m.runSteps.Observe(float64(res.Steps))
