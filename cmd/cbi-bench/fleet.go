@@ -167,10 +167,11 @@ func fleet() error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*benchOut, append(out, '\n'), 0o644); err != nil {
+	outPath := benchOutPath("BENCH_fleet.json")
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Println("measurements written to", *benchOut)
+	fmt.Println("measurements written to", outPath)
 	return nil
 }
 

@@ -11,6 +11,7 @@
 //	cbi-bench adaptive     # multi-round adaptive isolation (§3.1.2 ext.)
 //	cbi-bench ablation     # design-choice ablations (DESIGN.md §5)
 //	cbi-bench profile      # where Table 2's cycles go, per path kind
+//	cbi-bench analyze      # sparse vs dense analysis engine (DESIGN.md §10)
 //	cbi-bench all          # everything above
 package main
 
@@ -35,8 +36,17 @@ var (
 	bcDensity = flag.Float64("bc-density", 1.0/10, "sampling density for bc (scaled to the workload's dynamic site count; see EXPERIMENTS.md)")
 	wall      = flag.Bool("wall", true, "also report wall-clock ratios in table2/fig4")
 	workers   = flag.Int("workers", 0, "concurrent fleet runs (0 = NumCPU; fleet results are identical at any worker count)")
-	benchOut  = flag.String("bench-out", "BENCH_fleet.json", "where the fleet subcommand writes its measured speedups")
+	benchOut  = flag.String("bench-out", "", "where the fleet/analyze subcommands write their measured speedups (default: BENCH_fleet.json / BENCH_analysis.json per subcommand)")
 )
+
+// benchOutPath resolves -bench-out against a subcommand's own default,
+// so one `cbi-bench all` run cannot clobber another subcommand's file.
+func benchOutPath(def string) string {
+	if *benchOut != "" {
+		return *benchOut
+	}
+	return def
+}
 
 func main() {
 	flag.Parse()
@@ -46,6 +56,7 @@ func main() {
 	}
 	cmds := map[string]func() error{
 		"adaptive":   adaptive,
+		"analyze":    analyze,
 		"fleet":      fleet,
 		"table1":     table1,
 		"table2":     table2,
@@ -59,7 +70,7 @@ func main() {
 		"profile":    profile,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"table1", "table2", "selective", "confidence", "ccrypt", "fig2", "bc", "fig4", "adaptive", "ablation", "profile"} {
+		for _, name := range []string{"table1", "table2", "selective", "confidence", "ccrypt", "fig2", "bc", "fig4", "adaptive", "ablation", "profile", "analyze"} {
 			if err := cmds[name](); err != nil {
 				fatal(err)
 			}

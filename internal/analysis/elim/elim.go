@@ -7,6 +7,9 @@ package elim
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cbi/internal/report"
 	"cbi/internal/stats"
@@ -128,41 +131,130 @@ type Point struct {
 // sizes, applies elimination by successful counterexample using only that
 // subset, and records the mean and standard deviation of the surviving
 // predicate count.
+//
+// Sizes larger than the success set clamp to it; sizes that clamp to the
+// same effective value produce ONE point (the duplicates would be
+// identical distributions). Trials run on ProgressiveWorkers' default
+// worker pool; results are independent of the worker count.
 func Progressive(successes []*report.Report, initial []bool, sizes []int, trials int, seed int64) []Point {
+	return ProgressiveWorkers(successes, initial, sizes, trials, seed, 0)
+}
+
+// ProgressiveWorkers is Progressive with an explicit concurrency bound
+// (0 = NumCPU, 1 = serial). Each (size, trial) pair derives its own RNG
+// from the seed, so every trial's subset — and therefore every point —
+// is identical at any worker count.
+func ProgressiveWorkers(successes []*report.Report, initial []bool, sizes []int, trials int, seed int64, workers int) []Point {
 	defer telemetry.StartSpan("elim.progressive").End()
-	rng := rand.New(rand.NewSource(seed))
-	numCounters := len(initial)
-	points := make([]Point, 0, len(sizes))
+	n := len(successes)
+	// One point per distinct effective size: requested sizes past the
+	// success count clamp and would otherwise duplicate.
+	var effSizes []int
+	dup := make(map[int]bool)
 	for _, size := range sizes {
-		if size > len(successes) {
-			size = len(successes)
+		if size > n {
+			size = n
 		}
-		counts := make([]float64, 0, trials)
-		for trial := 0; trial < trials; trial++ {
-			perm := rng.Perm(len(successes))
-			seen := make([]bool, numCounters)
+		if !dup[size] {
+			dup[size] = true
+			effSizes = append(effSizes, size)
+		}
+	}
+	// Counting survivors only needs the candidate indices, and subset
+	// coverage only needs each report's nonzeros. Pre-build the sparse
+	// forms serially: Nonzeros caches on first call and is not safe for
+	// concurrent construction.
+	candidates := Indices(initial)
+	for _, r := range successes {
+		r.Nonzeros()
+	}
+
+	counts := make([][]float64, len(effSizes))
+	for k := range counts {
+		counts[k] = make([]float64, trials)
+	}
+	tasks := len(effSizes) * trials
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	worker := func() {
+		defer wg.Done()
+		// Per-worker scratch, reused across trials: an identity permutation
+		// buffer restored by reverting its swaps, and a generation-marked
+		// "seen" set that clears in O(1).
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		swaps := make([]int, 0, n)
+		seen := make([]int32, len(initial))
+		gen := int32(0)
+		for {
+			task := int(next.Add(1)) - 1
+			if task >= tasks {
+				return
+			}
+			k, trial := task/trials, task%trials
+			size := effSizes[k]
+			rng := rand.New(rand.NewSource(trialSeed(seed, size, trial)))
+			// Partial Fisher–Yates: only the first `size` draws of a full
+			// shuffle are needed to pick a uniform subset.
+			swaps = swaps[:0]
+			for i := 0; i < size; i++ {
+				j := i + rng.Intn(n-i)
+				perm[i], perm[j] = perm[j], perm[i]
+				swaps = append(swaps, j)
+			}
+			gen++
 			for _, ri := range perm[:size] {
-				for i, c := range successes[ri].Counters {
-					if c != 0 {
-						seen[i] = true
-					}
+				successes[ri].ForEachNonzero(func(i int, c uint64) {
+					seen[i] = gen
+				})
+			}
+			surv := 0
+			for _, i := range candidates {
+				if seen[i] != gen {
+					surv++
 				}
 			}
-			n := 0
-			for i := range initial {
-				if initial[i] && !seen[i] {
-					n++
-				}
+			counts[k][trial] = float64(surv)
+			// Undo the swaps in reverse so perm is the identity again.
+			for i := len(swaps) - 1; i >= 0; i-- {
+				perm[i], perm[swaps[i]] = perm[swaps[i]], perm[i]
 			}
-			counts = append(counts, float64(n))
 		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go worker()
+	}
+	wg.Wait()
+
+	points := make([]Point, 0, len(effSizes))
+	for k, size := range effSizes {
 		points = append(points, Point{
 			Runs:   size,
-			Mean:   stats.Mean(counts),
-			StdDev: stats.StdDev(counts),
+			Mean:   stats.Mean(counts[k]),
+			StdDev: stats.StdDev(counts[k]),
 		})
 	}
 	return points
+}
+
+// trialSeed derives an independent, well-mixed RNG seed for one
+// (size, trial) pair via splitmix64-style finalization, so trials can be
+// scheduled on any worker in any order.
+func trialSeed(seed int64, size, trial int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z ^= uint64(size)*0xff51afd7ed558ccd + uint64(trial)*0xc4ceb9fe1a85ec53
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // StrategyCounts reports, for each §3.2.3-style strategy applied

@@ -1,6 +1,7 @@
 package elim
 
 import (
+	"reflect"
 	"testing"
 
 	"cbi/internal/report"
@@ -173,4 +174,54 @@ func equalInts(a, b []int) bool {
 		}
 	}
 	return true
+}
+
+// successFleet builds a synthetic success-only report set for the
+// Progressive tests below.
+func successFleet(t *testing.T, runs, nc int) *report.DB {
+	t.Helper()
+	db := report.NewDB("p", nc)
+	for i := 0; i < runs; i++ {
+		counters := make([]uint64, nc)
+		for j := 1; j < nc; j++ {
+			if i%(j+1) == 0 {
+				counters[j] = 1
+			}
+		}
+		if err := db.Add(&report.Report{Program: "p", Counters: counters}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestProgressiveDedupesClampedSizes(t *testing.T) {
+	db := successFleet(t, 500, 20)
+	initial := make([]bool, 20)
+	for i := range initial {
+		initial[i] = true
+	}
+	// 600 and 10000 both clamp to the 500 available successes; together
+	// with an explicit 500 they must yield ONE point, not three.
+	points := Progressive(db.Successes(), initial, []int{50, 600, 500, 10000}, 5, 1)
+	if len(points) != 2 {
+		t.Fatalf("points: %+v", points)
+	}
+	if points[0].Runs != 50 || points[1].Runs != 500 {
+		t.Errorf("sizes: %+v", points)
+	}
+}
+
+func TestProgressiveParallelMatchesSerial(t *testing.T) {
+	db := successFleet(t, 300, 35)
+	initial := make([]bool, 35)
+	for i := range initial {
+		initial[i] = true
+	}
+	sizes := []int{5, 30, 100, 300}
+	serial := ProgressiveWorkers(db.Successes(), initial, sizes, 25, 7, 1)
+	parallel := ProgressiveWorkers(db.Successes(), initial, sizes, 25, 7, 8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("worker count changed the points:\n%+v\n%+v", serial, parallel)
+	}
 }

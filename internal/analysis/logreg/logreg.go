@@ -8,7 +8,10 @@ package logreg
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cbi/internal/report"
 	"cbi/internal/telemetry"
@@ -94,11 +97,30 @@ func BuildDataset(reports []*report.Report, keep []bool) *Dataset {
 
 // Split partitions the reports into train/cv/test sets with the given
 // fractions (§3.3.3 uses roughly 62%/7%/31%).
+//
+// Fractions are clamped to [0,1], and a cvFrac that would push the
+// train+cv total past the whole set is reduced so the split never
+// over-allocates. Integer truncation on a small report set can round a
+// positive cvFrac down to zero runs; in that case one run is moved from
+// the test set into cv (when at least two non-train runs exist), so a
+// requested cross-validation set is never silently empty.
 func Split(reports []*report.Report, trainFrac, cvFrac float64, seed int64) (train, cv, test []*report.Report) {
+	n := len(reports)
+	trainFrac = clampFrac(trainFrac)
+	cvFrac = clampFrac(cvFrac)
+	if trainFrac+cvFrac > 1 {
+		cvFrac = 1 - trainFrac
+	}
+	nTrain := int(trainFrac * float64(n))
+	nCV := int(cvFrac * float64(n))
+	if cvFrac > 0 && nCV == 0 && n-nTrain >= 2 {
+		nCV = 1
+	}
+	if nTrain+nCV > n {
+		nCV = n - nTrain
+	}
 	rng := rand.New(rand.NewSource(seed))
-	perm := rng.Perm(len(reports))
-	nTrain := int(trainFrac * float64(len(reports)))
-	nCV := int(cvFrac * float64(len(reports)))
+	perm := rng.Perm(n)
 	for i, pi := range perm {
 		switch {
 		case i < nTrain:
@@ -110,6 +132,16 @@ func Split(reports []*report.Report, trainFrac, cvFrac float64, seed int64) (tra
 		}
 	}
 	return train, cv, test
+}
+
+func clampFrac(f float64) float64 {
+	switch {
+	case f < 0:
+		return 0
+	case f > 1:
+		return 1
+	}
+	return f
 }
 
 // Model is a trained logistic-regression classifier.
@@ -133,6 +165,23 @@ type TrainConfig struct {
 	Epochs int
 	// Seed shuffles the visit order.
 	Seed int64
+	// Workers bounds the concurrency of CrossValidate's independent
+	// per-lambda fits (0 = NumCPU). Each fit seeds its own RNG from Seed,
+	// so the selected model is bit-identical at any worker count. Train
+	// itself is always sequential: SGA is an inherently ordered scan.
+	Workers int
+}
+
+// permute fills buf with the same permutation rand.Perm would return
+// from the same generator state — the identical in-place Fisher–Yates,
+// consuming one Intn per element — without rand.Perm's per-call
+// allocation. The result is independent of buf's prior contents.
+func permute(rng *rand.Rand, buf []int) {
+	for i := range buf {
+		j := rng.Intn(i + 1)
+		buf[i] = buf[j]
+		buf[j] = i
+	}
 }
 
 // Train fits the model by maximizing the ℓ1-penalized log likelihood
@@ -149,8 +198,9 @@ func Train(ds *Dataset, conf TrainConfig) *Model {
 	m := &Model{Beta: make([]float64, len(ds.FeatureIdx)), FeatureIdx: ds.FeatureIdx, Lambda: conf.Lambda}
 	rng := rand.New(rand.NewSource(conf.Seed))
 	step := conf.StepSize
+	perm := make([]int, len(ds.X))
 	for epoch := 0; epoch < conf.Epochs; epoch++ {
-		perm := rng.Perm(len(ds.X))
+		permute(rng, perm)
 		for _, i := range perm {
 			x := ds.X[i]
 			mu := m.prob(x)
@@ -269,22 +319,72 @@ func (m *Model) Rank(counter int) int {
 // CrossValidate trains one model per lambda and returns the lambda whose
 // model classifies the cv set best, with ties going to the stronger
 // regularization (sparser model).
+//
+// The per-lambda fits are independent (each Train seeds its own RNG from
+// conf.Seed), so they fan out across conf.Workers goroutines; the winner
+// is then chosen by scanning lambdas in their given order, exactly as
+// the serial loop did, making the selected lambda and model bit-identical
+// at any worker count.
 func CrossValidate(train, cv *Dataset, lambdas []float64, conf TrainConfig) (float64, *Model) {
 	defer telemetry.StartSpan("logreg.cross_validate").End()
+	models := make([]*Model, len(lambdas))
+	accs := make([]float64, len(lambdas))
+	fanOut(len(lambdas), conf.Workers, func(k int) {
+		c := conf
+		c.Lambda = lambdas[k]
+		models[k] = Train(train, c)
+		accs[k] = models[k].Accuracy(cv)
+	})
+	return pickBest(lambdas, models, accs)
+}
+
+// pickBest replays the serial cross-validation selection: lambdas in
+// input order, best cv accuracy wins, ties go to the sparser model.
+func pickBest(lambdas []float64, models []*Model, accs []float64) (float64, *Model) {
 	bestLambda := 0.0
 	var bestModel *Model
 	bestAcc := -1.0
-	for _, l := range lambdas {
-		c := conf
-		c.Lambda = l
-		m := Train(train, c)
-		acc := m.Accuracy(cv)
-		better := acc > bestAcc || (acc == bestAcc && bestModel != nil && m.NonzeroCount() < bestModel.NonzeroCount())
+	for k, l := range lambdas {
+		better := accs[k] > bestAcc ||
+			(accs[k] == bestAcc && bestModel != nil && models[k].NonzeroCount() < bestModel.NonzeroCount())
 		if better {
-			bestAcc, bestLambda, bestModel = acc, l, m
+			bestAcc, bestLambda, bestModel = accs[k], l, models[k]
 		}
 	}
 	return bestLambda, bestModel
+}
+
+// fanOut runs f(0..n-1) on a pool of `workers` goroutines (0 = NumCPU),
+// degenerating to an inline loop when one worker suffices.
+func fanOut(n, workers int, f func(k int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for k := 0; k < n; k++ {
+			f(k)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				f(k)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // Project applies a training dataset's feature selection and scaling to

@@ -81,10 +81,16 @@ type serverMetrics struct {
 	reportBytes     *telemetry.Histogram
 	decodeSeconds   *telemetry.Histogram
 	foldSeconds     *telemetry.Histogram
+	reportNonzeros  *telemetry.Histogram
 }
 
 // BatchSizeBuckets are histogram buckets for reports-per-batch.
 var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// NonzeroBuckets are histogram buckets for nonzero counters per report —
+// the quantity the sparse decode→fold→analysis path scales with (dense
+// vectors cost O(counters) regardless of what the run touched).
+var NonzeroBuckets = []float64{0, 8, 32, 128, 512, 2048, 8192, 32768, 131072}
 
 func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 	return serverMetrics{
@@ -101,6 +107,7 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		reportBytes:     reg.Histogram("collect_report_bytes", telemetry.SizeBuckets),
 		decodeSeconds:   reg.Histogram("collect_decode_seconds", telemetry.DefBuckets),
 		foldSeconds:     reg.Histogram("collect_fold_seconds", telemetry.DefBuckets),
+		reportNonzeros:  reg.Histogram("collect_report_nonzeros", NonzeroBuckets),
 	}
 }
 
@@ -436,6 +443,7 @@ func (s *Server) Submit(rep *report.Report) error {
 	t0 := time.Now()
 	err := s.fold(rep)
 	s.m.foldSeconds.Observe(time.Since(t0).Seconds())
+	s.m.reportNonzeros.Observe(float64(len(rep.Nonzeros())))
 	if err != nil {
 		s.m.rejectedFold.Inc()
 		return err

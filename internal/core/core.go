@@ -178,6 +178,12 @@ type BCStudyConfig struct {
 	Lambdas []float64 // cross-validated; default {0.05, 0.1, 0.3, 1.0}
 	Epochs  int
 	TopK    int
+	// DenseAnalysis selects the dense O(features)-per-sample analysis
+	// pipeline instead of the default sparse CSR one. The two produce
+	// bit-identical models (the dense path is kept as the differential
+	// oracle — see DESIGN §10); dense exists for verification and
+	// benchmarking, not for production use.
+	DenseAnalysis bool
 	// Submit and Tracer mirror CcryptStudyConfig: optional report
 	// forwarding and per-run distributed tracing.
 	Submit func(context.Context, *report.Report) error
@@ -222,11 +228,22 @@ func RunBCStudy(conf BCStudyConfig) (*BCStudy, error) {
 
 	regressSpan := telemetry.StartSpan("study.regress")
 	trainR, cvR, testR := logreg.Split(db.Reports, 0.62, 0.07, conf.Seed+1)
-	train := logreg.BuildDataset(trainR, keep)
-	cv := train.Project(cvR)
-	test := train.Project(testR)
-	tc := logreg.TrainConfig{StepSize: 1e-2, Epochs: conf.Epochs, Seed: conf.Seed + 2}
-	lambda, model := logreg.CrossValidate(train, cv, conf.Lambdas, tc)
+	tc := logreg.TrainConfig{StepSize: 1e-2, Epochs: conf.Epochs, Seed: conf.Seed + 2, Workers: conf.Workers}
+	var lambda, testAcc float64
+	var model *logreg.Model
+	if conf.DenseAnalysis {
+		train := logreg.BuildDataset(trainR, keep)
+		cv := train.Project(cvR)
+		test := train.Project(testR)
+		lambda, model = logreg.CrossValidate(train, cv, conf.Lambdas, tc)
+		testAcc = model.Accuracy(test)
+	} else {
+		train := logreg.BuildSparseDataset(trainR, keep)
+		cv := train.Project(cvR)
+		test := train.Project(testR)
+		lambda, model = logreg.CrossValidateSparse(train, cv, conf.Lambdas, tc)
+		testAcc = model.AccuracySparse(test)
+	}
 	regressSpan.End()
 
 	study := &BCStudy{
@@ -238,7 +255,7 @@ func RunBCStudy(conf BCStudyConfig) (*BCStudy, error) {
 		UsedFeatures: elim.Count(keep),
 		Lambda:       lambda,
 		Model:        model,
-		TestAccuracy: model.Accuracy(test),
+		TestAccuracy: testAcc,
 		BuggyLine:    workloads.BCBuggyLine(),
 	}
 	for _, r := range model.TopFeatures(conf.TopK) {

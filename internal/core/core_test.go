@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -247,5 +248,37 @@ func TestStudySurvivorNamesCarryPositions(t *testing.T) {
 		if !strings.Contains(s.Name, "ccrypt.mc:") {
 			t.Errorf("survivor name lacks position: %q", s.Name)
 		}
+	}
+}
+
+// The default sparse analysis path must reproduce the dense oracle's
+// study bit for bit: same cross-validated lambda, coefficients, ranking,
+// and test accuracy.
+func TestBCStudySparseMatchesDenseOracle(t *testing.T) {
+	conf := BCStudyConfig{Runs: 600, Density: 1.0 / 10, Seed: 31, Epochs: 15, Workers: 2}
+	sparse, err := RunBCStudy(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf.DenseAnalysis = true
+	conf.Workers = 1
+	dense, err := RunBCStudy(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.Lambda != dense.Lambda {
+		t.Errorf("lambda %g != %g", sparse.Lambda, dense.Lambda)
+	}
+	if sparse.Model.Beta0 != dense.Model.Beta0 || !reflect.DeepEqual(sparse.Model.Beta, dense.Model.Beta) {
+		t.Error("models differ")
+	}
+	if sparse.TestAccuracy != dense.TestAccuracy {
+		t.Errorf("test accuracy %v != %v", sparse.TestAccuracy, dense.TestAccuracy)
+	}
+	if !reflect.DeepEqual(sparse.Top, dense.Top) {
+		t.Errorf("rankings differ:\n%+v\n%+v", sparse.Top, dense.Top)
+	}
+	if sparse.SmokingGunRank != dense.SmokingGunRank {
+		t.Error("smoking-gun rank differs")
 	}
 }

@@ -33,6 +33,66 @@ type Report struct {
 	// firings in order (the bounded partial trace the paper defers to
 	// future work in §2.5).
 	Trace []int
+
+	// nz caches the nonzero (index, value) pairs of Counters in ascending
+	// index order. At realistic sampling densities a counter vector is
+	// overwhelmingly zeros, so consumers that only care about observed
+	// predicates (Aggregate.Fold, DB.TotalCounts, elimination trials,
+	// sparse regression datasets) iterate this instead of scanning the
+	// dense vector. Decode populates it for free from the wire pairs;
+	// Nonzeros builds it on demand. The cache assumes Counters is not
+	// mutated after it is built — every pipeline path treats reports as
+	// immutable once constructed.
+	nz []CounterNZ
+}
+
+// CounterNZ is one nonzero counter: its index in the program's counter
+// space and its observed count.
+type CounterNZ struct {
+	Index int32
+	Value uint64
+}
+
+// Nonzeros returns the report's nonzero counters in ascending index
+// order, building and caching the sparse form on first call. The build
+// mutates the report, so concurrent callers must ensure the cache exists
+// (call Nonzeros once, or Decode the report) before sharing it across
+// goroutines; ForEachNonzero never mutates and is always safe.
+func (r *Report) Nonzeros() []CounterNZ {
+	if r.nz == nil {
+		n := 0
+		for _, c := range r.Counters {
+			if c != 0 {
+				n++
+			}
+		}
+		nz := make([]CounterNZ, 0, n)
+		for i, c := range r.Counters {
+			if c != 0 {
+				nz = append(nz, CounterNZ{Index: int32(i), Value: c})
+			}
+		}
+		r.nz = nz
+	}
+	return r.nz
+}
+
+// ForEachNonzero calls f for every nonzero counter in ascending index
+// order. It uses the cached sparse form when one exists and falls back
+// to a dense scan otherwise, never mutating the report — safe for
+// concurrent use on a report that is no longer being written.
+func (r *Report) ForEachNonzero(f func(i int, c uint64)) {
+	if r.nz != nil {
+		for _, e := range r.nz {
+			f(int(e.Index), e.Value)
+		}
+		return
+	}
+	for i, c := range r.Counters {
+		if c != 0 {
+			f(i, c)
+		}
+	}
 }
 
 // Label returns the logistic-regression outcome: 1 for a crash, 0 for a
@@ -191,6 +251,17 @@ func Decode(data []byte) (*Report, error) {
 	}
 	r.Counters = make([]uint64, n)
 	nz := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nz > n {
+		return nil, ErrBadReport
+	}
+	// The wire format is already sparse (index-delta, value pairs), so the
+	// in-memory sparse form comes for free during decoding: downstream
+	// folds and analyses iterate it instead of rescanning the dense vector.
+	r.nz = make([]CounterNZ, 0, nz)
+	cacheOK := true
 	idx := 0
 	for i := uint64(0); i < nz; i++ {
 		delta := d.uvarint()
@@ -203,6 +274,19 @@ func Decode(data []byte) (*Report, error) {
 			return nil, ErrBadReport
 		}
 		r.Counters[idx] = val
+		if val != 0 {
+			r.nz = append(r.nz, CounterNZ{Index: int32(idx), Value: val})
+		}
+		// A duplicate index (delta 0 past the first pair) or an explicit
+		// zero never comes from Encode but was historically accepted;
+		// keep accepting it, but drop the cache rather than let it
+		// disagree with the dense vector.
+		if val == 0 || (i > 0 && delta == 0) {
+			cacheOK = false
+		}
+	}
+	if !cacheOK {
+		r.nz = nil
 	}
 	tn := d.uvarint()
 	if d.err != nil {
@@ -268,13 +352,14 @@ func (db *DB) filter(crashed bool) []*Report {
 	return out
 }
 
-// TotalCounts merges all counter vectors by summation.
+// TotalCounts merges all counter vectors by summation, visiting only
+// each report's nonzero counters.
 func (db *DB) TotalCounts() []uint64 {
 	total := make([]uint64, db.NumCounters)
 	for _, r := range db.Reports {
-		for i, c := range r.Counters {
+		r.ForEachNonzero(func(i int, c uint64) {
 			total[i] += c
-		}
+		})
 	}
 	return total
 }
@@ -326,17 +411,18 @@ func (a *Aggregate) Fold(r *Report) error {
 	if r.Crashed {
 		a.Crashes++
 	}
-	for i, c := range r.Counters {
-		if c == 0 {
-			continue
-		}
-		a.Totals[i] += c
-		if r.Crashed {
-			a.NonzeroInFailure[i] = true
-		} else {
-			a.NonzeroInSuccess[i] = true
-		}
+	// Iterate the sparse form when the report carries one (every decoded
+	// report does): at 1/100 sampling a counter vector is overwhelmingly
+	// zeros, so folding nonzeros is the difference between O(observed)
+	// and O(counter space) per report.
+	hit := a.NonzeroInSuccess
+	if r.Crashed {
+		hit = a.NonzeroInFailure
 	}
+	r.ForEachNonzero(func(i int, c uint64) {
+		a.Totals[i] += c
+		hit[i] = true
+	})
 	return nil
 }
 

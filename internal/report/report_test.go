@@ -24,6 +24,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	r.Nonzeros() // decoded reports carry the sparse cache; match it
 	if !reflect.DeepEqual(r, got) {
 		t.Fatalf("round trip:\n%+v\n%+v", r, got)
 	}
@@ -86,6 +87,7 @@ func TestRoundTripProperty(t *testing.T) {
 			}
 		}
 		got, err := Decode(r.Encode())
+		r.Nonzeros() // decoded reports carry the sparse cache; match it
 		return err == nil && reflect.DeepEqual(r, got)
 	}, &quick.Config{MaxCount: 300})
 	if err != nil {
@@ -170,5 +172,75 @@ func TestAggregateRejectsBadShape(t *testing.T) {
 	agg := NewAggregate("p", 2)
 	if err := agg.Fold(&Report{Counters: make([]uint64, 3)}); err == nil {
 		t.Error("want shape error")
+	}
+}
+
+func TestNonzerosSparseForm(t *testing.T) {
+	r := &Report{Counters: []uint64{0, 5, 0, 0, 7, 1}}
+	want := []CounterNZ{{1, 5}, {4, 7}, {5, 1}}
+	if got := r.Nonzeros(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Nonzeros: %v", got)
+	}
+	// ForEachNonzero visits the same pairs in the same order, cached or not.
+	for _, rep := range []*Report{r, {Counters: []uint64{0, 5, 0, 0, 7, 1}}} {
+		var got []CounterNZ
+		rep.ForEachNonzero(func(i int, c uint64) {
+			got = append(got, CounterNZ{int32(i), c})
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("ForEachNonzero: %v", got)
+		}
+	}
+	// All-zero report: cached empty, never revisited.
+	z := &Report{Counters: make([]uint64, 3)}
+	if nz := z.Nonzeros(); len(nz) != 0 {
+		t.Errorf("zero report nonzeros: %v", nz)
+	}
+}
+
+func TestDecodePopulatesSparseForm(t *testing.T) {
+	orig := &Report{RunID: 9, Program: "p", Counters: []uint64{0, 0, 3, 0, 9}}
+	dec, err := Decode(orig.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.nz == nil {
+		t.Fatal("decode did not populate the sparse form")
+	}
+	if want := []CounterNZ{{2, 3}, {4, 9}}; !reflect.DeepEqual(dec.nz, want) {
+		t.Errorf("decoded nonzeros: %v", dec.nz)
+	}
+}
+
+// Folding a decoded (sparse-cached) report must equal folding the dense
+// original.
+func TestFoldSparseMatchesDense(t *testing.T) {
+	reps := []*Report{
+		{Program: "p", Crashed: false, Counters: []uint64{1, 0, 0, 4}},
+		{Program: "p", Crashed: true, Counters: []uint64{0, 2, 0, 0}},
+		{Program: "p", Crashed: true, Counters: []uint64{0, 0, 0, 0}},
+	}
+	dense := NewAggregate("p", 4)
+	sparse := NewAggregate("p", 4)
+	dbDense, dbSparse := NewDB("p", 4), NewDB("p", 4)
+	for _, r := range reps {
+		if err := dense.Fold(r); err != nil {
+			t.Fatal(err)
+		}
+		_ = dbDense.Add(r)
+		dec, err := Decode(r.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sparse.Fold(dec); err != nil {
+			t.Fatal(err)
+		}
+		_ = dbSparse.Add(dec)
+	}
+	if !reflect.DeepEqual(dense, sparse) {
+		t.Errorf("aggregates differ:\n%+v\n%+v", dense, sparse)
+	}
+	if !reflect.DeepEqual(dbDense.TotalCounts(), dbSparse.TotalCounts()) {
+		t.Errorf("totals differ: %v vs %v", dbDense.TotalCounts(), dbSparse.TotalCounts())
 	}
 }
