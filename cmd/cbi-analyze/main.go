@@ -22,6 +22,7 @@ import (
 	"cbi/internal/collect"
 	"cbi/internal/core"
 	"cbi/internal/instrument"
+	"cbi/internal/monitor"
 	"cbi/internal/report"
 	"cbi/internal/telemetry"
 	"cbi/internal/telemetry/trace"
@@ -32,6 +33,7 @@ func main() {
 	var (
 		study    = flag.String("study", "ccrypt", "ccrypt | bc")
 		reports  = flag.String("reports", "", "analyze a saved .cbr report file or directory instead of running a fleet")
+		sitesOut = flag.String("sites-out", "", "write the study's site manifest (counter spans + predicate names, for `cbi-collect -sites`) to this file and exit")
 		save     = flag.String("save", "", "after running the fleet, save its reports to this .cbr file")
 		runs     = flag.Int("runs", 3000, "number of fuzzed runs")
 		density  = flag.Float64("density", 1.0/100, "sampling density (0 = unconditional)")
@@ -72,6 +74,10 @@ func main() {
 		}
 	}()
 
+	if *sitesOut != "" {
+		writeSites(*study, *sitesOut)
+		return
+	}
 	if *reports != "" {
 		analyzeSaved(*study, *reports, *topK)
 		return
@@ -151,10 +157,23 @@ func main() {
 	}
 }
 
-// analyzeSaved reloads persisted reports and re-runs the study's
-// analysis against a rebuilt program (the counter space is fixed by the
-// workload + scheme, so saved reports line up with a fresh build).
-func analyzeSaved(study, path string, topK int) {
+// writeSites instruments the study program and writes its site manifest
+// — counter spans plus predicate names — for a standalone cbi-collect
+// to score live rankings with full context (-sites). The counter space
+// is fixed by the workload + scheme, so the manifest lines up with any
+// fleet of the same study.
+func writeSites(study, path string) {
+	built := buildStudy(study)
+	man := monitor.ManifestOf(study, built.Program)
+	if err := man.WriteFile(path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: site manifest (%d sites, %d counters) written to %s\n",
+		study, len(man.Sites), man.NumCounters, path)
+}
+
+// buildStudy instruments a study's workload with its canonical scheme.
+func buildStudy(study string) *workloads.Built {
 	var built *workloads.Built
 	var err error
 	switch study {
@@ -168,6 +187,14 @@ func analyzeSaved(study, path string, topK int) {
 	if err != nil {
 		fatal(err)
 	}
+	return built
+}
+
+// analyzeSaved reloads persisted reports and re-runs the study's
+// analysis against a rebuilt program (the counter space is fixed by the
+// workload + scheme, so saved reports line up with a fresh build).
+func analyzeSaved(study, path string, topK int) {
+	built := buildStudy(study)
 	info, err := os.Stat(path)
 	if err != nil {
 		fatal(err)

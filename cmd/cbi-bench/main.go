@@ -12,6 +12,7 @@
 //	cbi-bench ablation     # design-choice ablations (DESIGN.md §5)
 //	cbi-bench profile      # where Table 2's cycles go, per path kind
 //	cbi-bench analyze      # sparse vs dense analysis engine (DESIGN.md §10)
+//	cbi-bench monitor      # live triage: snapshot latency, ingest overhead, identity
 //	cbi-bench all          # everything above
 package main
 
@@ -58,6 +59,7 @@ func main() {
 		"adaptive":   adaptive,
 		"analyze":    analyze,
 		"fleet":      fleet,
+		"monitor":    monitorBench,
 		"table1":     table1,
 		"table2":     table2,
 		"selective":  selective,

@@ -7,6 +7,15 @@
 // Prometheus metrics at /metrics and a liveness/drain probe at /healthz;
 // -log-json emits one structured JSON event per accepted report.
 //
+// With -dashboard the server becomes a live triage console: it keeps
+// incremental top-K predicate rankings (recomputed every -rankings-every
+// folded reports and every -rankings-interval), streams snapshot /
+// converged events over SSE at /watch, serves the current rankings as
+// JSON at /rankings?top=K, and hosts a dependency-free HTML dashboard at
+// /dashboard. -sites points at a site manifest written by
+// `cbi-analyze -sites-out`, giving the rankings site context and
+// human-readable predicate names.
+//
 // Observability extras: -pprof mounts net/http/pprof under
 // /debug/pprof/ on the same mux (off by default — profiling endpoints
 // should not be exposed unintentionally); -trace-out continues each
@@ -28,8 +37,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"cbi/internal/collect"
+	"cbi/internal/monitor"
 	"cbi/internal/telemetry/trace"
 )
 
@@ -45,6 +56,13 @@ func main() {
 		pprof      = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 		traceOut   = flag.String("trace-out", "", "continue submitters' trace contexts and write collected spans to this file at shutdown (.json Chrome trace-event, .jsonl span records)")
 		logJSON    = flag.Bool("log-json", false, "log structured JSON events to stderr")
+
+		dashboard     = flag.Bool("dashboard", false, "enable the live triage console (/rankings, /watch, /dashboard)")
+		rankingsEvery = flag.Int("rankings-every", 500, "with -dashboard: snapshot rankings every N folded reports (0 disables the count cadence)")
+		rankingsIvl   = flag.Duration("rankings-interval", 2*time.Second, "with -dashboard: also snapshot on this wall-clock cadence (0 disables)")
+		topK          = flag.Int("top", 10, "with -dashboard: ranked predicates per snapshot and convergence window")
+		stableFor     = flag.Int("stable", 3, "with -dashboard: consecutive unchanged snapshots before declaring convergence")
+		sitesPath     = flag.String("sites", "", "with -dashboard: site manifest from `cbi-analyze -sites-out` (counter spans + predicate names)")
 	)
 	flag.Parse()
 
@@ -55,12 +73,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cbi-collect: unknown mode", *mode)
 		os.Exit(1)
 	}
+	// A site manifest (live triage) also pins the expected counter shape
+	// unless -counters overrides it.
+	var man *monitor.Manifest
+	if *dashboard && *sitesPath != "" {
+		var err error
+		if man, err = monitor.LoadManifest(*sitesPath); err != nil {
+			fmt.Fprintln(os.Stderr, "cbi-collect:", err)
+			os.Exit(1)
+		}
+		if *counters == 0 {
+			*counters = man.NumCounters
+		}
+	}
 	srv := collect.NewServer(*program, *counters, m)
 	srv.ExposeTelemetry = *metrics
 	srv.EnablePprof = *pprof
 	srv.Shards = *shards
 	if *traceOut != "" {
 		srv.Tracer = trace.NewCollector()
+	}
+	if *dashboard {
+		cfg := monitor.Config{
+			TopK:         *topK,
+			EveryReports: *rankingsEvery,
+			Interval:     *rankingsIvl,
+			StableFor:    *stableFor,
+		}
+		if man != nil {
+			srv.Sites = man.Spans()
+			cfg.PredicateName = man.PredicateName
+		}
+		srv.Monitor = monitor.New(cfg)
 	}
 	if *logJSON {
 		srv.Registry().SetLogWriter(os.Stderr)
@@ -76,6 +120,9 @@ func main() {
 	}
 	if *pprof {
 		fmt.Printf("cbi-collect: pprof at http://%s/debug/pprof/\n", bound)
+	}
+	if *dashboard {
+		fmt.Printf("cbi-collect: live triage at http://%s/dashboard (rankings at /rankings, SSE at /watch)\n", bound)
 	}
 
 	ch := make(chan os.Signal, 1)

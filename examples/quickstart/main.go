@@ -23,6 +23,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -31,11 +32,13 @@ import (
 	"sync/atomic"
 
 	"cbi/internal/analysis/elim"
+	"cbi/internal/analysis/score"
 	"cbi/internal/cfg"
 	"cbi/internal/collect"
 	"cbi/internal/instrument"
 	"cbi/internal/interp"
 	"cbi/internal/minic"
+	"cbi/internal/monitor"
 	"cbi/internal/report"
 	"cbi/internal/telemetry/trace"
 	"cbi/internal/workloads"
@@ -95,6 +98,19 @@ func main() {
 	//    both sides of the HTTP hop in a single timeline.
 	srv := collect.NewServer("quickstart", prog.NumCounters, collect.StoreAll)
 	srv.Tracer = tracer
+	// Attach the live triage monitor: while the community below is still
+	// reporting, the collector keeps incremental top-K rankings and serves
+	// them at /rankings, /watch (SSE), and /dashboard.
+	spans := make([]score.SiteSpan, len(prog.Sites))
+	for i, site := range prog.Sites {
+		spans[i] = score.SiteSpan{Base: site.CounterBase, Len: site.NumCounters}
+	}
+	srv.Sites = spans
+	srv.Monitor = monitor.New(monitor.Config{
+		TopK:          5,
+		EveryReports:  250,
+		PredicateName: prog.PredicateName,
+	})
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -155,6 +171,39 @@ func main() {
 		log.Fatalf("collector saw %d crashes, community observed %d", st.Crashes, crashes.Load())
 	}
 	fmt.Printf("community: %d runs collected, %d crashes\n", st.Runs, st.Crashes)
+
+	// 3b. The live triage view: fetch the collector's current rankings
+	//     over HTTP (?fresh=1 recomputes from the live statistics) and
+	//     check they match an offline score pass over the same reports —
+	//     the monitor is incremental, not approximate.
+	var live struct {
+		Top []struct {
+			Counter    int     `json:"counter"`
+			Name       string  `json:"name"`
+			Importance float64 `json:"importance"`
+		} `json:"top"`
+	}
+	resp, err := client.HTTP.Get("http://" + addr + "/rankings?fresh=1&top=5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&live); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	offline := score.Top(score.Score(srv.DB(), spans), 5)
+	if len(offline) != len(live.Top) {
+		log.Fatalf("live rankings returned %d predicates, offline scoring %d", len(live.Top), len(offline))
+	}
+	fmt.Printf("\nlive triage rankings (GET /rankings — browse http://%s/dashboard while a fleet runs):\n", addr)
+	for i, e := range live.Top {
+		if offline[i].Counter != e.Counter || offline[i].Importance != e.Importance {
+			log.Fatalf("live ranking #%d = counter %d (%.6f), offline = counter %d (%.6f)",
+				i+1, e.Counter, e.Importance, offline[i].Counter, offline[i].Importance)
+		}
+		fmt.Printf("%2d. importance=%.3f  %s\n", i+1, e.Importance, e.Name)
+	}
+	fmt.Println("    (bit-identical to offline score.Score + Rank over the same reports)")
 
 	// 4. Analyze: which predicates are true only in failed runs?
 	db := srv.DB()

@@ -1,0 +1,172 @@
+package score
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cbi/internal/report"
+)
+
+// randomDB builds a report set with sparse counters and a mixed
+// crash/success population.
+func randomDB(rng *rand.Rand, runs, n int) *report.DB {
+	db := report.NewDB("p", n)
+	for i := 0; i < runs; i++ {
+		counters := make([]uint64, n)
+		for c := 0; c < n; c++ {
+			if rng.Float64() < 0.2 {
+				counters[c] = uint64(rng.Intn(5) + 1)
+			}
+		}
+		rep := &report.Report{
+			RunID:    uint64(i),
+			Program:  "p",
+			Crashed:  rng.Float64() < 0.3,
+			Counters: counters,
+		}
+		if err := db.Add(rep); err != nil {
+			panic(err)
+		}
+	}
+	return db
+}
+
+// TestAccumMatchesScore is the bit-identity property the live rankings
+// rest on: folding every report of a DB into an Accum and calling
+// Predicates must equal Score over the same DB and spans, every field
+// exactly — including under nil spans, overlapping spans, and spans
+// clamped by the counter space.
+func TestAccumMatchesScore(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		spans []SiteSpan
+	}{
+		{"nil spans", 12, nil},
+		{"disjoint spans", 12, []SiteSpan{{0, 3}, {3, 3}, {6, 3}, {9, 3}}},
+		{"partial coverage", 12, []SiteSpan{{2, 4}}},
+		{"overlapping spans", 12, []SiteSpan{{0, 6}, {4, 6}}},
+		{"span past end", 12, []SiteSpan{{8, 10}}},
+		{"empty span", 12, []SiteSpan{{0, 0}, {1, 2}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			db := randomDB(rng, 200, tc.n)
+			acc := NewAccum(tc.n, tc.spans)
+			for _, rep := range db.Reports {
+				if err := acc.Fold(rep); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := acc.Predicates()
+			want := Score(db, tc.spans)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("Accum.Predicates diverges from Score\n got: %+v\nwant: %+v", got[:4], want[:4])
+			}
+			if !reflect.DeepEqual(Rank(got), Rank(want)) {
+				t.Fatal("ranked views diverge")
+			}
+		})
+	}
+}
+
+// TestAccumMergeIsSerialFold: striping reports across accumulators and
+// merging — in any order — equals one serial fold.
+func TestAccumMergeIsSerialFold(t *testing.T) {
+	const n = 16
+	spans := []SiteSpan{{0, 4}, {4, 4}, {8, 8}}
+	rng := rand.New(rand.NewSource(11))
+	db := randomDB(rng, 300, n)
+
+	serial := NewAccum(n, spans)
+	for _, rep := range db.Reports {
+		if err := serial.Fold(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const shards = 5
+	parts := make([]*Accum, shards)
+	for i := range parts {
+		parts[i] = NewAccum(n, spans)
+	}
+	for _, rep := range db.Reports {
+		if err := parts[rep.RunID%shards].Fold(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Merge in a scrambled order: the statistics are order-free sums.
+	merged := NewAccum(n, spans)
+	for _, i := range []int{3, 0, 4, 2, 1} {
+		if err := merged.Merge(parts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(merged.Predicates(), serial.Predicates()) {
+		t.Fatal("sharded merge diverges from serial fold")
+	}
+}
+
+// BenchmarkAccumFold: the per-report cost the collector pays on the
+// ingest path when a live monitor is attached (ccrypt-ish shape: 1710
+// counters, 855 two-counter sites, ~1% density).
+func BenchmarkAccumFold(b *testing.B) {
+	const n = 1710
+	spans := make([]SiteSpan, n/2)
+	for i := range spans {
+		spans[i] = SiteSpan{Base: 2 * i, Len: 2}
+	}
+	rng := rand.New(rand.NewSource(3))
+	reps := make([]*report.Report, 256)
+	for i := range reps {
+		counters := make([]uint64, n)
+		for c := 0; c < n; c++ {
+			if rng.Float64() < 0.01 {
+				counters[c] = uint64(rng.Intn(5) + 1)
+			}
+		}
+		reps[i] = &report.Report{RunID: uint64(i), Crashed: i%3 == 0, Counters: counters}
+		reps[i].Nonzeros() // warm the sparse cache, as decoded reports have it
+	}
+	acc := NewAccum(n, spans)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := acc.Fold(reps[i%len(reps)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestAccumAdoptShape: a 0-counter accumulator adopts the first report's
+// shape (and a merge source's shape), like report.Aggregate.
+func TestAccumAdoptShape(t *testing.T) {
+	acc := NewAccum(0, nil)
+	rep := &report.Report{RunID: 1, Counters: []uint64{0, 2, 1}}
+	if err := acc.Fold(rep); err != nil {
+		t.Fatal(err)
+	}
+	if acc.NumCounters != 3 {
+		t.Fatalf("adopted shape %d, want 3", acc.NumCounters)
+	}
+	if err := acc.Fold(&report.Report{RunID: 2, Counters: []uint64{1}}); err == nil {
+		t.Fatal("fold with mismatched shape should error")
+	}
+
+	empty := NewAccum(0, nil)
+	if err := empty.Merge(acc); err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumCounters != 3 || empty.Runs != 1 {
+		t.Fatalf("merge-adopt got shape %d runs %d", empty.NumCounters, empty.Runs)
+	}
+	other := NewAccum(5, nil)
+	if err := other.Merge(acc); err == nil {
+		t.Fatal("merge with mismatched shape should error")
+	}
+	badSpans := NewAccum(3, []SiteSpan{{0, 3}})
+	if err := badSpans.Merge(acc); err == nil {
+		t.Fatal("merge with mismatched span count should error")
+	}
+}

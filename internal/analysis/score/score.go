@@ -102,6 +102,16 @@ func Score(db *report.DB, spans []SiteSpan) []Predicate {
 		}
 	}
 
+	finishScores(preds, totalFailures)
+	return preds
+}
+
+// finishScores fills the float-valued scores of each predicate from its
+// integer counts. It is the single scoring code path shared by the
+// offline Score and the incremental Accum, which is what makes live
+// collector rankings bit-identical to an offline pass over the same
+// reports.
+func finishScores(preds []Predicate, totalFailures int) {
 	logNumF := math.Log(float64(totalFailures))
 	for i := range preds {
 		p := &preds[i]
@@ -119,7 +129,6 @@ func Score(db *report.DB, spans []SiteSpan) []Predicate {
 			}
 		}
 	}
-	return preds
 }
 
 // Rank returns the predicates with positive Importance, highest first.

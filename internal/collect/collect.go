@@ -35,6 +35,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cbi/internal/analysis/score"
+	"cbi/internal/monitor"
 	"cbi/internal/report"
 	"cbi/internal/telemetry"
 	"cbi/internal/telemetry/trace"
@@ -117,6 +119,10 @@ type ingestShard struct {
 	mu  sync.Mutex
 	db  *report.DB
 	agg *report.Aggregate
+	// acc holds the live-triage scoring statistics (nil unless the server
+	// has a Monitor), folded under the same lock as agg so each report is
+	// atomic within its shard.
+	acc *score.Accum
 }
 
 // Server is the central collection endpoint.
@@ -144,6 +150,17 @@ type Server struct {
 	// before the first submission; later writes are ignored.
 	Shards int
 
+	// Monitor, when set before the first submission (or Handler call),
+	// enables the live triage console: the server maintains incremental
+	// scoring statistics per shard, notifies the monitor as reports fold,
+	// and mounts /rankings, /watch (SSE), and /dashboard.
+	Monitor *monitor.Monitor
+
+	// Sites gives the instrumented program's counter spans so live scores
+	// have site context (Context(P)); nil degrades to span-free scoring,
+	// exactly like score.Score with nil spans. Set alongside Monitor.
+	Sites []score.SiteSpan
+
 	program     string
 	numCounters int
 	// shape is the expected counter-vector length; 0 until an
@@ -155,9 +172,10 @@ type Server struct {
 	shardMask uint64
 	shards    []ingestShard
 
-	reg    *telemetry.Registry
-	health telemetry.Health
-	m      serverMetrics
+	reg      *telemetry.Registry
+	health   telemetry.Health
+	m        serverMetrics
+	httpReqs sync.Map // "endpoint\x00code" -> *telemetry.Counter
 
 	httpServer *http.Server
 	listener   net.Listener
@@ -199,8 +217,15 @@ func (s *Server) init() {
 		for i := range s.shards {
 			s.shards[i].db = report.NewDB(s.program, s.numCounters)
 			s.shards[i].agg = report.NewAggregate(s.program, s.numCounters)
+			if s.Monitor != nil {
+				s.shards[i].acc = score.NewAccum(s.numCounters, s.Sites)
+			}
 		}
 		s.reg.Gauge("collect_shards").Set(float64(n))
+		if s.Monitor != nil {
+			s.Monitor.Bind(s, s.reg)
+			s.Monitor.Start()
+		}
 	})
 }
 
@@ -218,13 +243,19 @@ func (s *Server) Health() *telemetry.Health { return &s.health }
 
 // Handler returns the HTTP handler (also usable without a live listener).
 func (s *Server) Handler() http.Handler {
+	s.init()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/report", s.handleReport)
-	mux.HandleFunc("/reports", s.handleReports)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/report", s.instrument("/report", http.HandlerFunc(s.handleReport)))
+	mux.Handle("/reports", s.instrument("/reports", http.HandlerFunc(s.handleReports)))
+	mux.Handle("/stats", s.instrument("/stats", http.HandlerFunc(s.handleStats)))
+	if s.Monitor != nil {
+		mux.Handle("/rankings", s.instrument("/rankings", http.HandlerFunc(s.Monitor.ServeRankings)))
+		mux.Handle("/watch", s.instrument("/watch", http.HandlerFunc(s.Monitor.ServeWatch)))
+		mux.Handle("/dashboard", s.instrument("/dashboard", http.HandlerFunc(s.Monitor.ServeDashboard)))
+	}
 	if s.ExposeTelemetry {
-		mux.Handle("/metrics", s.reg.Handler())
-		mux.Handle("/healthz", &s.health)
+		mux.Handle("/metrics", s.instrument("/metrics", s.reg.Handler()))
+		mux.Handle("/healthz", s.instrument("/healthz", &s.health))
 	}
 	if s.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -234,6 +265,61 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// statusCapture remembers the response code so instrument can label its
+// counter. It passes http.Flusher through — /watch streams SSE and dies
+// without it.
+type statusCapture struct {
+	http.ResponseWriter
+	code int
+}
+
+func (c *statusCapture) WriteHeader(code int) {
+	if c.code == 0 {
+		c.code = code
+	}
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *statusCapture) Write(b []byte) (int, error) {
+	if c.code == 0 {
+		c.code = http.StatusOK
+	}
+	return c.ResponseWriter.Write(b)
+}
+
+func (c *statusCapture) Flush() {
+	if fl, ok := c.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// instrument counts every response on every route — success and error
+// paths alike — as collect_http_requests_total{endpoint,code}.
+func (s *Server) instrument(endpoint string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sc := &statusCapture{ResponseWriter: w}
+		h.ServeHTTP(sc, r)
+		if sc.code == 0 {
+			sc.code = http.StatusOK
+		}
+		s.countRequest(endpoint, sc.code)
+	})
+}
+
+// countRequest bumps the per-{endpoint,code} counter, caching handles so
+// the steady state never re-renders labels or takes the registry lock.
+func (s *Server) countRequest(endpoint string, code int) {
+	key := endpoint + "\x00" + strconv.Itoa(code)
+	if c, ok := s.httpReqs.Load(key); ok {
+		c.(*telemetry.Counter).Inc()
+		return
+	}
+	c := s.reg.Counter("collect_http_requests_total" +
+		telemetry.Labels("endpoint", endpoint, "code", strconv.Itoa(code)))
+	actual, _ := s.httpReqs.LoadOrStore(key, c)
+	actual.(*telemetry.Counter).Inc()
 }
 
 // readBody pulls in a request body up to MaxBodyBytes, rejecting
@@ -385,6 +471,9 @@ type Stats struct {
 	// reports they carried.
 	Batches      int `json:"batches"`
 	BatchReports int `json:"batch_reports"`
+	// Live-triage summary (all zero when the server has no Monitor), so
+	// scripted runs can poll convergence without parsing the SSE stream.
+	monitor.TriageStats
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -397,6 +486,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		NumCounters:  int(s.shape.Load()),
 		Batches:      int(s.m.batchesAccepted.Value()),
 		BatchReports: int(s.m.batchReportsIn.Value()),
+		TriageStats:  s.Monitor.TriageStats(),
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -449,6 +539,7 @@ func (s *Server) Submit(rep *report.Report) error {
 		return err
 	}
 	s.m.accepted.Inc()
+	s.Monitor.ReportFolded()
 	return nil
 }
 
@@ -461,6 +552,13 @@ func (s *Server) fold(rep *report.Report) error {
 	defer sh.mu.Unlock()
 	if err := sh.agg.Fold(rep); err != nil {
 		return err
+	}
+	if sh.acc != nil {
+		if err := sh.acc.Fold(rep); err != nil {
+			// Unreachable: validate() accepted the same shape agg.Fold just
+			// folded, and Accum applies the identical shape rule.
+			panic(fmt.Sprintf("collect: score fold: %v", err))
+		}
 	}
 	if sh.db.NumCounters == 0 {
 		// "Accept any" server: the adopted shape fixes the shard's
@@ -510,6 +608,60 @@ func (s *Server) Aggregate() *report.Aggregate {
 	return agg
 }
 
+// ScoreState returns a snapshot of the live scoring statistics: the
+// order-free merge of every shard's accumulator. Shards are locked one
+// at a time (each report folds atomically within its shard), so the
+// result is a serial fold of a definite subset of the submitted reports
+// — the consistency argument is DESIGN §11. It implements
+// monitor.Source.
+func (s *Server) ScoreState() *score.Accum {
+	s.init()
+	acc := score.NewAccum(int(s.shape.Load()), s.Sites)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if sh.acc == nil {
+			continue
+		}
+		sh.mu.Lock()
+		err := acc.Merge(sh.acc)
+		sh.mu.Unlock()
+		if err != nil {
+			// Unreachable: validate() fixes one shape for every shard.
+			panic(fmt.Sprintf("collect: score merge: %v", err))
+		}
+	}
+	return acc
+}
+
+// ScoreStateAndDB captures the scoring statistics and the stored
+// reports in one pass, taking each shard's accumulator and report slice
+// under a single lock acquisition. Because every report enters both
+// structures under that same lock, the pair describes exactly the same
+// report subset — the verification hook concurrency tests use to check
+// live rankings against the offline oracle mid-ingest (StoreAll only).
+func (s *Server) ScoreStateAndDB() (*score.Accum, *report.DB) {
+	s.init()
+	acc := score.NewAccum(int(s.shape.Load()), s.Sites)
+	db := report.NewDB(s.program, int(s.shape.Load()))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		var err error
+		if sh.acc != nil {
+			err = acc.Merge(sh.acc)
+		}
+		db.Reports = append(db.Reports, sh.db.Reports...)
+		sh.mu.Unlock()
+		if err != nil {
+			panic(fmt.Sprintf("collect: score merge: %v", err))
+		}
+	}
+	sort.SliceStable(db.Reports, func(i, j int) bool {
+		return db.Reports[i].RunID < db.Reports[j].RunID
+	})
+	return acc, db
+}
+
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
 // until Stop. It returns the bound address and flips /healthz to ok.
 func (s *Server) Start(addr string) (string, error) {
@@ -528,6 +680,7 @@ func (s *Server) Start(addr string) (string, error) {
 // balancers stop routing, then in-flight report POSTs are allowed up to
 // ShutdownTimeout to complete before connections are forced closed.
 func (s *Server) Stop() error {
+	s.Monitor.Stop()
 	if s.httpServer == nil {
 		return nil
 	}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// stripBuildInfo drops the toolchain-dependent cbi_build_info family so
+// golden comparisons are machine-independent.
+func stripBuildInfo(exposition string) string {
+	var kept []string
+	for _, line := range strings.SplitAfter(exposition, "\n") {
+		if line == "" || strings.Contains(line, "cbi_build_info") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "")
+}
+
+// TestExpositionEscapingGolden pins the exposition of label values that
+// need escaping: backslash, double quote, and newline must come out as
+// \\, \" and \n, and Labels-composed names must round-trip through
+// WritePrometheus verbatim.
+func TestExpositionEscapingGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`paths_total` + Labels("dir", `C:\tmp`)).Add(1)
+	r.Counter(`paths_total` + Labels("dir", `say "hi"`)).Add(2)
+	r.Counter(`paths_total` + Labels("dir", "two\nlines")).Add(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := stripBuildInfo(b.String())
+	want := `# TYPE paths_total counter
+paths_total{dir="C:\\tmp"} 1
+paths_total{dir="say \"hi\""} 2
+paths_total{dir="two\nlines"} 3
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionLabeledHistogramGolden pins the sample ordering for a
+// labeled histogram family: per child, buckets ascending by le with the
+// le label joined after the child's own labels, then the +Inf bucket,
+// then _sum and _count — and children of one family sorted by label
+// string, interleaved complete (all of one child before the next).
+func TestExpositionLabeledHistogramGolden(t *testing.T) {
+	r := NewRegistry()
+	fold := r.Histogram(`step_seconds`+Labels("op", "fold"), []float64{0.5, 1, 10})
+	fold.Observe(0.25)
+	fold.Observe(0.5)
+	fold.Observe(0.5)
+	fold.Observe(20)
+	merge := r.Histogram(`step_seconds`+Labels("op", "merge"), []float64{0.5, 1, 10})
+	merge.Observe(2)
+	r.Gauge("aa_ratio").Set(0.5) // sorts before step_seconds: family order check
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := stripBuildInfo(b.String())
+	want := `# TYPE aa_ratio gauge
+aa_ratio 0.5
+# TYPE step_seconds histogram
+step_seconds_bucket{op="fold",le="0.5"} 3
+step_seconds_bucket{op="fold",le="1"} 3
+step_seconds_bucket{op="fold",le="10"} 3
+step_seconds_bucket{op="fold",le="+Inf"} 4
+step_seconds_sum{op="fold"} 21.25
+step_seconds_count{op="fold"} 4
+step_seconds_bucket{op="merge",le="0.5"} 0
+step_seconds_bucket{op="merge",le="1"} 0
+step_seconds_bucket{op="merge",le="10"} 1
+step_seconds_bucket{op="merge",le="+Inf"} 1
+step_seconds_sum{op="merge"} 2
+step_seconds_count{op="merge"} 1
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestEscapeLabelValue covers the escaper directly, including the
+// fast path for clean strings.
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"", ""},
+		{`back\slash`, `back\\slash`},
+		{`qu"ote`, `qu\"ote`},
+		{"new\nline", `new\nline`},
+		{"\\\"\n", `\\\"\n`},
+		{"unicode ✓ ok", "unicode ✓ ok"},
+	}
+	for _, tc := range cases {
+		if got := EscapeLabelValue(tc.in); got != tc.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestLabelsPanics: malformed label layouts are programming errors.
+func TestLabelsPanics(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"odd"},
+		{"k", "v", "dangling"},
+		{"bad key", "v"},
+		{"", "v"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Labels(%q) must panic", args)
+				}
+			}()
+			Labels(args...)
+		}()
+	}
+}

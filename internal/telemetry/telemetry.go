@@ -219,6 +219,61 @@ func splitName(name string) (family, labels string) {
 	return family, labels
 }
 
+// EscapeLabelValue escapes a label value for the Prometheus text
+// exposition format: backslash, double quote, and newline become \\, \"
+// and \n. Metric names composed with Labels carry already-escaped
+// bodies, so WritePrometheus can emit them verbatim.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Labels renders alternating key/value pairs as an inline label block
+// `{k1="v1",k2="v2"}`, escaping each value per the exposition format. Use
+// it to compose metric names whose label values are not compile-time
+// constants:
+//
+//	reg.Counter("collect_http_requests_total" + telemetry.Labels("endpoint", path, "code", code))
+//
+// It panics on an odd number of arguments or an invalid key — label
+// layouts, unlike values, are programming constants.
+func Labels(kv ...string) string {
+	if len(kv) == 0 || len(kv)%2 != 0 {
+		panic("telemetry: Labels needs alternating key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if !validFamily(kv[i]) {
+			panic("telemetry: invalid label key " + strconv.Quote(kv[i]))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 func validFamily(s string) bool {
 	if s == "" {
 		return false
