@@ -13,6 +13,7 @@
 //	cbi-bench profile      # where Table 2's cycles go, per path kind
 //	cbi-bench analyze      # sparse vs dense analysis engine (DESIGN.md §10)
 //	cbi-bench monitor      # live triage: snapshot latency, ingest overhead, identity
+//	cbi-bench quality      # ingest quality: engine overhead, sketch accuracy, anomaly latency
 //	cbi-bench all          # everything above
 package main
 
@@ -60,6 +61,7 @@ func main() {
 		"analyze":    analyze,
 		"fleet":      fleet,
 		"monitor":    monitorBench,
+		"quality":    qualityBench,
 		"table1":     table1,
 		"table2":     table2,
 		"selective":  selective,

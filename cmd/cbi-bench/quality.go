@@ -1,0 +1,541 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cbi/internal/collect"
+	"cbi/internal/instrument"
+	"cbi/internal/quality"
+	"cbi/internal/sampler"
+	"cbi/internal/workloads"
+)
+
+// qualityBenchDoc is the JSON document the quality subcommand writes to
+// -bench-out: batched ingest throughput with the quality engine off vs
+// on, sketch-accuracy checks against exact offline statistics, the
+// sampling-distance check on fair vs periodic cohorts, and
+// anomaly-detection latency on injected fault bursts. CI gates on
+// Ingest.OverheadPct, every sketch row's OK flag, and every anomaly
+// row's Detected flag.
+type qualityBenchDoc struct {
+	Ingest struct {
+		Workload         string  `json:"workload"`
+		Reports          int     `json:"reports"`
+		BatchSize        int     `json:"batch_size"`
+		Submitters       int     `json:"submitters"`
+		Rounds           int     `json:"rounds"`
+		OffSeconds       float64 `json:"off_seconds"`
+		OnSeconds        float64 `json:"on_seconds"`
+		OffReportsPerSec float64 `json:"off_reports_per_sec"`
+		OnReportsPerSec  float64 `json:"on_reports_per_sec"`
+		// OverheadPct is the median of per-round paired on/off time
+		// ratios, minus one — robust to container throughput drift (same
+		// methodology as BENCH_monitor.json). The CI gate requires <= 5.
+		OverheadPct float64 `json:"overhead_pct"`
+		// SketchStride is the adaptive stride the engine settled on at
+		// this ingest rate (1 = sketching every report).
+		SketchStride uint64 `json:"sketch_stride"`
+	} `json:"ingest"`
+	// Quantiles checks the P² estimates against exact order statistics:
+	// each row passes with rank error <= 0.05 against the empirical CDF
+	// interval of the estimate (ties collapse the interval), or with a
+	// range-relative value error <= 0.05 for tie-plateau cases.
+	Quantiles []quantileRow `json:"quantiles"`
+	// SpaceSaving checks the heavy-hitters guarantees against exact
+	// counts on a skewed synthetic stream.
+	SpaceSaving spaceSavingRow `json:"space_saving"`
+	// Sampling runs the statistical-distance check on a fair geometric
+	// cohort (must say "consistent") and a periodic cohort (must say
+	// "drift") at the same density.
+	Sampling []samplingRow `json:"sampling"`
+	// Anomalies reports detection latency per injected fault burst.
+	Anomalies []anomalyRow `json:"anomalies"`
+}
+
+type quantileRow struct {
+	Stream   string  `json:"stream"`
+	N        int     `json:"n"`
+	Quantile float64 `json:"quantile"`
+	Estimate float64 `json:"estimate"`
+	Exact    float64 `json:"exact"`
+	// RankError scores against the empirical CDF interval; ValueError is
+	// |estimate-exact| normalized by the data range. Either within 0.05
+	// passes: P² interpolates between markers, so on heavily tied
+	// (discrete) data the estimate can sit a hair off a tie plateau — a
+	// large rank error for a negligible value error.
+	RankError  float64 `json:"rank_error"`
+	ValueError float64 `json:"value_error"`
+	OK         bool    `json:"ok"`
+}
+
+type spaceSavingRow struct {
+	N        int    `json:"n"`
+	Distinct int    `json:"distinct"`
+	Cap      int    `json:"cap"`
+	Bound    uint64 `json:"bound"` // N/cap, the guaranteed error ceiling
+	// MaxAbsError is the largest |estimate - true| over tracked keys;
+	// WithinBounds requires est-maxError <= true <= est for every key;
+	// AllHeavyTracked requires every key with true count > N/cap present.
+	MaxAbsError     uint64 `json:"max_abs_error"`
+	WithinBounds    bool   `json:"within_bounds"`
+	AllHeavyTracked bool   `json:"all_heavy_tracked"`
+	OK              bool   `json:"ok"`
+}
+
+type samplingRow struct {
+	Cohort     string  `json:"cohort"`
+	Reports    int     `json:"reports"`
+	Mean       float64 `json:"mean_samples"`
+	Dispersion float64 `json:"dispersion"`
+	TVDistance float64 `json:"tv_distance"`
+	Verdict    string  `json:"verdict"`
+	Want       string  `json:"want"`
+	OK         bool    `json:"ok"`
+}
+
+type anomalyRow struct {
+	Fault         string  `json:"fault"`
+	Kind          string  `json:"kind"`
+	TicksToDetect int     `json:"ticks_to_detect"`
+	MillisSeen    float64 `json:"millis_to_detect"`
+	Detected      bool    `json:"detected"`
+}
+
+// qualityBench measures the ingest-quality engine: its hot-path cost on
+// the full HTTP batched ingest path, the accuracy of its streaming
+// sketches against exact offline statistics, and how quickly its
+// anomaly rules flag injected faults.
+func qualityBench() error {
+	header("Ingest quality: engine overhead, sketch accuracy, anomaly latency")
+	var doc qualityBenchDoc
+
+	// One ccrypt fleet supplies the replayed reports.
+	built, err := workloads.BuildCcrypt(instrument.SchemeSet{Returns: true}, true)
+	if err != nil {
+		return err
+	}
+	db, err := workloads.CcryptFleet(built.Program, workloads.FleetConfig{
+		Runs: *runs, Density: *density, SeedBase: *seed, Workers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	// 1. Batched ingest throughput, quality engine off vs on, over the
+	// full HTTP path — same paired-round median-ratio methodology as the
+	// monitor bench, because absolute container throughput drifts by more
+	// than the few percent being measured.
+	const batchSize = 64
+	const rounds = 7
+	submitters := runtime.GOMAXPROCS(0)
+	if submitters > 8 {
+		submitters = 8
+	}
+	passesPer := (250_000/submitters + len(db.Reports) - 1) / len(db.Reports)
+	submissions := submitters * passesPer * len(db.Reports)
+	// Both servers persist across rounds: the quality engine's adaptive
+	// sketch stride then ramps once and holds (idle off-rounds don't
+	// reset it), so the paired rounds measure steady-state overhead — the
+	// regime a long-running collector actually operates in.
+	newServer := func(withQuality bool) (*collect.Server, string, error) {
+		srv := collect.NewServer("ccrypt", built.Program.NumCounters, collect.AggregateOnly)
+		srv.ExposeTelemetry = false
+		if withQuality {
+			// The cbi-collect defaults, with a tick cadence fast enough
+			// that several anomaly evaluations land inside the round.
+			srv.Quality = quality.New(quality.Config{Interval: 250 * time.Millisecond, Density: *density})
+		}
+		bound, err := srv.Start("127.0.0.1:0")
+		return srv, "http://" + bound, err
+	}
+	offSrv, offURL, err := newServer(false)
+	if err != nil {
+		return err
+	}
+	defer offSrv.Stop()
+	onSrv, onURL, err := newServer(true)
+	if err != nil {
+		return err
+	}
+	defer onSrv.Stop()
+	replayOnce := func(base string) (float64, error) {
+		runtime.GC()
+		ctx := context.Background()
+		errs := make(chan error, submitters)
+		t0 := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < submitters; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				client := collect.NewClient(base)
+				client.BatchSize = batchSize
+				for p := 0; p < passesPer; p++ {
+					for _, rep := range db.Reports {
+						if err := client.SubmitContext(ctx, rep); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+				errs <- client.Flush(ctx)
+			}()
+		}
+		wg.Wait()
+		sec := time.Since(t0).Seconds()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return sec, nil
+	}
+	// Warmup pass against the quality server so the stride is at steady
+	// state before the first timed round.
+	if _, err := replayOnce(onURL); err != nil {
+		return err
+	}
+	offSec, onSec := -1.0, -1.0
+	ratios := make([]float64, 0, rounds)
+	for round := 0; round < rounds; round++ {
+		var off, on float64
+		var err error
+		if round%2 == 0 {
+			off, err = replayOnce(offURL)
+			if err == nil {
+				on, err = replayOnce(onURL)
+			}
+		} else {
+			on, err = replayOnce(onURL)
+			if err == nil {
+				off, err = replayOnce(offURL)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		ratios = append(ratios, on/off)
+		if offSec < 0 || off < offSec {
+			offSec = off
+		}
+		if onSec < 0 || on < onSec {
+			onSec = on
+		}
+	}
+	sort.Float64s(ratios)
+	medianRatio := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		medianRatio = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	ing := &doc.Ingest
+	ing.Workload = "ccrypt"
+	ing.Reports = submissions
+	ing.BatchSize = batchSize
+	ing.Submitters = submitters
+	ing.Rounds = rounds
+	ing.OffSeconds = offSec
+	ing.OnSeconds = onSec
+	ing.OffReportsPerSec = float64(submissions) / offSec
+	ing.OnReportsPerSec = float64(submissions) / onSec
+	ing.OverheadPct = 100 * (medianRatio - 1)
+	ing.SketchStride = onSrv.Quality.TakeSnapshot().SketchStride
+	fmt.Printf("ingest (%d reports, %d submitters, batch=%d, %d paired rounds):\n",
+		submissions, submitters, batchSize, rounds)
+	fmt.Printf("  quality off: %.2fs (%.0f rep/s)\n", offSec, ing.OffReportsPerSec)
+	fmt.Printf("  quality on:  %.2fs (%.0f rep/s) — median paired overhead %.2f%%, sketch stride %d\n",
+		onSec, ing.OnReportsPerSec, ing.OverheadPct, ing.SketchStride)
+
+	// 2. P² quantile accuracy vs exact order statistics, on the fleet's
+	// real per-report distributions (wire bytes, counter nonzeros) and a
+	// synthetic heavy-tailed stream.
+	var wires, nonzeros []float64
+	for _, rep := range db.Reports {
+		wires = append(wires, float64(len(rep.Encode())))
+		nonzeros = append(nonzeros, float64(len(rep.Nonzeros())))
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var heavy []float64
+	for i := 0; i < 50_000; i++ {
+		// Log-normal-ish: most reports small, a long tail of big ones.
+		x := 64 * (1 + rng.ExpFloat64()*rng.ExpFloat64()*30)
+		heavy = append(heavy, x)
+	}
+	fmt.Printf("\nquantile sketch vs exact (rank error or range-relative value error <= 0.05):\n")
+	fmt.Printf("%-16s %8s %6s %12s %12s %10s %10s %4s\n", "stream", "n", "q", "estimate", "exact", "rank err", "val err", "ok")
+	for _, st := range []struct {
+		name string
+		data []float64
+	}{{"report_bytes", wires}, {"report_nonzeros", nonzeros}, {"heavy_tail", heavy}} {
+		for _, row := range quantileAccuracy(st.name, st.data) {
+			doc.Quantiles = append(doc.Quantiles, row)
+			fmt.Printf("%-16s %8d %6.2f %12.1f %12.1f %10.4f %10.4f %4v\n",
+				row.Stream, row.N, row.Quantile, row.Estimate, row.Exact, row.RankError, row.ValueError, row.OK)
+		}
+	}
+
+	// 3. Space-Saving guarantees vs exact counts on a Zipf-skewed stream
+	// far wider than the sketch (2000 distinct keys, capacity 64).
+	doc.SpaceSaving = spaceSavingAccuracy(rng)
+	ss := doc.SpaceSaving
+	fmt.Printf("\nspace-saving (n=%d, %d distinct keys, cap=%d): max |est-true| %d (bound %d), bounds %v, heavy tracked %v\n",
+		ss.N, ss.Distinct, ss.Cap, ss.MaxAbsError, ss.Bound, ss.WithinBounds, ss.AllHeavyTracked)
+
+	// 4. The sampling-distance check on fair vs periodic cohorts: same
+	// density, same opportunity count, only the sampler differs — the
+	// §2.1 fairness pathology seen purely from collected totals.
+	fmt.Printf("\nsampling-distance check (density %s, %d opportunities/run):\n", frac(*density), samplingOpps)
+	for _, row := range samplingVerdicts(*density) {
+		doc.Sampling = append(doc.Sampling, row)
+		fmt.Printf("  %-10s mean %.1f dispersion %.3f tv %.3f -> %s (want %s) ok=%v\n",
+			row.Cohort, row.Mean, row.Dispersion, row.TVDistance, row.Verdict, row.Want, row.OK)
+	}
+
+	// 5. Anomaly-detection latency on injected fault bursts.
+	fmt.Printf("\nanomaly latency (tick = 10ms):\n")
+	rows, err := anomalyLatency()
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		doc.Anomalies = append(doc.Anomalies, row)
+		fmt.Printf("  %-14s -> %-14s detected=%v after %d tick(s), %.1fms\n",
+			row.Fault, row.Kind, row.Detected, row.TicksToDetect, row.MillisSeen)
+	}
+
+	out, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	outPath := benchOutPath("BENCH_quality.json")
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("\nmeasurements written to", outPath)
+	return nil
+}
+
+// quantileAccuracy streams data through a QuantileSketch and scores each
+// tracked quantile against the exact order statistics. The rank error of
+// an estimate q̂ targeting quantile p is the distance from p to the
+// empirical CDF interval [P(X < q̂), P(X <= q̂)] — an interval, because on
+// discrete data the CDF jumps at ties and any value inside the jump is
+// an exact answer for every rank it spans.
+func quantileAccuracy(name string, data []float64) []quantileRow {
+	sk := quality.NewQuantileSketch()
+	for _, x := range data {
+		sk.Observe(x)
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	rows := make([]quantileRow, 0, len(quality.SketchQuantiles))
+	span := sorted[len(sorted)-1] - sorted[0]
+	if span <= 0 {
+		span = 1
+	}
+	for _, p := range quality.SketchQuantiles {
+		est := sk.Quantile(p)
+		exact := sorted[int(p*float64(len(sorted)-1))]
+		lo := float64(sort.SearchFloat64s(sorted, est)) / n                                      // P(X < est)
+		hi := float64(sort.Search(len(sorted), func(i int) bool { return sorted[i] > est })) / n // P(X <= est)
+		var rankErr float64
+		switch {
+		case p < lo:
+			rankErr = lo - p
+		case p > hi:
+			rankErr = p - hi
+		}
+		valErr := math.Abs(est-exact) / span
+		rows = append(rows, quantileRow{
+			Stream: name, N: len(data), Quantile: p,
+			Estimate: est, Exact: exact, RankError: rankErr, ValueError: valErr,
+			OK: rankErr <= 0.05 || valErr <= 0.05,
+		})
+	}
+	return rows
+}
+
+// spaceSavingAccuracy drives a capacity-64 sketch with a Zipf-skewed
+// stream of 2000 distinct keys and verifies both published guarantees
+// against exact counts.
+func spaceSavingAccuracy(rng *rand.Rand) spaceSavingRow {
+	const capacity = 64
+	const distinct = 2000
+	const n = 200_000
+	zipf := rand.NewZipf(rng, 1.3, 1, distinct-1)
+	sk := quality.NewSpaceSaving(capacity)
+	exact := make(map[uint64]uint64, distinct)
+	for i := 0; i < n; i++ {
+		k := zipf.Uint64()
+		exact[k]++
+		sk.Offer(quality.Source{Kind: quality.SourceRun, Value: k})
+	}
+	row := spaceSavingRow{
+		N: n, Distinct: len(exact), Cap: capacity,
+		Bound: uint64(n / capacity), WithinBounds: true, AllHeavyTracked: true,
+	}
+	tracked := make(map[string]quality.HeavyHitter)
+	for _, h := range sk.Top(0) {
+		tracked[h.Key] = h
+	}
+	for k, truth := range exact {
+		key := quality.Source{Kind: quality.SourceRun, Value: k}.String()
+		h, ok := tracked[key]
+		if !ok {
+			if truth > row.Bound {
+				row.AllHeavyTracked = false
+			}
+			continue
+		}
+		if h.Count < truth || h.Count-h.MaxError > truth {
+			row.WithinBounds = false
+		}
+		if d := h.Count - truth; d > row.MaxAbsError {
+			row.MaxAbsError = d
+		}
+	}
+	row.OK = row.WithinBounds && row.AllHeavyTracked && row.MaxAbsError <= row.Bound
+	return row
+}
+
+// samplingOpps is the per-run dynamic opportunity count for the
+// sampling-distance cohorts.
+const samplingOpps = 2000
+
+// samplingVerdicts runs the statistical-distance check on two simulated
+// cohorts at the same density: geometric countdowns (fair) and a fixed
+// period (the §2.1 pathology). Totals are produced exactly as an
+// instrumented run would: count one sample each time a per-run countdown
+// hits zero across samplingOpps site opportunities.
+func samplingVerdicts(density float64) []samplingRow {
+	cohort := func(name string, mk func(run int) sampler.Source, want string) samplingRow {
+		e := quality.New(quality.Config{Density: density})
+		const reports = 400
+		for run := 0; run < reports; run++ {
+			src := mk(run)
+			var total uint64
+			cd := src.Next()
+			for op := 0; op < samplingOpps; op++ {
+				cd--
+				if cd == 0 {
+					total++
+					cd = src.Next()
+				}
+			}
+			e.ObserveAccepted(uint64(run), 10, 100, int(total), total, false)
+		}
+		v := e.TakeSnapshot().Sampling
+		return samplingRow{
+			Cohort: name, Reports: int(v.Reports), Mean: v.Mean,
+			Dispersion: v.Dispersion, TVDistance: v.TVDistance,
+			Verdict: v.Verdict, Want: want, OK: v.Verdict == want,
+		}
+	}
+	period := int64(1 / density)
+	return []samplingRow{
+		cohort("geometric", func(run int) sampler.Source {
+			return sampler.NewGeometric(*seed+int64(run), density)
+		}, "consistent"),
+		cohort("periodic", func(int) sampler.Source {
+			return &sampler.Periodic{Period: period}
+		}, "drift"),
+	}
+}
+
+// anomalyLatency injects one fault burst per anomaly kind into a
+// manually ticked engine and reports how many ticks until the rule
+// fires. Each tick covers ~10ms of simulated traffic.
+func anomalyLatency() ([]anomalyRow, error) {
+	const tick = 10 * time.Millisecond
+	run := func(fault, kind string, drive func(e *quality.Engine, tickNo int) bool) anomalyRow {
+		e := quality.New(quality.Config{
+			Interval: tick, // informs dt bookkeeping; ticks are manual
+			HalfLife: 100 * time.Millisecond,
+			Density:  0,
+		})
+		t0 := time.Time{}
+		row := anomalyRow{Fault: fault, Kind: kind}
+		for i := 0; i < 40; i++ {
+			injecting := drive(e, i)
+			time.Sleep(tick)
+			e.Tick()
+			if injecting && t0.IsZero() {
+				t0 = time.Now()
+				row.TicksToDetect = 0
+			}
+			if !t0.IsZero() {
+				row.TicksToDetect++
+				for _, a := range e.ActiveAnomalies() {
+					if a.Kind == kind {
+						row.Detected = true
+						row.MillisSeen = float64(time.Since(t0).Milliseconds())
+						return row
+					}
+				}
+			}
+		}
+		return row
+	}
+
+	healthy := func(e *quality.Engine) {
+		for i := 0; i < 100; i++ {
+			e.ObserveAccepted(uint64(i), 10, 200, 5, 5, false)
+		}
+	}
+	rows := []anomalyRow{
+		run("decode-burst", "reject-surge", func(e *quality.Engine, i int) bool {
+			healthy(e)
+			if i >= 8 {
+				for j := 0; j < 400; j++ {
+					e.ObserveRejected(quality.ReasonDecode, []byte("garbage"))
+				}
+				return true
+			}
+			return false
+		}),
+		run("decode-burst", "rate-spike", func(e *quality.Engine, i int) bool {
+			// A trickle of decode rejects establishes the baseline; the
+			// burst must outrun it by SpikeFactor.
+			healthy(e)
+			if i >= 8 {
+				for j := 0; j < 400; j++ {
+					e.ObserveRejected(quality.ReasonDecode, []byte("garbage"))
+				}
+				return true
+			}
+			e.ObserveRejected(quality.ReasonDecode, []byte("garbage"))
+			return false
+		}),
+		run("traffic-halt", "ingest-stall", func(e *quality.Engine, i int) bool {
+			if i < 8 {
+				healthy(e)
+				return false
+			}
+			return true // silence
+		}),
+		run("periodic-cohort", "density-drift", func(e *quality.Engine, i int) bool {
+			// Every run reports exactly the same total: the degenerate
+			// histogram a periodic sampler produces.
+			for j := 0; j < 50; j++ {
+				e.ObserveAccepted(uint64(i*50+j), 10, 200, 20, 20, false)
+			}
+			return i >= 4 // MinCheckReports=200 reached during tick 4
+		}),
+	}
+	for _, row := range rows {
+		if !row.Detected {
+			return rows, nil // caller records the failure; CI gate trips
+		}
+	}
+	return rows, nil
+}

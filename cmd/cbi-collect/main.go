@@ -16,6 +16,17 @@
 // `cbi-analyze -sites-out`, giving the rankings site context and
 // human-readable predicate names.
 //
+// With -quality (the default) the server also runs the ingest-quality
+// engine (package quality): streaming sketches over report sizes and
+// sparsity, heavy-hitter source fingerprints, an online check of
+// observed counter totals against the advertised -quality-density, and
+// anomaly detection (rate spikes, rejection surges, ingest stalls,
+// density drift) evaluated every -quality-interval. The population
+// health surface is served at /quality, recently rejected payloads at
+// /debug/badreports, and — with -dashboard — anomaly/recovered events
+// ride the /watch SSE stream and a Population health panel appears on
+// /dashboard.
+//
 // Observability extras: -pprof mounts net/http/pprof under
 // /debug/pprof/ on the same mux (off by default — profiling endpoints
 // should not be exposed unintentionally); -trace-out continues each
@@ -41,6 +52,7 @@ import (
 
 	"cbi/internal/collect"
 	"cbi/internal/monitor"
+	"cbi/internal/quality"
 	"cbi/internal/telemetry/trace"
 )
 
@@ -56,6 +68,12 @@ func main() {
 		pprof      = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 		traceOut   = flag.String("trace-out", "", "continue submitters' trace contexts and write collected spans to this file at shutdown (.json Chrome trace-event, .jsonl span records)")
 		logJSON    = flag.Bool("log-json", false, "log structured JSON events to stderr")
+
+		qualityOn  = flag.Bool("quality", true, "run the ingest-quality engine (/quality, /debug/badreports, anomaly events)")
+		qualityIvl = flag.Duration("quality-interval", time.Second, "anomaly-evaluation cadence for the quality engine")
+		qualityDen = flag.Float64("quality-density", 0, "advertised sampling density 1/d for the sampling-distance check (0 = unknown)")
+		qualityRng = flag.Int("quality-ring", 64, "rejected-payload forensic ring size (/debug/badreports)")
+		qualityTop = flag.Int("quality-topk", 10, "heavy-hitter sources listed in /quality")
 
 		dashboard     = flag.Bool("dashboard", false, "enable the live triage console (/rankings, /watch, /dashboard)")
 		rankingsEvery = flag.Int("rankings-every", 500, "with -dashboard: snapshot rankings every N folded reports (0 disables the count cadence)")
@@ -106,6 +124,14 @@ func main() {
 		}
 		srv.Monitor = monitor.New(cfg)
 	}
+	if *qualityOn {
+		srv.Quality = quality.New(quality.Config{
+			Interval: *qualityIvl,
+			Density:  *qualityDen,
+			RingSize: *qualityRng,
+			TopK:     *qualityTop,
+		})
+	}
 	if *logJSON {
 		srv.Registry().SetLogWriter(os.Stderr)
 	}
@@ -123,6 +149,9 @@ func main() {
 	}
 	if *dashboard {
 		fmt.Printf("cbi-collect: live triage at http://%s/dashboard (rankings at /rankings, SSE at /watch)\n", bound)
+	}
+	if *qualityOn {
+		fmt.Printf("cbi-collect: population health at http://%s/quality (forensics at /debug/badreports)\n", bound)
 	}
 
 	ch := make(chan os.Signal, 1)

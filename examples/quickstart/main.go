@@ -22,6 +22,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -39,6 +40,7 @@ import (
 	"cbi/internal/interp"
 	"cbi/internal/minic"
 	"cbi/internal/monitor"
+	"cbi/internal/quality"
 	"cbi/internal/report"
 	"cbi/internal/telemetry/trace"
 	"cbi/internal/workloads"
@@ -110,6 +112,14 @@ func main() {
 		TopK:          5,
 		EveryReports:  250,
 		PredicateName: prog.PredicateName,
+	})
+	// Attach the ingest-quality engine: every accept/reject below folds
+	// into its streaming sketches, and /quality + /debug/badreports serve
+	// the population-health view. Interval 0 disables the background
+	// ticker — this script drives anomaly evaluation explicitly with
+	// Tick() so the walkthrough is deterministic.
+	srv.Quality = quality.New(quality.Config{
+		Density: 1.0 / 10, // the community's advertised sampling density
 	})
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
@@ -204,6 +214,82 @@ func main() {
 		fmt.Printf("%2d. importance=%.3f  %s\n", i+1, e.Importance, e.Name)
 	}
 	fmt.Println("    (bit-identical to offline score.Score + Rank over the same reports)")
+
+	// 3c. Population health: the healthy community is in; close its rate
+	//     window, then play a misbehaving client — a burst of garbage
+	//     POSTs plus one sloppily encoded (but decodable) report — and
+	//     check the quality engine catches all of it.
+	srv.Quality.Tick() // healthy baseline window
+	for i := 0; i < 50; i++ {
+		resp, err := client.HTTP.Post("http://"+addr+"/report", "application/octet-stream",
+			bytes.NewReader([]byte(fmt.Sprintf("not a report %d", i))))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			log.Fatalf("garbage POST got %d, want 400", resp.StatusCode)
+		}
+	}
+	// A lenient encoding: an explicit zero counter pair, which Encode
+	// never emits. The collector folds it but quarantines the sender.
+	sloppy := (&report.Report{RunID: 999_999, Program: "quickstart", Counters: make([]uint64, prog.NumCounters)}).Encode()
+	sloppy = append(sloppy[:len(sloppy)-2], 1 /*nz*/, 0 /*delta*/, 0 /*zero value*/, 0 /*traceLen*/)
+	resp, err = client.HTTP.Post("http://"+addr+"/report", "application/octet-stream", bytes.NewReader(sloppy))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 202 {
+		log.Fatalf("lenient report got %d, want 202", resp.StatusCode)
+	}
+	srv.Quality.Tick() // the burst window: evaluate anomaly rules
+
+	var q quality.Snapshot
+	resp, err = client.HTTP.Get("http://" + addr + "/quality")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if q.Rejected["decode"] != 50 {
+		log.Fatalf("quality saw %d decode rejections, want 50", q.Rejected["decode"])
+	}
+	if q.Quarantined != 1 {
+		log.Fatalf("quality saw %d quarantined reports, want 1", q.Quarantined)
+	}
+	surge := false
+	for _, a := range q.Anomalies {
+		if a.Kind == "reject-surge" {
+			surge = true
+		}
+	}
+	if !surge {
+		log.Fatalf("no reject-surge anomaly after the garbage burst (anomalies: %+v)", q.Anomalies)
+	}
+	if q.Sampling.Verdict != "consistent" {
+		log.Fatalf("sampling check says %q (tv %.3f) for the healthy cohort, want consistent",
+			q.Sampling.Verdict, q.Sampling.TVDistance)
+	}
+	var bad struct {
+		Recorded uint64 `json:"recorded_total"`
+	}
+	resp, err = client.HTTP.Get("http://" + addr + "/debug/badreports")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&bad); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if bad.Recorded == 0 {
+		log.Fatal("forensic ring is empty after the garbage burst")
+	}
+	fmt.Printf("\npopulation health (GET /quality): %d rejected, %d quarantined, reject-surge flagged,\n"+
+		"    sampling %s (tv=%.3f vs Poisson at density 1/10), %d payloads in /debug/badreports\n",
+		q.RejectedTotal, q.Quarantined, q.Sampling.Verdict, q.Sampling.TVDistance, bad.Recorded)
 
 	// 4. Analyze: which predicates are true only in failed runs?
 	db := srv.DB()

@@ -37,6 +37,7 @@ import (
 
 	"cbi/internal/analysis/score"
 	"cbi/internal/monitor"
+	"cbi/internal/quality"
 	"cbi/internal/report"
 	"cbi/internal/telemetry"
 	"cbi/internal/telemetry/trace"
@@ -76,10 +77,12 @@ type serverMetrics struct {
 	rejectedDecode  *telemetry.Counter
 	rejectedFold    *telemetry.Counter
 	rejectedSize    *telemetry.Counter
+	quarantined     *telemetry.Counter
 	batchesAccepted *telemetry.Counter
 	batchReportsIn  *telemetry.Counter
 	batchReports    *telemetry.Histogram
 	bytesIngested   *telemetry.Counter
+	requestBytes    *telemetry.Histogram
 	reportBytes     *telemetry.Histogram
 	decodeSeconds   *telemetry.Histogram
 	foldSeconds     *telemetry.Histogram
@@ -102,10 +105,12 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		rejectedDecode:  reg.Counter(`collect_reports_rejected_total{reason="decode"}`),
 		rejectedFold:    reg.Counter(`collect_reports_rejected_total{reason="fold"}`),
 		rejectedSize:    reg.Counter(`collect_reports_rejected_total{reason="too-large"}`),
+		quarantined:     reg.Counter("collect_reports_quarantined_total"),
 		batchesAccepted: reg.Counter("collect_batches_accepted_total"),
 		batchReportsIn:  reg.Counter("collect_batch_reports_total"),
 		batchReports:    reg.Histogram("collect_batch_reports", BatchSizeBuckets),
 		bytesIngested:   reg.Counter("collect_bytes_ingested_total"),
+		requestBytes:    reg.Histogram("collect_request_bytes", telemetry.SizeBuckets),
 		reportBytes:     reg.Histogram("collect_report_bytes", telemetry.SizeBuckets),
 		decodeSeconds:   reg.Histogram("collect_decode_seconds", telemetry.DefBuckets),
 		foldSeconds:     reg.Histogram("collect_fold_seconds", telemetry.DefBuckets),
@@ -160,6 +165,14 @@ type Server struct {
 	// have site context (Context(P)); nil degrades to span-free scoring,
 	// exactly like score.Score with nil spans. Set alongside Monitor.
 	Sites []score.SiteSpan
+
+	// Quality, when set before the first submission (or Handler call),
+	// enables the ingest-quality engine: every accept/reject folds into
+	// its streaming sketches, /quality and /debug/badreports are mounted,
+	// and (with a Monitor) anomaly/recovered events ride the /watch SSE
+	// stream. All engine calls are nil-safe, so the hot path pays one nil
+	// check when disabled.
+	Quality *quality.Engine
 
 	program     string
 	numCounters int
@@ -226,6 +239,13 @@ func (s *Server) init() {
 			s.Monitor.Bind(s, s.reg)
 			s.Monitor.Start()
 		}
+		if s.Quality != nil {
+			s.Quality.Bind(s.reg)
+			if s.Monitor != nil {
+				s.Quality.Events = s.Monitor
+			}
+			s.Quality.Start()
+		}
 	})
 }
 
@@ -252,6 +272,10 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle("/rankings", s.instrument("/rankings", http.HandlerFunc(s.Monitor.ServeRankings)))
 		mux.Handle("/watch", s.instrument("/watch", http.HandlerFunc(s.Monitor.ServeWatch)))
 		mux.Handle("/dashboard", s.instrument("/dashboard", http.HandlerFunc(s.Monitor.ServeDashboard)))
+	}
+	if s.Quality != nil {
+		mux.Handle("/quality", s.instrument("/quality", http.HandlerFunc(s.Quality.ServeQuality)))
+		mux.Handle("/debug/badreports", s.instrument("/debug/badreports", http.HandlerFunc(s.Quality.ServeBadReports)))
 	}
 	if s.ExposeTelemetry {
 		mux.Handle("/metrics", s.instrument("/metrics", s.reg.Handler()))
@@ -329,12 +353,14 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request, ingest *trace.
 	body, err := io.ReadAll(io.LimitReader(r.Body, MaxBodyBytes+1))
 	if err != nil {
 		s.m.rejectedRead.Inc()
+		s.Quality.ObserveRejected(quality.ReasonRead, body)
 		ingest.SetAttr("outcome", "rejected-read")
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return nil, false
 	}
 	if len(body) > MaxBodyBytes {
 		s.m.rejectedSize.Inc()
+		s.Quality.ObserveRejected(quality.ReasonTooLarge, body)
 		ingest.SetAttr("outcome", "rejected-too-large")
 		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", MaxBodyBytes),
 			http.StatusRequestEntityTooLarge)
@@ -342,13 +368,15 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request, ingest *trace.
 	}
 	ingest.SetAttr("bytes", strconv.Itoa(len(body)))
 	s.m.bytesIngested.Add(uint64(len(body)))
-	s.m.reportBytes.Observe(float64(len(body)))
+	s.m.requestBytes.Observe(float64(len(body)))
 	return body, true
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	s.Quality.ObserveEndpoint(false)
 	if r.Method != http.MethodPost {
 		s.m.rejectedMethod.Inc()
+		s.Quality.ObserveRejected(quality.ReasonMethod, nil)
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
@@ -367,6 +395,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	decodeSpan.End()
 	if err != nil {
 		s.m.rejectedDecode.Inc()
+		s.Quality.ObserveRejected(quality.ReasonDecode, body)
 		ingest.SetAttr("outcome", "rejected-decode")
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -396,8 +425,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // single-report body is also accepted, so old clients can be pointed at
 // /reports unchanged.
 func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	s.Quality.ObserveEndpoint(true)
 	if r.Method != http.MethodPost {
 		s.m.rejectedMethod.Inc()
+		s.Quality.ObserveRejected(quality.ReasonMethod, nil)
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
@@ -422,6 +453,7 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	decodeSpan.End()
 	if err != nil {
 		s.m.rejectedDecode.Inc()
+		s.Quality.ObserveRejected(quality.ReasonDecode, body)
 		ingest.SetAttr("outcome", "rejected-decode")
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -433,6 +465,7 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	for _, rep := range reps {
 		if err := s.validate(rep); err != nil {
 			s.m.rejectedFold.Inc()
+			s.Quality.ObserveRejected(quality.ReasonFold, body)
 			ingest.SetAttr("outcome", "rejected-fold")
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -533,12 +566,31 @@ func (s *Server) Submit(rep *report.Report) error {
 	t0 := time.Now()
 	err := s.fold(rep)
 	s.m.foldSeconds.Observe(time.Since(t0).Seconds())
-	s.m.reportNonzeros.Observe(float64(len(rep.Nonzeros())))
+	nz := rep.Nonzeros()
+	s.m.reportNonzeros.Observe(float64(len(nz)))
 	if err != nil {
 		s.m.rejectedFold.Inc()
+		s.Quality.ObserveRejected(quality.ReasonFold, nil)
 		return err
 	}
 	s.m.accepted.Inc()
+	if wire := rep.WireLen(); wire > 0 {
+		// Per-report wire size (batch members individually; requests as a
+		// whole are collect_request_bytes). In-process submissions have no
+		// wire form and are skipped.
+		s.m.reportBytes.Observe(float64(wire))
+	}
+	if rep.Lenient() {
+		s.m.quarantined.Inc()
+		s.Quality.ObserveQuarantined(rep.RunID, rep.WireLen())
+	}
+	if s.Quality != nil {
+		var total uint64
+		for _, c := range nz {
+			total += c.Value
+		}
+		s.Quality.ObserveAccepted(rep.RunID, len(rep.Counters), rep.WireLen(), len(nz), total, rep.Crashed)
+	}
 	s.Monitor.ReportFolded()
 	return nil
 }
@@ -681,6 +733,7 @@ func (s *Server) Start(addr string) (string, error) {
 // ShutdownTimeout to complete before connections are forced closed.
 func (s *Server) Stop() error {
 	s.Monitor.Stop()
+	s.Quality.Stop()
 	if s.httpServer == nil {
 		return nil
 	}

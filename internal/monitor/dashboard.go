@@ -59,6 +59,11 @@ const dashboardHTML = `<!DOCTYPE html>
   #log div { padding:1px 0; }
   #log .ev-converged { color:var(--ok); }
   #log .ev-diverged { color:var(--warn); }
+  #log .ev-anomaly { color:var(--bad); }
+  #log .ev-recovered { color:var(--ok); }
+  #anoms .anom { color:var(--bad); font-size:12px; padding:1px 0; }
+  #health.ok { color:var(--ok); } #health.bad { color:var(--bad); }
+  #qtop td { font-size:12px; }
   footer { padding:8px 20px; color:var(--dim); font-size:12px; }
 </style>
 </head>
@@ -95,12 +100,25 @@ const dashboardHTML = `<!DOCTYPE html>
     <h2>Crash rate</h2>
     <svg id="sparkline" viewBox="0 0 300 64" preserveAspectRatio="none"></svg>
   </section>
+  <section id="quality" style="display:none">
+    <h2>Population health</h2>
+    <dl>
+      <dt>status</dt><dd id="health">–</dd>
+      <dt>accept rate</dt><dd id="qaccept">–</dd>
+      <dt>rejected / quarantined</dt><dd id="qreject">–</dd>
+      <dt>report bytes p50 / p99</dt><dd id="qbytes">–</dd>
+      <dt>nonzeros p50 / p99</dt><dd id="qnz">–</dd>
+      <dt>sampling</dt><dd id="qsampling">–</dd>
+    </dl>
+    <div id="anoms"></div>
+    <table id="qtop"><tbody></tbody></table>
+  </section>
   <section style="grid-column:1 / -1">
     <h2>Events</h2>
     <div id="log"></div>
   </section>
 </main>
-<footer>GET /rankings?top=K · GET /watch (SSE) · GET /stats · GET /metrics</footer>
+<footer>GET /rankings?top=K · GET /watch (SSE) · GET /stats · GET /quality · GET /metrics</footer>
 <script>
 'use strict';
 const $ = id => document.getElementById(id);
@@ -193,6 +211,60 @@ es.addEventListener('diverged', ev => {
   const d = JSON.parse(ev.data);
   logLine('ev-diverged', 'diverged at snapshot ' + d.seq + ' (' + d.runs + ' runs)');
 });
+es.addEventListener('anomaly', ev => {
+  const a = JSON.parse(ev.data);
+  logLine('ev-anomaly', 'ANOMALY ' + a.kind + ' on ' + a.target +
+    ' (value ' + a.value.toFixed(2) + ', baseline ' + a.baseline.toFixed(2) + ')');
+});
+es.addEventListener('recovered', ev => {
+  const a = JSON.parse(ev.data);
+  logLine('ev-recovered', 'recovered: ' + a.kind + ' on ' + a.target);
+});
+
+// Population health: poll /quality (absent unless the collector runs the
+// quality engine — the panel stays hidden until the first 200).
+function renderQuality(q) {
+  $('quality').style.display = '';
+  const h = $('health');
+  const n = q.anomalies ? q.anomalies.length : 0;
+  h.textContent = n ? n + ' active anomal' + (n > 1 ? 'ies' : 'y') : 'healthy';
+  h.className = n ? 'bad' : 'ok';
+  const acc = q.rates && q.rates['accept'];
+  $('qaccept').textContent = acc ?
+    acc.last_per_sec.toFixed(1) + '/s (ewma ' + acc.ewma_per_sec.toFixed(1) + '/s)' : '–';
+  $('qreject').textContent = q.rejected_total + ' / ' + q.quarantined_total;
+  $('qbytes').textContent = q.report_bytes.count ?
+    q.report_bytes.p50.toFixed(0) + ' / ' + q.report_bytes.p99.toFixed(0) + ' B' : '–';
+  $('qnz').textContent = q.report_nonzeros.count ?
+    q.report_nonzeros.p50.toFixed(0) + ' / ' + q.report_nonzeros.p99.toFixed(0) : '–';
+  $('qsampling').textContent = q.sampling.verdict +
+    (q.sampling.reports ? ' (tv ' + q.sampling.tv_distance.toFixed(3) + ')' : '');
+  const anoms = $('anoms');
+  anoms.innerHTML = '';
+  for (const a of q.anomalies || []) {
+    const div = document.createElement('div');
+    div.className = 'anom';
+    div.textContent = '⚠ ' + a.kind + ' on ' + a.target;
+    anoms.appendChild(div);
+  }
+  const tb = $('qtop').tBodies[0];
+  tb.innerHTML = '';
+  for (const s of (q.top_sources || []).slice(0, 5)) {
+    const tr = document.createElement('tr');
+    tr.innerHTML = '<td class="name"></td><td class="num"></td>';
+    tr.firstChild.textContent = s.key;
+    tr.lastChild.textContent = '≤' + s.count;
+    tb.appendChild(tr);
+  }
+}
+async function pollQuality() {
+  try {
+    const resp = await fetch('quality');
+    if (resp.ok) renderQuality(await resp.json());
+  } catch (e) { /* collector without quality engine; leave hidden */ }
+}
+pollQuality();
+setInterval(pollQuality, 2000);
 </script>
 </body>
 </html>

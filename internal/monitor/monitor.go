@@ -702,6 +702,17 @@ func (m *Monitor) ServeWatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// Publish fans one arbitrary event out to every /watch subscriber — the
+// hook other collector subsystems (the ingest-quality engine's
+// anomaly/recovered events) use to ride the same SSE stream. Nil-safe,
+// like every Monitor method.
+func (m *Monitor) Publish(event string, v any) {
+	if m == nil {
+		return
+	}
+	m.publish(event, v)
+}
+
 // publish fans one event out to every /watch subscriber, never blocking:
 // a subscriber whose buffer is full misses the event (and a counter
 // records the drop) so ingest latency is never hostage to a slow reader.

@@ -1,0 +1,195 @@
+package quality
+
+// p2.go implements the P² streaming quantile estimator (Jain &
+// Chlamtac, "The P² algorithm for dynamic calculation of quantiles and
+// histograms without storing observations", CACM 1985): five markers per
+// target quantile, adjusted by a piecewise-parabolic interpolation as
+// observations arrive, so each estimate costs O(1) time and O(1) space
+// regardless of stream length. The collector uses it to track report
+// body-size and counter-nonzero distributions on the ingest hot path,
+// where storing (or sorting) per-report observations is off the table.
+
+import "sort"
+
+// p2 estimates one quantile p of a stream.
+type p2 struct {
+	p    float64
+	q    [5]float64 // marker heights
+	n    [5]float64 // actual marker positions (1-based)
+	d    [5]float64 // desired marker positions
+	inc  [5]float64 // desired-position increments per observation
+	cnt  int
+	init [5]float64 // buffer for the first five observations
+}
+
+func newP2(p float64) *p2 {
+	e := &p2{p: p}
+	e.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+func (e *p2) observe(x float64) {
+	if e.cnt < 5 {
+		e.init[e.cnt] = x
+		e.cnt++
+		if e.cnt == 5 {
+			vals := e.init
+			sort.Float64s(vals[:])
+			for i := 0; i < 5; i++ {
+				e.q[i] = vals[i]
+				e.n[i] = float64(i + 1)
+			}
+			e.d = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+		}
+		return
+	}
+	e.cnt++
+	// Find the cell k with q[k] <= x < q[k+1], widening the extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.d[i] += e.inc[i]
+	}
+	// Nudge interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.d[i] - e.n[i]
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			q := e.parabolic(i, s)
+			if !(e.q[i-1] < q && q < e.q[i+1]) {
+				q = e.linear(i, s)
+			}
+			e.q[i] = q
+			e.n[i] += s
+		}
+	}
+}
+
+// parabolic is the piecewise-parabolic (P²) height update.
+func (e *p2) parabolic(i int, s float64) float64 {
+	return e.q[i] + s/(e.n[i+1]-e.n[i-1])*
+		((e.n[i]-e.n[i-1]+s)*(e.q[i+1]-e.q[i])/(e.n[i+1]-e.n[i])+
+			(e.n[i+1]-e.n[i]-s)*(e.q[i]-e.q[i-1])/(e.n[i]-e.n[i-1]))
+}
+
+// linear is the fallback when the parabolic update would break marker
+// monotonicity.
+func (e *p2) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.n[j]-e.n[i])
+}
+
+// quantile returns the current estimate. Before five observations the
+// markers are not initialized, so the estimate falls back to the exact
+// order statistic of the buffered prefix.
+func (e *p2) quantile() float64 {
+	if e.cnt == 0 {
+		return 0
+	}
+	if e.cnt < 5 {
+		vals := append([]float64(nil), e.init[:e.cnt]...)
+		sort.Float64s(vals)
+		i := int(e.p * float64(e.cnt))
+		if i >= len(vals) {
+			i = len(vals) - 1
+		}
+		return vals[i]
+	}
+	return e.q[2]
+}
+
+// SketchQuantiles are the target quantiles every QuantileSketch tracks.
+var SketchQuantiles = []float64{0.25, 0.5, 0.75, 0.9, 0.99}
+
+// QuantileSketch tracks a fixed set of quantiles of a stream in O(1)
+// space, plus exact count/sum/min/max. Not safe for concurrent use; the
+// Engine serializes access.
+type QuantileSketch struct {
+	count uint64
+	sum   float64
+	min   float64
+	max   float64
+	est   []*p2
+}
+
+// NewQuantileSketch creates a sketch tracking SketchQuantiles.
+func NewQuantileSketch() *QuantileSketch {
+	s := &QuantileSketch{}
+	for _, p := range SketchQuantiles {
+		s.est = append(s.est, newP2(p))
+	}
+	return s
+}
+
+// Observe folds one value.
+func (s *QuantileSketch) Observe(x float64) {
+	if s.count == 0 || x < s.min {
+		s.min = x
+	}
+	if s.count == 0 || x > s.max {
+		s.max = x
+	}
+	s.count++
+	s.sum += x
+	for _, e := range s.est {
+		e.observe(x)
+	}
+}
+
+// QuantileSummary is the JSON snapshot of a QuantileSketch.
+type QuantileSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P25   float64 `json:"p25"`
+	P50   float64 `json:"p50"`
+	P75   float64 `json:"p75"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary snapshots the sketch.
+func (s *QuantileSketch) Summary() QuantileSummary {
+	out := QuantileSummary{Count: s.count, Min: s.min, Max: s.max}
+	if s.count > 0 {
+		out.Mean = s.sum / float64(s.count)
+	}
+	qs := make([]float64, len(s.est))
+	for i, e := range s.est {
+		qs[i] = e.quantile()
+	}
+	out.P25, out.P50, out.P75, out.P90, out.P99 = qs[0], qs[1], qs[2], qs[3], qs[4]
+	return out
+}
+
+// Quantile returns the estimate for one of the tracked quantiles
+// (exactly the values in SketchQuantiles); it panics on any other p —
+// targets are fixed at construction, that is what makes the sketch O(1).
+func (s *QuantileSketch) Quantile(p float64) float64 {
+	for i, q := range SketchQuantiles {
+		if q == p {
+			return s.est[i].quantile()
+		}
+	}
+	panic("quality: untracked quantile")
+}

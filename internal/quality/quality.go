@@ -1,0 +1,816 @@
+// Package quality is the collector's streaming ingest-quality engine:
+// eyes on the population of reporting clients, at O(1) amortized cost
+// per report.
+//
+// The paper's setting is a ~60M-user deployment (§2.5) where reports
+// arrive from an untrusted, churning population: malformed payloads,
+// skewed run rates, and misbehaving clients are the norm. The engine
+// folds every ingest event into fixed-size streaming state:
+//
+//   - EWMA rate trackers per endpoint and per rejection reason, with
+//     windowed anomaly rules (rate spikes, rejection-ratio surges,
+//     ingest stalls) evaluated on a tick cadence;
+//   - P² quantile sketches over report body bytes and counter nonzeros
+//     (p2.go) — the body-size and sparsity distribution of the
+//     population without storing observations;
+//   - a Space-Saving heavy-hitters sketch over run-ID / shape /
+//     rejection fingerprints (spacesaving.go) — duplicate-spamming or
+//     dominating sources surface in the top-K;
+//   - an online statistical-distance check of per-run sampled-event
+//     totals against the advertised 1/d geometric-sampling profile
+//     (density.go), flagging density drift per the binomial-samplers
+//     framework;
+//   - a bounded forensic ring buffer of truncated hex-dumped rejected
+//     payloads (ring.go).
+//
+// The surface: GET /quality (JSON snapshot), GET /debug/badreports
+// (forensics), `anomaly` / `recovered` events on the collector's /watch
+// SSE stream, and a "Population health" panel on /dashboard. DESIGN §12
+// states the sketch error bounds and the drift argument.
+package quality
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cbi/internal/telemetry"
+)
+
+// Reason enumerates why ingest refused (or quarantined) a payload. It
+// mirrors the collect_reports_rejected_total reason labels.
+type Reason uint8
+
+const (
+	ReasonMethod Reason = iota
+	ReasonRead
+	ReasonTooLarge
+	ReasonDecode
+	ReasonFold
+	// ReasonQuarantine marks a payload the decoder accepted leniently
+	// (duplicate counter indices or explicit zero pairs — encodings no
+	// real client produces). The report is still folded, but counted and
+	// retained for forensics instead of passing silently.
+	ReasonQuarantine
+	numReasons
+)
+
+var reasonNames = [numReasons]string{"method", "read", "too-large", "decode", "fold", "quarantine"}
+
+func (r Reason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return "unknown"
+}
+
+// EventSink receives anomaly lifecycle events; monitor.Monitor
+// implements it, putting `anomaly`/`recovered` on the /watch SSE stream.
+type EventSink interface {
+	Publish(event string, v any)
+}
+
+// Config parameterizes an Engine. The zero value gets sane defaults.
+type Config struct {
+	// Interval is the anomaly-evaluation tick cadence once Start is
+	// called (default 1s; <= 0 disables the ticker — tests and scripted
+	// drivers call Tick directly).
+	Interval time.Duration
+	// HalfLife is the EWMA half-life of the rate baselines (default 30s):
+	// how much history a spike is judged against.
+	HalfLife time.Duration
+	// SpikeFactor: a window rate above SpikeFactor x the EWMA baseline
+	// (floored at MinRate) flags a rate-spike anomaly (default 8).
+	SpikeFactor float64
+	// MinEvents is the minimum events in a window before spike/surge
+	// rules fire — tiny absolute counts are never anomalies (default 20).
+	MinEvents uint64
+	// RejectRatio: rejected/(accepted+rejected) in one window above this
+	// flags a reject-surge anomaly (default 0.5).
+	RejectRatio float64
+	// MinRate (events/sec) floors spike baselines and arms the stall
+	// detector (default 0.5).
+	MinRate float64
+	// StallTicks consecutive empty accept windows after traffic was
+	// flowing flag an ingest-stall anomaly (default 3).
+	StallTicks int
+	// RecoverTicks consecutive clear ticks retire an active anomaly with
+	// a `recovered` event (default 2).
+	RecoverTicks int
+	// SketchCap is the Space-Saving capacity m: error bound N/m, and any
+	// source above N/m occurrences is guaranteed tracked (default 64).
+	SketchCap int
+	// TopK bounds the top-sources list in the /quality snapshot
+	// (default 10).
+	TopK int
+	// RingSize / SampleBytes size the forensic ring buffer (default 64
+	// entries, 128 retained bytes each).
+	RingSize    int
+	SampleBytes int
+	// Density is the advertised sampling density 1/d for the
+	// statistical-distance check (0 = unknown; the shape check still
+	// runs).
+	Density float64
+	// TVThreshold is the total-variation distance above which the
+	// sampling verdict is "drift" (default 0.25).
+	TVThreshold float64
+	// MinCheckReports is how many completed runs the density check needs
+	// before it renders a verdict (default 200).
+	MinCheckReports uint64
+	// SketchBudget bounds sketch updates per tick: when more accepted
+	// reports than this arrive in one tick interval, the engine doubles
+	// its sketch stride (up to 256) and feeds the quantile/heavy-hitter/
+	// density sketches a uniform 1-in-stride subsample, keeping ingest
+	// overhead flat under load. Totals and rate trackers stay exact.
+	// The stride halves again on quiet ticks. Default 8192; negative
+	// disables adaptation (stride pinned at 1).
+	SketchBudget int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HalfLife <= 0 {
+		c.HalfLife = 30 * time.Second
+	}
+	if c.SpikeFactor <= 0 {
+		c.SpikeFactor = 8
+	}
+	if c.MinEvents == 0 {
+		c.MinEvents = 20
+	}
+	if c.RejectRatio <= 0 {
+		c.RejectRatio = 0.5
+	}
+	if c.MinRate <= 0 {
+		c.MinRate = 0.5
+	}
+	if c.StallTicks <= 0 {
+		c.StallTicks = 3
+	}
+	if c.RecoverTicks <= 0 {
+		c.RecoverTicks = 2
+	}
+	if c.SketchCap <= 0 {
+		c.SketchCap = 64
+	}
+	if c.TopK <= 0 {
+		c.TopK = 10
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 64
+	}
+	if c.SampleBytes <= 0 {
+		c.SampleBytes = 128
+	}
+	if c.TVThreshold <= 0 {
+		c.TVThreshold = 0.25
+	}
+	if c.MinCheckReports == 0 {
+		c.MinCheckReports = 200
+	}
+	if c.SketchBudget == 0 {
+		c.SketchBudget = 8192
+	}
+	return c
+}
+
+// maxSketchStride caps adaptive sketch degradation: even a flooded
+// collector still sketches at least 1 in 256 accepted reports.
+const maxSketchStride = 256
+
+// trackerNames indexes the window counters: the two ingest endpoints,
+// accepted reports, then one tracker per rejection reason.
+const (
+	trkReportPosts = iota
+	trkReportsPosts
+	trkAccept
+	trkReject0  // + Reason
+	numTrackers = trkReject0 + int(numReasons)
+)
+
+func trackerName(i int) string {
+	switch i {
+	case trkReportPosts:
+		return "endpoint:/report"
+	case trkReportsPosts:
+		return "endpoint:/reports"
+	case trkAccept:
+		return "accept"
+	}
+	return "reject:" + Reason(i-trkReject0).String()
+}
+
+// RateStat is one tracker's view in the /quality snapshot.
+type RateStat struct {
+	// EWMA is the smoothed events/sec baseline; Last the most recent
+	// window's rate; Window that window's raw count.
+	EWMA   float64 `json:"ewma_per_sec"`
+	Last   float64 `json:"last_per_sec"`
+	Window uint64  `json:"window_events"`
+}
+
+// Anomaly is one active (or just-retired) anomaly, as published on the
+// SSE stream and listed in the /quality snapshot.
+type Anomaly struct {
+	// Kind is "rate-spike", "reject-surge", "ingest-stall", or
+	// "density-drift".
+	Kind string `json:"kind"`
+	// Target names what misbehaves: a tracker ("reject:decode",
+	// "accept"), "ingest" for the surge ratio, "sampling" for drift.
+	Target      string  `json:"target"`
+	SinceUnixMs int64   `json:"since_unix_ms"`
+	LastUnixMs  int64   `json:"last_unix_ms"`
+	Value       float64 `json:"value"`
+	Baseline    float64 `json:"baseline"`
+}
+
+type anomalyKey struct{ kind, target string }
+
+type activeAnomaly struct {
+	Anomaly
+	clearStreak int
+}
+
+type engineMetrics struct {
+	ticks        *telemetry.Counter
+	active       *telemetry.Gauge
+	recovered    *telemetry.Counter
+	badRecorded  *telemetry.Counter
+	samplingTV   *telemetry.Gauge
+	samplingDisp *telemetry.Gauge
+	anomalies    map[string]*telemetry.Counter
+}
+
+// Engine is the streaming ingest-quality state. Create with New, attach
+// with Bind (collect.Server does both wiring steps for you), feed it
+// Observe* calls from the ingest path, and either Start its ticker or
+// drive Tick directly.
+type Engine struct {
+	cfg   Config
+	start time.Time
+
+	// Events, when set before traffic arrives, receives `anomaly` and
+	// `recovered` events (the collector wires its Monitor here so they
+	// ride the /watch SSE stream).
+	Events EventSink
+
+	// Hot-path state: window counters are plain atomics — one Add per
+	// event — drained by the tick; totals mirror them for snapshots.
+	windows [numTrackers]atomic.Uint64
+	totals  [numTrackers]atomic.Uint64
+
+	// Exact aggregates for the snapshot's count/mean columns: these stay
+	// precise even when the sketches below fall back to stride sampling.
+	bytesCount atomic.Uint64
+	bytesSum   atomic.Uint64
+	nzSum      atomic.Uint64
+
+	// Adaptive sketch stride: accepted reports enter the mutex-guarded
+	// sketch block only every stride-th time. sketchUpdates counts block
+	// entries since the last tick; crossing SketchBudget doubles the
+	// stride (AIMD up), quiet ticks halve it (AIMD down).
+	stride        atomic.Uint64
+	seq           atomic.Uint64
+	sketchUpdates atomic.Uint64
+
+	// Sketches share one mutex with a critical section of a few hundred
+	// nanoseconds; everything inside is O(1) per report.
+	mu       sync.Mutex
+	bytes    *QuantileSketch
+	nonzeros *QuantileSketch
+	sources  *SpaceSaving
+	dens     densityCheck
+
+	ring *ring
+
+	// Tick state: owned by the ticker goroutine (or explicit Tick
+	// callers); tickMu serializes them, stateMu guards what snapshots
+	// read.
+	tickMu   sync.Mutex
+	lastTick time.Time
+	ewma     [numTrackers]float64
+	lastRate [numTrackers]float64
+	lastWin  [numTrackers]uint64
+	ticked   [numTrackers]int
+	zeroRun  int
+	frozen   float64 // accept EWMA frozen at stall onset
+
+	stateMu        sync.Mutex
+	active         map[anomalyKey]*activeAnomaly
+	anomaliesTotal uint64
+
+	reg *telemetry.Registry
+	m   engineMetrics
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+}
+
+// New creates an engine. Bind it (or let collect.Server do it) before
+// traffic arrives.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:      cfg,
+		start:    time.Now(),
+		bytes:    NewQuantileSketch(),
+		nonzeros: NewQuantileSketch(),
+		sources:  NewSpaceSaving(cfg.SketchCap),
+		ring:     newRing(cfg.RingSize, cfg.SampleBytes),
+		active:   make(map[anomalyKey]*activeAnomaly),
+		stopCh:   make(chan struct{}),
+	}
+	e.stride.Store(1)
+	return e
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Bind attaches the telemetry registry (nil = telemetry.Default). Later
+// calls are ignored. Safe on a nil engine.
+func (e *Engine) Bind(reg *telemetry.Registry) {
+	if e == nil || e.reg != nil {
+		return
+	}
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	e.reg = reg
+	e.m = engineMetrics{
+		ticks:        reg.Counter("quality_ticks_total"),
+		active:       reg.Gauge("quality_active_anomalies"),
+		recovered:    reg.Counter("quality_anomalies_recovered_total"),
+		badRecorded:  reg.Counter("quality_bad_reports_recorded_total"),
+		samplingTV:   reg.Gauge("quality_sampling_tv_distance"),
+		samplingDisp: reg.Gauge("quality_sampling_dispersion"),
+		anomalies:    make(map[string]*telemetry.Counter),
+	}
+	for _, kind := range []string{"rate-spike", "reject-surge", "ingest-stall", "density-drift"} {
+		e.m.anomalies[kind] = reg.Counter("quality_anomalies_total" + telemetry.Labels("kind", kind))
+	}
+}
+
+// Start launches the tick goroutine, if an Interval is configured.
+// Safe on a nil engine; later calls are ignored.
+func (e *Engine) Start() {
+	if e == nil || e.cfg.Interval <= 0 {
+		return
+	}
+	e.startOnce.Do(func() {
+		go func() {
+			t := time.NewTicker(e.cfg.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					e.Tick()
+				case <-e.stopCh:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the ticker. Safe on a nil or never-started engine.
+func (e *Engine) Stop() {
+	if e == nil {
+		return
+	}
+	e.startOnce.Do(func() {}) // a stopped engine must not start its ticker
+	e.stopOnce.Do(func() { close(e.stopCh) })
+}
+
+// ----------------------------------------------------------------------------
+// Hot path
+
+// ObserveEndpoint counts one POST hitting an ingest endpoint (batch is
+// true for /reports). One atomic add.
+func (e *Engine) ObserveEndpoint(batch bool) {
+	if e == nil {
+		return
+	}
+	i := trkReportPosts
+	if batch {
+		i = trkReportsPosts
+	}
+	e.windows[i].Add(1)
+	e.totals[i].Add(1)
+}
+
+// ObserveAccepted folds one accepted report: wireBytes is the report's
+// encoded size (0 for in-process submissions with no wire form),
+// nonzeros its nonzero-counter count, sampleTotal the sum of its
+// counters, crashed whether the run crashed. Everything inside is O(1),
+// and under load the sketch block amortizes to O(1/stride): counters and
+// exact sums are always a handful of atomic adds, while the mutex-guarded
+// sketches see a uniform 1-in-stride subsample once SketchBudget is
+// exceeded within a tick. Heavy-hitter offers carry the stride as a
+// weight so their counts stay calibrated to the full stream.
+func (e *Engine) ObserveAccepted(runID uint64, shape, wireBytes, nonzeros int, sampleTotal uint64, crashed bool) {
+	if e == nil {
+		return
+	}
+	e.windows[trkAccept].Add(1)
+	e.totals[trkAccept].Add(1)
+	if wireBytes > 0 {
+		e.bytesCount.Add(1)
+		e.bytesSum.Add(uint64(wireBytes))
+	}
+	e.nzSum.Add(uint64(nonzeros))
+
+	k := e.stride.Load()
+	if k > 1 && e.seq.Add(1)%k != 0 {
+		return
+	}
+	if n := e.sketchUpdates.Add(1); e.cfg.SketchBudget > 0 &&
+		n > uint64(e.cfg.SketchBudget) && k < maxSketchStride {
+		if e.stride.CompareAndSwap(k, k*2) {
+			e.sketchUpdates.Store(0)
+		}
+	}
+	e.mu.Lock()
+	if wireBytes > 0 {
+		e.bytes.Observe(float64(wireBytes))
+	}
+	e.nonzeros.Observe(float64(nonzeros))
+	e.sources.OfferN(Source{Kind: SourceRun, Value: runID}, k)
+	e.sources.OfferN(Source{Kind: SourceShape, Value: uint64(shape)}, k)
+	if !crashed {
+		e.dens.observe(sampleTotal)
+	}
+	e.mu.Unlock()
+}
+
+// ObserveRejected counts one rejected payload and retains a forensic
+// sample of it (payload may be nil when nothing was read, e.g. a method
+// rejection).
+func (e *Engine) ObserveRejected(reason Reason, payload []byte) {
+	if e == nil {
+		return
+	}
+	i := trkReject0 + int(reason)
+	e.windows[i].Add(1)
+	e.totals[i].Add(1)
+	e.mu.Lock()
+	e.sources.Offer(Source{Kind: SourceReject, Value: uint64(reason)})
+	e.mu.Unlock()
+	if len(payload) > 0 {
+		e.ring.record(reason, 0, len(payload), payload)
+		e.m.recordBad()
+	}
+}
+
+// ObserveQuarantined counts one leniently decoded report — folded, but
+// no longer silently: it lands in the quarantine tracker and the
+// forensic ring. The wire bytes are gone by fold time, so the ring
+// entry carries the run ID and encoded size instead of a hex dump.
+func (e *Engine) ObserveQuarantined(runID uint64, wireLen int) {
+	if e == nil {
+		return
+	}
+	i := trkReject0 + int(ReasonQuarantine)
+	e.windows[i].Add(1)
+	e.totals[i].Add(1)
+	e.mu.Lock()
+	e.sources.Offer(Source{Kind: SourceReject, Value: uint64(ReasonQuarantine)})
+	e.mu.Unlock()
+	e.ring.record(ReasonQuarantine, runID, wireLen, nil)
+	e.m.recordBad()
+}
+
+func (m *engineMetrics) recordBad() {
+	if m.badRecorded != nil {
+		m.badRecorded.Inc()
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Tick: EWMA update + anomaly rules
+
+// Tick drains the window counters, updates the EWMA baselines, and
+// evaluates the anomaly rules once. The collector's ticker calls it
+// every Interval; tests and scripted drivers call it directly. Safe on
+// a nil engine.
+func (e *Engine) Tick() {
+	if e == nil {
+		return
+	}
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
+
+	now := time.Now()
+	dt := e.cfg.Interval.Seconds()
+	if !e.lastTick.IsZero() {
+		dt = now.Sub(e.lastTick).Seconds()
+	}
+	if dt <= 0 {
+		dt = 1
+	}
+	e.lastTick = now
+
+	// EWMA weight for this window from the half-life: after HalfLife of
+	// quiet the baseline has decayed by half, regardless of tick cadence.
+	decay := math.Exp2(-dt / e.cfg.HalfLife.Seconds())
+
+	// Sketch-stride AIMD down: a tick that used well under its sketch
+	// budget halves the stride. Zero updates means no traffic at all —
+	// no evidence about rate, so the stride holds until traffic resumes.
+	if upd := e.sketchUpdates.Swap(0); e.cfg.SketchBudget > 0 && upd > 0 {
+		if k := e.stride.Load(); k > 1 && upd*4 < uint64(e.cfg.SketchBudget) {
+			e.stride.CompareAndSwap(k, k/2)
+		}
+	}
+
+	type finding struct {
+		kind, target    string
+		value, baseline float64
+	}
+	var found []finding
+
+	var rejWin uint64
+	var acceptBaseline float64
+	for i := 0; i < numTrackers; i++ {
+		w := e.windows[i].Swap(0)
+		rate := float64(w) / dt
+		baseline := e.ewma[i]
+		if i == trkAccept {
+			acceptBaseline = baseline
+		}
+		// Spike rule: judged against the pre-update baseline, floored at
+		// MinRate so a first burst after silence still registers, and
+		// only with a meaningful absolute count. The accept tracker is
+		// exempt — more traffic than usual is load, not an anomaly.
+		if i != trkAccept && e.ticked[i] > 0 && w >= e.cfg.MinEvents &&
+			rate > e.cfg.SpikeFactor*math.Max(baseline, e.cfg.MinRate) {
+			found = append(found, finding{"rate-spike", trackerName(i), rate, baseline})
+		}
+		e.ewma[i] = decay*baseline + (1-decay)*rate
+		e.lastRate[i] = rate
+		e.lastWin[i] = w
+		e.ticked[i]++
+		if i >= trkReject0 && Reason(i-trkReject0) != ReasonQuarantine {
+			rejWin += w
+		}
+	}
+
+	// Reject-surge rule: the window's rejection ratio across all real
+	// rejections (quarantined reports were folded, so they don't count).
+	accWin := e.lastWin[trkAccept]
+	if total := accWin + rejWin; total >= e.cfg.MinEvents {
+		if ratio := float64(rejWin) / float64(total); ratio > e.cfg.RejectRatio {
+			found = append(found, finding{"reject-surge", "ingest", ratio, e.cfg.RejectRatio})
+		}
+	}
+
+	// Ingest-stall rule: traffic was flowing (EWMA above MinRate), then
+	// StallTicks consecutive empty windows. The baseline freezes at
+	// onset so the stall keeps re-asserting until traffic resumes,
+	// rather than "recovering" because the EWMA decayed to nothing.
+	if accWin == 0 {
+		if e.zeroRun == 0 {
+			// Freeze the pre-update baseline: this tick's EWMA update has
+			// already decayed toward zero on the empty window.
+			e.frozen = acceptBaseline
+		}
+		e.zeroRun++
+	} else {
+		e.zeroRun = 0
+	}
+	if e.zeroRun >= e.cfg.StallTicks && math.Max(e.frozen, e.ewma[trkAccept]) > e.cfg.MinRate {
+		found = append(found, finding{"ingest-stall", "accept", 0, e.frozen})
+	}
+
+	// Density-drift rule: the statistical-distance verdict (density.go).
+	e.mu.Lock()
+	sv := e.dens.verdict(e.cfg.Density, e.cfg.TVThreshold, e.cfg.MinCheckReports)
+	e.mu.Unlock()
+	if sv.Verdict == "drift" {
+		found = append(found, finding{"density-drift", "sampling", sv.TVDistance, sv.Threshold})
+	}
+	if e.m.samplingTV != nil {
+		e.m.samplingTV.Set(sv.TVDistance)
+		e.m.samplingDisp.Set(sv.Dispersion)
+	}
+
+	// Reconcile against the active set: new findings open anomalies (and
+	// publish), persisting ones refresh, absent ones age out after
+	// RecoverTicks clear ticks (and publish recovery).
+	nowMs := now.UnixMilli()
+	e.stateMu.Lock()
+	seen := make(map[anomalyKey]bool, len(found))
+	var opened, recovered []Anomaly
+	for _, f := range found {
+		k := anomalyKey{f.kind, f.target}
+		seen[k] = true
+		if a, ok := e.active[k]; ok {
+			a.LastUnixMs = nowMs
+			a.Value = f.value
+			a.Baseline = f.baseline
+			a.clearStreak = 0
+			continue
+		}
+		a := &activeAnomaly{Anomaly: Anomaly{
+			Kind: f.kind, Target: f.target,
+			SinceUnixMs: nowMs, LastUnixMs: nowMs,
+			Value: f.value, Baseline: f.baseline,
+		}}
+		e.active[k] = a
+		e.anomaliesTotal++
+		opened = append(opened, a.Anomaly)
+	}
+	for k, a := range e.active {
+		if seen[k] {
+			continue
+		}
+		a.clearStreak++
+		if a.clearStreak >= e.cfg.RecoverTicks {
+			delete(e.active, k)
+			recovered = append(recovered, a.Anomaly)
+		}
+	}
+	nActive := len(e.active)
+	e.stateMu.Unlock()
+
+	if e.m.ticks != nil {
+		e.m.ticks.Inc()
+		e.m.active.Set(float64(nActive))
+		for _, a := range opened {
+			if c, ok := e.m.anomalies[a.Kind]; ok {
+				c.Inc()
+			}
+		}
+		e.m.recovered.Add(uint64(len(recovered)))
+	}
+	if e.Events != nil {
+		for _, a := range opened {
+			e.Events.Publish("anomaly", a)
+		}
+		for _, a := range recovered {
+			e.Events.Publish("recovered", a)
+		}
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Snapshot + HTTP surface
+
+// Snapshot is the GET /quality JSON document.
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Accepted      uint64  `json:"accepted_total"`
+	RejectedTotal uint64  `json:"rejected_total"`
+	Quarantined   uint64  `json:"quarantined_total"`
+	// Rejected maps reason -> total (quarantine excluded: those reports
+	// were folded).
+	Rejected map[string]uint64 `json:"rejected"`
+	// Rates holds the EWMA trackers, keyed by tracker name
+	// ("endpoint:/report", "accept", "reject:decode", ...).
+	Rates          map[string]RateStat `json:"rates"`
+	ReportBytes    QuantileSummary     `json:"report_bytes"`
+	ReportNonzeros QuantileSummary     `json:"report_nonzeros"`
+	TopSources     []HeavyHitter       `json:"top_sources"`
+	// SourcesTracked / SourceEvents state the Space-Saving bound: any
+	// source with more than SourceEvents/SketchCap occurrences is listed.
+	SourcesTracked int    `json:"sources_tracked"`
+	SourceEvents   uint64 `json:"source_events"`
+	SketchCap      int    `json:"sketch_cap"`
+	// SketchStride is the current adaptive subsampling stride: 1 means
+	// every accepted report reaches the sketches; higher values mean the
+	// engine is shedding sketch work under load (counts stay exact).
+	SketchStride   uint64          `json:"sketch_stride"`
+	Sampling       SamplingVerdict `json:"sampling"`
+	Anomalies      []Anomaly       `json:"anomalies"`
+	AnomaliesTotal uint64          `json:"anomalies_total"`
+	BadReports     uint64          `json:"bad_reports_recorded"`
+	Ticks          uint64          `json:"ticks"`
+}
+
+// TakeSnapshot assembles the current quality view. The sketch mutex is
+// held once for all sketch reads, so the bytes/nonzeros/top-K/sampling
+// sections describe one instant — snapshots cannot tear against
+// concurrent folds.
+func (e *Engine) TakeSnapshot() Snapshot {
+	snap := Snapshot{
+		UptimeSeconds: time.Since(e.start).Seconds(),
+		Rejected:      make(map[string]uint64, numReasons),
+		Rates:         make(map[string]RateStat, numTrackers),
+	}
+	snap.Accepted = e.totals[trkAccept].Load()
+	for r := Reason(0); r < numReasons; r++ {
+		v := e.totals[trkReject0+int(r)].Load()
+		if r == ReasonQuarantine {
+			snap.Quarantined = v
+			continue
+		}
+		snap.Rejected[r.String()] = v
+		snap.RejectedTotal += v
+	}
+
+	e.tickMu.Lock()
+	for i := 0; i < numTrackers; i++ {
+		snap.Rates[trackerName(i)] = RateStat{
+			EWMA: e.ewma[i], Last: e.lastRate[i], Window: e.lastWin[i],
+		}
+	}
+	e.tickMu.Unlock()
+
+	e.mu.Lock()
+	snap.ReportBytes = e.bytes.Summary()
+	snap.ReportNonzeros = e.nonzeros.Summary()
+	// Count and mean come from the exact atomic aggregates: the sketches
+	// may be stride-sampling under load, but these columns never drift.
+	snap.ReportBytes.Count = e.bytesCount.Load()
+	if c := snap.ReportBytes.Count; c > 0 {
+		snap.ReportBytes.Mean = float64(e.bytesSum.Load()) / float64(c)
+	}
+	snap.ReportNonzeros.Count = snap.Accepted
+	if snap.Accepted > 0 {
+		snap.ReportNonzeros.Mean = float64(e.nzSum.Load()) / float64(snap.Accepted)
+	}
+	snap.SketchStride = e.stride.Load()
+	snap.TopSources = e.sources.Top(e.cfg.TopK)
+	snap.SourcesTracked = e.sources.Len()
+	snap.SourceEvents = e.sources.N()
+	snap.SketchCap = e.cfg.SketchCap
+	snap.Sampling = e.dens.verdict(e.cfg.Density, e.cfg.TVThreshold, e.cfg.MinCheckReports)
+	e.mu.Unlock()
+
+	e.stateMu.Lock()
+	for _, a := range e.active {
+		snap.Anomalies = append(snap.Anomalies, a.Anomaly)
+	}
+	snap.AnomaliesTotal = e.anomaliesTotal
+	e.stateMu.Unlock()
+	sort.Slice(snap.Anomalies, func(i, j int) bool {
+		if snap.Anomalies[i].SinceUnixMs != snap.Anomalies[j].SinceUnixMs {
+			return snap.Anomalies[i].SinceUnixMs < snap.Anomalies[j].SinceUnixMs
+		}
+		if snap.Anomalies[i].Kind != snap.Anomalies[j].Kind {
+			return snap.Anomalies[i].Kind < snap.Anomalies[j].Kind
+		}
+		return snap.Anomalies[i].Target < snap.Anomalies[j].Target
+	})
+
+	_, snap.BadReports = e.ring.snapshot()
+	if e.m.ticks != nil {
+		snap.Ticks = e.m.ticks.Value()
+	}
+	return snap
+}
+
+// ActiveAnomalies returns the current active set (sorted like the
+// snapshot's). Safe on a nil engine.
+func (e *Engine) ActiveAnomalies() []Anomaly {
+	if e == nil {
+		return nil
+	}
+	return e.TakeSnapshot().Anomalies
+}
+
+// BadReports returns the forensic ring contents, newest first, and the
+// total ever recorded.
+func (e *Engine) BadReports() ([]BadReport, uint64) {
+	return e.ring.snapshot()
+}
+
+// ServeQuality handles GET /quality.
+func (e *Engine) ServeQuality(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(e.TakeSnapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// badReportsResponse is the GET /debug/badreports JSON document.
+type badReportsResponse struct {
+	Size     int         `json:"size"`
+	Recorded uint64      `json:"recorded_total"`
+	Reports  []BadReport `json:"reports"`
+}
+
+// ServeBadReports handles GET /debug/badreports.
+func (e *Engine) ServeBadReports(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	reports, total := e.ring.snapshot()
+	if reports == nil {
+		reports = []BadReport{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	resp := badReportsResponse{Size: cap(e.ring.buf), Recorded: total, Reports: reports}
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

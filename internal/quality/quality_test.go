@@ -1,0 +1,449 @@
+package quality
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cbi/internal/telemetry"
+)
+
+// sinkEvent records one Publish call.
+type sinkEvent struct {
+	Event string
+	Kind  string
+}
+
+type testSink struct{ events []sinkEvent }
+
+func (s *testSink) Publish(event string, v any) {
+	kind := ""
+	if a, ok := v.(Anomaly); ok {
+		kind = a.Kind
+	}
+	s.events = append(s.events, sinkEvent{event, kind})
+}
+
+func newTestEngine(sink *testSink) *Engine {
+	e := New(Config{
+		HalfLife:  100, // ~instant decay is fine; rules are ratio-based
+		MinEvents: 10,
+		// Rate/stall tests feed synthetic constant-total reports that a
+		// real density check would rightly flag; push it out of reach.
+		MinCheckReports: 1 << 30,
+	})
+	e.Bind(telemetry.NewRegistry())
+	if sink != nil {
+		e.Events = sink
+	}
+	return e
+}
+
+func hasAnomaly(e *Engine, kind string) bool {
+	for _, a := range e.ActiveAnomalies() {
+		if a.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func acceptN(e *Engine, n int) {
+	for i := 0; i < n; i++ {
+		e.ObserveAccepted(uint64(i), 12, 100, 3, 3, false)
+	}
+}
+
+func TestRejectSurgeAndRecovery(t *testing.T) {
+	sink := &testSink{}
+	e := newTestEngine(sink)
+	acceptN(e, 100)
+	e.Tick() // healthy baseline
+	if n := len(e.ActiveAnomalies()); n != 0 {
+		t.Fatalf("%d anomalies on a healthy window", n)
+	}
+	for i := 0; i < 80; i++ {
+		e.ObserveRejected(ReasonDecode, []byte("junk"))
+	}
+	acceptN(e, 20)
+	e.Tick() // 80/(80+20) = 0.8 > 0.5
+	if !hasAnomaly(e, "reject-surge") {
+		t.Fatalf("no reject-surge; active: %+v", e.ActiveAnomalies())
+	}
+	// RecoverTicks (default 2) clean windows retire it with an event.
+	acceptN(e, 100)
+	e.Tick()
+	if !hasAnomaly(e, "reject-surge") {
+		t.Fatal("surge retired after one clean tick, want two")
+	}
+	acceptN(e, 100)
+	e.Tick()
+	if hasAnomaly(e, "reject-surge") {
+		t.Fatal("surge still active after two clean ticks")
+	}
+	var kinds []string
+	for _, ev := range sink.events {
+		if ev.Kind == "reject-surge" {
+			kinds = append(kinds, ev.Event)
+		}
+	}
+	if want := []string{"anomaly", "recovered"}; !reflect.DeepEqual(kinds, want) {
+		t.Errorf("surge event sequence %v, want %v", kinds, want)
+	}
+}
+
+func TestRateSpike(t *testing.T) {
+	e := newTestEngine(nil)
+	// A small steady rejection trickle sets the baseline...
+	for tick := 0; tick < 3; tick++ {
+		acceptN(e, 100)
+		e.ObserveRejected(ReasonDecode, nil)
+		e.Tick()
+	}
+	if len(e.ActiveAnomalies()) != 0 {
+		t.Fatalf("anomalies on trickle: %+v", e.ActiveAnomalies())
+	}
+	// ...and a 500-event burst outruns it by far more than SpikeFactor.
+	acceptN(e, 100)
+	for i := 0; i < 500; i++ {
+		e.ObserveRejected(ReasonDecode, nil)
+	}
+	e.Tick()
+	if !hasAnomaly(e, "rate-spike") {
+		t.Fatalf("no rate-spike; active: %+v", e.ActiveAnomalies())
+	}
+	found := false
+	for _, a := range e.ActiveAnomalies() {
+		if a.Kind == "rate-spike" && a.Target == "reject:decode" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("spike target wrong: %+v", e.ActiveAnomalies())
+	}
+}
+
+func TestAcceptTrafficIsNeverASpike(t *testing.T) {
+	e := newTestEngine(nil)
+	acceptN(e, 10)
+	e.Tick()
+	acceptN(e, 10_000) // load, not an anomaly
+	e.Tick()
+	if len(e.ActiveAnomalies()) != 0 {
+		t.Errorf("accept burst flagged: %+v", e.ActiveAnomalies())
+	}
+}
+
+func TestIngestStallAndRecovery(t *testing.T) {
+	e := newTestEngine(nil)
+	for tick := 0; tick < 3; tick++ {
+		acceptN(e, 100)
+		e.Tick()
+	}
+	// StallTicks (default 3) empty windows: no stall before, stall after.
+	e.Tick()
+	e.Tick()
+	if hasAnomaly(e, "ingest-stall") {
+		t.Fatal("stall flagged too early")
+	}
+	e.Tick()
+	if !hasAnomaly(e, "ingest-stall") {
+		t.Fatalf("no stall after 3 empty windows: %+v", e.ActiveAnomalies())
+	}
+	// The stall must persist while silence continues, even though the
+	// EWMA baseline has long since decayed (the frozen-baseline rule).
+	for i := 0; i < 10; i++ {
+		e.Tick()
+	}
+	if !hasAnomaly(e, "ingest-stall") {
+		t.Fatal("stall self-recovered during continuing silence")
+	}
+	// Traffic resumes: recovered after RecoverTicks clean windows.
+	acceptN(e, 100)
+	e.Tick()
+	acceptN(e, 100)
+	e.Tick()
+	if hasAnomaly(e, "ingest-stall") {
+		t.Fatal("stall still active after traffic resumed")
+	}
+}
+
+func TestDensityDriftAnomaly(t *testing.T) {
+	e := New(Config{MinCheckReports: 50})
+	e.Bind(telemetry.NewRegistry())
+	for i := 0; i < 100; i++ {
+		e.ObserveAccepted(uint64(i), 12, 100, 20, 20, false) // constant totals
+	}
+	e.Tick()
+	if !hasAnomaly(e, "density-drift") {
+		t.Fatalf("no density-drift on a degenerate cohort: %+v", e.ActiveAnomalies())
+	}
+}
+
+func TestCrashedRunsExcludedFromDensityCheck(t *testing.T) {
+	e := New(Config{MinCheckReports: 50})
+	e.Bind(telemetry.NewRegistry())
+	for i := 0; i < 100; i++ {
+		e.ObserveAccepted(uint64(i), 12, 100, 20, 20, true)
+	}
+	if v := e.TakeSnapshot().Sampling; v.Reports != 0 {
+		t.Errorf("crashed runs entered the density check: %d reports", v.Reports)
+	}
+}
+
+func TestSnapshotTotals(t *testing.T) {
+	e := newTestEngine(nil)
+	acceptN(e, 7)
+	e.ObserveRejected(ReasonDecode, []byte("xx"))
+	e.ObserveRejected(ReasonMethod, nil)
+	e.ObserveQuarantined(99, 42)
+	snap := e.TakeSnapshot()
+	if snap.Accepted != 7 {
+		t.Errorf("accepted = %d", snap.Accepted)
+	}
+	if snap.RejectedTotal != 2 || snap.Rejected["decode"] != 1 || snap.Rejected["method"] != 1 {
+		t.Errorf("rejected = %d %v", snap.RejectedTotal, snap.Rejected)
+	}
+	if snap.Quarantined != 1 {
+		t.Errorf("quarantined = %d", snap.Quarantined)
+	}
+	if _, ok := snap.Rejected["quarantine"]; ok {
+		t.Error("quarantine listed under rejected: those reports were folded")
+	}
+	if snap.ReportBytes.Count != 7 || snap.ReportNonzeros.Count != 7 {
+		t.Errorf("sketch counts: bytes %d nonzeros %d", snap.ReportBytes.Count, snap.ReportNonzeros.Count)
+	}
+	// 7 runs + 1 shape + decode + quarantine reject fingerprints.
+	if len(snap.TopSources) == 0 || snap.TopSources[0].Key != "shape:12" {
+		t.Errorf("top sources: %+v", snap.TopSources)
+	}
+	bad, total := e.BadReports()
+	if total != 2 || len(bad) != 2 { // decode payload + quarantine
+		t.Errorf("bad reports: %d entries, %d total", len(bad), total)
+	}
+	if bad[0].Reason != "quarantine" || bad[0].RunID != 99 || bad[0].Size != 42 {
+		t.Errorf("newest forensic entry: %+v", bad[0])
+	}
+}
+
+// TestSketchStrideAdapts drives the engine past its sketch budget and
+// checks the stride climbs, exact aggregates stay exact, heavy-hitter
+// counts stay calibrated, and a quiet tick walks the stride back down.
+func TestSketchStrideAdapts(t *testing.T) {
+	e := New(Config{SketchBudget: 100, MinCheckReports: 1 << 30})
+	e.Bind(telemetry.NewRegistry())
+	const n = 2000
+	for i := 0; i < n; i++ {
+		e.ObserveAccepted(uint64(i), 12, 50, 3, 3, false)
+	}
+	snap := e.TakeSnapshot()
+	if snap.SketchStride <= 1 {
+		t.Fatalf("stride = %d after %d reports with budget 100", snap.SketchStride, n)
+	}
+	if snap.Accepted != n || snap.ReportBytes.Count != n || snap.ReportBytes.Mean != 50 {
+		t.Errorf("exact aggregates drifted: accepted %d bytes count %d mean %v",
+			snap.Accepted, snap.ReportBytes.Count, snap.ReportBytes.Mean)
+	}
+	// The shape key saw a weighted offer per sampled report; its
+	// calibrated count must be within the Space-Saving error of n.
+	var shape *HeavyHitter
+	for i := range snap.TopSources {
+		if snap.TopSources[i].Key == "shape:12" {
+			shape = &snap.TopSources[i]
+		}
+	}
+	if shape == nil {
+		t.Fatalf("shape key missing from top sources: %+v", snap.TopSources)
+	}
+	if shape.Count < n/2 || shape.Count > 2*n {
+		t.Errorf("weighted shape count %d, want near %d", shape.Count, n)
+	}
+	// Quiet ticks (little traffic) halve the stride back toward 1; a
+	// zero-traffic tick must hold it instead.
+	hold := e.TakeSnapshot().SketchStride
+	e.Tick()
+	e.Tick()
+	if got := e.TakeSnapshot().SketchStride; got != hold {
+		t.Errorf("stride moved on zero-traffic ticks: %d -> %d", hold, got)
+	}
+	for i := 0; i < 20; i++ {
+		e.ObserveAccepted(uint64(i), 12, 50, 3, 3, false)
+		e.Tick()
+	}
+	if got := e.TakeSnapshot().SketchStride; got != 1 {
+		t.Errorf("stride = %d after quiet ticks, want 1", got)
+	}
+}
+
+func TestSketchBudgetDisabled(t *testing.T) {
+	e := New(Config{SketchBudget: -1, MinCheckReports: 1 << 30})
+	e.Bind(telemetry.NewRegistry())
+	for i := 0; i < 50_000; i++ {
+		e.ObserveAccepted(uint64(i), 12, 50, 3, 3, false)
+	}
+	if got := e.TakeSnapshot().SketchStride; got != 1 {
+		t.Errorf("stride = %d with adaptation disabled, want 1", got)
+	}
+}
+
+func TestNilEngineIsSafe(t *testing.T) {
+	var e *Engine
+	e.ObserveEndpoint(false)
+	e.ObserveAccepted(1, 2, 3, 4, 5, false)
+	e.ObserveRejected(ReasonDecode, []byte("x"))
+	e.ObserveQuarantined(1, 2)
+	e.Bind(nil)
+	e.Start()
+	e.Tick()
+	e.Stop()
+	if e.ActiveAnomalies() != nil {
+		t.Error("nil engine has anomalies")
+	}
+}
+
+func TestStartStopTicker(t *testing.T) {
+	e := New(Config{Interval: 1}) // 1ns: ticks as fast as possible
+	e.Bind(telemetry.NewRegistry())
+	e.Start()
+	e.Stop()
+	e.Stop() // idempotent
+	// Stop before Start must prevent the ticker from ever starting.
+	e2 := New(Config{Interval: 1})
+	e2.Stop()
+	e2.Start()
+}
+
+// jsonKeys unmarshals into a map and returns the sorted top-level keys.
+func jsonKeys(t *testing.T, data []byte) []string {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestServeQualityGoldenShape pins the /quality JSON document shape:
+// dashboards and scripts parse these exact keys.
+func TestServeQualityGoldenShape(t *testing.T) {
+	e := newTestEngine(nil)
+	acceptN(e, 5)
+	e.ObserveRejected(ReasonDecode, []byte("junk"))
+	e.Tick()
+
+	rec := httptest.NewRecorder()
+	e.ServeQuality(rec, httptest.NewRequest("GET", "/quality", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /quality: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	want := []string{
+		"accepted_total", "anomalies", "anomalies_total", "bad_reports_recorded",
+		"quarantined_total", "rates", "rejected", "rejected_total",
+		"report_bytes", "report_nonzeros", "sampling", "sketch_cap",
+		"sketch_stride", "source_events", "sources_tracked", "ticks",
+		"top_sources", "uptime_seconds",
+	}
+	if got := jsonKeys(t, rec.Body.Bytes()); !reflect.DeepEqual(got, want) {
+		t.Errorf("/quality keys:\n got %v\nwant %v", got, want)
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Accepted != 5 || snap.Rejected["decode"] != 1 {
+		t.Errorf("decoded snapshot: %+v", snap)
+	}
+	wantRates := []string{
+		"accept", "endpoint:/report", "endpoint:/reports",
+		"reject:decode", "reject:fold", "reject:method",
+		"reject:quarantine", "reject:read", "reject:too-large",
+	}
+	var rates []string
+	for k := range snap.Rates {
+		rates = append(rates, k)
+	}
+	sort.Strings(rates)
+	if !reflect.DeepEqual(rates, wantRates) {
+		t.Errorf("rate trackers:\n got %v\nwant %v", rates, wantRates)
+	}
+
+	rec = httptest.NewRecorder()
+	e.ServeQuality(rec, httptest.NewRequest("POST", "/quality", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST /quality: %d, want 405", rec.Code)
+	}
+}
+
+// TestServeBadReportsGoldenShape pins the /debug/badreports document and
+// per-entry shape.
+func TestServeBadReportsGoldenShape(t *testing.T) {
+	e := newTestEngine(nil)
+	e.ObserveRejected(ReasonDecode, []byte("not a report"))
+
+	rec := httptest.NewRecorder()
+	e.ServeBadReports(rec, httptest.NewRequest("GET", "/debug/badreports", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /debug/badreports: %d", rec.Code)
+	}
+	if got, want := jsonKeys(t, rec.Body.Bytes()), []string{"recorded_total", "reports", "size"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("document keys: %v, want %v", got, want)
+	}
+	var doc struct {
+		Recorded uint64            `json:"recorded_total"`
+		Reports  []json.RawMessage `json:"reports"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Recorded != 1 || len(doc.Reports) != 1 {
+		t.Fatalf("doc: %+v", doc)
+	}
+	// run_id is omitempty (rejected payloads decoded no run ID).
+	if got, want := jsonKeys(t, doc.Reports[0]), []string{"hex", "reason", "seq", "size", "truncated", "unix_ms"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("entry keys: %v, want %v", got, want)
+	}
+
+	// Empty engine: reports must be [], not null.
+	rec = httptest.NewRecorder()
+	New(Config{}).ServeBadReports(rec, httptest.NewRequest("GET", "/debug/badreports", nil))
+	var empty struct {
+		Reports json.RawMessage `json:"reports"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &empty); err != nil {
+		t.Fatal(err)
+	}
+	if string(empty.Reports) != "[]" {
+		t.Errorf("empty ring serializes as %s, want []", empty.Reports)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := newRing(3, 4)
+	for i := 0; i < 5; i++ {
+		r.record(ReasonDecode, 0, 0, []byte{byte(i), 0xaa, 0xbb, 0xcc, 0xdd})
+	}
+	entries, total := r.snapshot()
+	if total != 5 || len(entries) != 3 {
+		t.Fatalf("%d entries, %d total", len(entries), total)
+	}
+	// Newest first: seq 5, 4, 3.
+	for i, want := range []uint64{5, 4, 3} {
+		if entries[i].Seq != want {
+			t.Errorf("entry %d seq = %d, want %d", i, entries[i].Seq, want)
+		}
+	}
+	if !entries[0].Truncated || entries[0].Size != 5 || entries[0].Hex != "04aabbcc" {
+		t.Errorf("truncation: %+v", entries[0])
+	}
+}

@@ -1,0 +1,146 @@
+package quality
+
+// spacesaving.go implements the Space-Saving heavy-hitters sketch
+// (Metwally, Agrawal & El Abbadi, "Efficient computation of frequent and
+// top-k elements in data streams", ICDT 2005) over compact source
+// fingerprints. The collector feeds it one fingerprint per ingest event
+// (run ID, counter-vector shape, rejection reason) so a client spamming
+// duplicate run IDs, a cohort submitting a foreign counter shape, or a
+// dominating rejection reason surfaces in the /quality top-K even though
+// the stream itself is unbounded.
+//
+// Guarantees (m = capacity, N = stream length): every key with true
+// count > N/m is in the sketch, and for any tracked key
+// count - maxError <= true count <= count.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SourceKind says what a fingerprint identifies.
+type SourceKind uint8
+
+const (
+	// SourceRun fingerprints a report's run ID — duplicates mean one
+	// client is resubmitting (or forging) the same run.
+	SourceRun SourceKind = iota
+	// SourceShape fingerprints a report's counter-vector length; a heavy
+	// foreign shape means a mis-built or hostile cohort.
+	SourceShape
+	// SourceReject fingerprints a rejection reason (Value is a Reason).
+	SourceReject
+)
+
+// Source is a compact ingest-event fingerprint: small enough to be a map
+// key with no per-event allocation on the hot path.
+type Source struct {
+	Kind  SourceKind
+	Value uint64
+}
+
+func (s Source) String() string {
+	switch s.Kind {
+	case SourceRun:
+		return fmt.Sprintf("run:%d", s.Value)
+	case SourceShape:
+		return fmt.Sprintf("shape:%d", s.Value)
+	case SourceReject:
+		return "reject:" + Reason(s.Value).String()
+	}
+	return fmt.Sprintf("source:%d:%d", s.Kind, s.Value)
+}
+
+type ssEntry struct {
+	key      Source
+	count    uint64
+	maxError uint64
+}
+
+// SpaceSaving is the fixed-capacity counter summary. Not safe for
+// concurrent use; the Engine serializes access.
+type SpaceSaving struct {
+	cap     int
+	n       uint64
+	idx     map[Source]int
+	entries []ssEntry
+}
+
+// NewSpaceSaving creates a sketch tracking at most capacity keys.
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpaceSaving{cap: capacity, idx: make(map[Source]int, capacity)}
+}
+
+// Offer folds one occurrence of k. A tracked key increments in O(1); a
+// new key beyond capacity evicts the current minimum (O(capacity) scan —
+// capacity is a small constant, and the scan only runs on misses).
+func (s *SpaceSaving) Offer(k Source) { s.OfferN(k, 1) }
+
+// OfferN folds w occurrences of k at once. The engine uses this when its
+// sketch stride is above 1: each sampled event stands for w real ones,
+// so counts stay calibrated to the full stream. The Space-Saving bounds
+// hold for the weighted stream (N grows by w, the evicted minimum still
+// caps the overestimate).
+func (s *SpaceSaving) OfferN(k Source, w uint64) {
+	if w == 0 {
+		return
+	}
+	s.n += w
+	if i, ok := s.idx[k]; ok {
+		s.entries[i].count += w
+		return
+	}
+	if len(s.entries) < s.cap {
+		s.idx[k] = len(s.entries)
+		s.entries = append(s.entries, ssEntry{key: k, count: w})
+		return
+	}
+	min := 0
+	for i := 1; i < len(s.entries); i++ {
+		if s.entries[i].count < s.entries[min].count {
+			min = i
+		}
+	}
+	old := s.entries[min]
+	delete(s.idx, old.key)
+	s.idx[k] = min
+	// The evicted count becomes the new key's overestimate bound: the
+	// true count is somewhere in [w, old.count+w].
+	s.entries[min] = ssEntry{key: k, count: old.count + w, maxError: old.count}
+}
+
+// Len returns the number of tracked keys; N returns the stream length.
+func (s *SpaceSaving) Len() int  { return len(s.entries) }
+func (s *SpaceSaving) N() uint64 { return s.n }
+
+// HeavyHitter is one /quality top-K row.
+type HeavyHitter struct {
+	Key      string `json:"key"`
+	Count    uint64 `json:"count"`
+	MaxError uint64 `json:"max_error"`
+}
+
+// Top returns up to k tracked keys by descending estimated count (ties
+// broken by smaller error, then key text, so snapshots are stable).
+func (s *SpaceSaving) Top(k int) []HeavyHitter {
+	out := make([]HeavyHitter, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, HeavyHitter{Key: e.key.String(), Count: e.count, MaxError: e.maxError})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].MaxError != out[j].MaxError {
+			return out[i].MaxError < out[j].MaxError
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

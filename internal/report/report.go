@@ -44,7 +44,25 @@ type Report struct {
 	// mutated after it is built — every pipeline path treats reports as
 	// immutable once constructed.
 	nz []CounterNZ
+
+	// wire is the encoded size in bytes this report arrived as (set by
+	// Decode; 0 for reports constructed in process), and lenient records
+	// whether Decode accepted it only through the leniency path
+	// (duplicate counter indices or explicit zero pairs — see Decode).
+	// Ingest-quality accounting reads both via WireLen and Lenient.
+	wire    int
+	lenient bool
 }
+
+// WireLen returns the encoded size in bytes the report was decoded
+// from, or 0 if it was constructed in process.
+func (r *Report) WireLen() int { return r.wire }
+
+// Lenient reports whether Decode accepted this report through the
+// leniency path: duplicate counter indices or explicit zero pairs,
+// encodings no real client produces. Such reports still fold, but the
+// collector quarantine-counts them.
+func (r *Report) Lenient() bool { return r.lenient }
 
 // CounterNZ is one nonzero counter: its index in the program's counter
 // space and its observed count.
@@ -236,7 +254,7 @@ func Decode(data []byte) (*Report, error) {
 		return nil, ErrBadReport
 	}
 	d := &decoder{buf: data, off: len(magic)}
-	r := &Report{}
+	r := &Report{wire: len(data)}
 	r.RunID = d.uvarint()
 	r.Program = string(d.bytes())
 	r.Crashed = d.byteVal() != 0
@@ -287,6 +305,7 @@ func Decode(data []byte) (*Report, error) {
 	}
 	if !cacheOK {
 		r.nz = nil
+		r.lenient = true
 	}
 	tn := d.uvarint()
 	if d.err != nil {
