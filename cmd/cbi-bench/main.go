@@ -14,6 +14,7 @@
 //	cbi-bench analyze      # sparse vs dense analysis engine (DESIGN.md §10)
 //	cbi-bench monitor      # live triage: snapshot latency, ingest overhead, identity
 //	cbi-bench quality      # ingest quality: engine overhead, sketch accuracy, anomaly latency
+//	cbi-bench ingest       # staged ring-buffer ingest vs sharded-mutex oracle, shed behavior
 //	cbi-bench all          # everything above
 package main
 
@@ -62,6 +63,7 @@ func main() {
 		"fleet":      fleet,
 		"monitor":    monitorBench,
 		"quality":    qualityBench,
+		"ingest":     ingestBench,
 		"table1":     table1,
 		"table2":     table2,
 		"selective":  selective,

@@ -28,9 +28,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cbi/internal/analysis/elim"
 	"cbi/internal/analysis/score"
@@ -290,6 +292,142 @@ func main() {
 	fmt.Printf("\npopulation health (GET /quality): %d rejected, %d quarantined, reject-surge flagged,\n"+
 		"    sampling %s (tv=%.3f vs Poisson at density 1/10), %d payloads in /debug/badreports\n",
 		q.RejectedTotal, q.Quarantined, q.Sampling.Verdict, q.Sampling.TVDistance, bad.Recorded)
+
+	// 3d. Back-pressure under overload: a deliberately tiny second
+	//     collector — one shard, a 128-slot staging ring, shed-immediately
+	//     — is driven past its fold capacity by eight concurrent
+	//     submitters posting dense batches. Overload must degrade to fast
+	//     503 + Retry-After rejections (never blocking, never corrupting),
+	//     the quality engine must flag the shed storm and recover, and
+	//     retrying the shed batches once pressure drops must land exactly
+	//     the serial-fold state: nothing lost, nothing duplicated.
+	//     (GOMAXPROCS is raised so the submitters and the background
+	//     folder run on preemptively scheduled threads; on one core Go's
+	//     cooperative scheduler would always let the folder drain first
+	//     and the ring would never fill.)
+	if prev := runtime.GOMAXPROCS(0); prev < 8 {
+		runtime.GOMAXPROCS(8)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	const (
+		ovCounters   = 1024
+		ovBatch      = 16
+		ovBatches    = 320 // 8 submitters × 40 batches = 5120 reports
+		ovSubmitters = 8
+	)
+	ovReps := make([]*report.Report, ovBatches*ovBatch)
+	for i := range ovReps {
+		c := make([]uint64, ovCounters)
+		for j := range c {
+			c[j] = uint64((i+j)%50 + 1) // dense: folding dominates, the single folder is the bottleneck
+		}
+		ovReps[i] = &report.Report{RunID: uint64(i + 1), Program: "overload", Crashed: i%10 < 3, Counters: c}
+	}
+	ovBodies := make([][]byte, ovBatches)
+	for i := range ovBodies {
+		ovBodies[i] = report.EncodeBatch(ovReps[i*ovBatch : (i+1)*ovBatch])
+	}
+	ovSrv := collect.NewServer("overload", ovCounters, collect.AggregateOnly)
+	ovSrv.Shards = 1
+	ovSrv.StageCapacity = 128
+	ovSrv.StageWait = -1 // pure load shedding: a full ring sheds instantly
+	ovSrv.Quality = quality.New(quality.Config{})
+	ovAddr, err := ovSrv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ovSrv.Stop()
+	ovSrv.Quality.Tick() // baseline window: arms the rate-spike rule
+	post := func(body []byte) (code int, retryAfter string) {
+		resp, err := client.HTTP.Post("http://"+ovAddr+"/reports", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header.Get("Retry-After")
+	}
+	var ovShed atomic.Int64
+	shed := make([][]int, ovSubmitters)
+	var ovWG sync.WaitGroup
+	for w := 0; w < ovSubmitters; w++ {
+		ovWG.Add(1)
+		go func(w int) {
+			defer ovWG.Done()
+			for i := w; i < ovBatches; i += ovSubmitters {
+				switch code, retryAfter := post(ovBodies[i]); code {
+				case 202:
+				case 503:
+					if retryAfter == "" {
+						log.Fatalf("shed response for batch %d carried no Retry-After header", i)
+					}
+					ovShed.Add(ovBatch)
+					shed[w] = append(shed[w], i)
+				default:
+					log.Fatalf("overload POST got %d, want 202 or 503", code)
+				}
+			}
+		}(w)
+	}
+	ovWG.Wait()
+	if ovShed.Load() == 0 {
+		log.Fatal("overload burst shed nothing — back-pressure never engaged")
+	}
+	shedAnomaly := func() bool {
+		for _, a := range ovSrv.Quality.ActiveAnomalies() {
+			if a.Target == "reject:shed" || a.Kind == "reject-surge" {
+				return true
+			}
+		}
+		return false
+	}
+	fired := false
+	for i := 0; i < 2 && !fired; i++ { // two chances: a short burst can straddle windows
+		ovSrv.Quality.Tick()
+		fired = shedAnomaly()
+	}
+	if !fired {
+		log.Fatal("no shed anomaly after the overload burst")
+	}
+	// Pressure is off: one sequential retrier lands every shed batch.
+	for _, mine := range shed {
+		for _, i := range mine {
+			landed := false
+			for attempt := 0; attempt < 10000 && !landed; attempt++ {
+				if code, _ := post(ovBodies[i]); code == 202 {
+					landed = true
+				} else {
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+			if !landed {
+				log.Fatalf("shed batch %d never landed on retry", i)
+			}
+		}
+	}
+	recovered := false
+	for i := 0; i < 10 && !recovered; i++ { // quiet windows retire the anomaly
+		time.Sleep(2 * time.Millisecond)
+		ovSrv.Quality.Tick()
+		recovered = !shedAnomaly()
+	}
+	if !recovered {
+		log.Fatal("shed anomaly never recovered after quiet windows")
+	}
+	// Shed/retry introduced no holes and no duplicates: the collector's
+	// final state is the serial fold of all reports.
+	ovOracle := report.NewAggregate("overload", ovCounters)
+	for _, r := range ovReps {
+		if err := ovOracle.Fold(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if got := ovSrv.Aggregate(); !reflect.DeepEqual(got, ovOracle) {
+		log.Fatalf("after retries the collector aggregate diverges from the serial fold (%d runs vs %d)",
+			got.Runs, ovOracle.Runs)
+	}
+	fmt.Printf("\noverload smoke: %d/%d reports shed with 503 + Retry-After, shed anomaly fired and recovered,\n"+
+		"    every shed batch retried to acceptance — final aggregate identical to a serial fold\n",
+		ovShed.Load(), ovBatches*ovBatch)
 
 	// 4. Analyze: which predicates are true only in failed runs?
 	db := srv.DB()

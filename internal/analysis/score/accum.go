@@ -105,6 +105,33 @@ func (a *Accum) Fold(r *report.Report) error {
 	return nil
 }
 
+// FoldBatch absorbs pre-merged batch statistics (report.BatchStats).
+// Only legal when the accumulator carries no site spans: Context(P)
+// counts runs in which a *site* was observed at all, a per-report fact
+// that a per-counter merge cannot reconstruct. Without spans, every
+// Accum statistic is a per-counter sum over runs, sums commute, and the
+// result is bit-identical to folding each observed report individually.
+// An empty accumulator adopts the batch's shape, mirroring Fold.
+func (a *Accum) FoldBatch(b *report.BatchStats) error {
+	if len(a.Spans) != 0 {
+		return fmt.Errorf("score: batch fold requires an accumulator without site spans")
+	}
+	if a.NumCounters == 0 && a.Runs == 0 && b.NumCounters > 0 {
+		a.NumCounters = b.NumCounters
+		a.alloc()
+	}
+	if b.NumCounters != a.NumCounters {
+		return fmt.Errorf("score: batch counter space %d, want %d", b.NumCounters, a.NumCounters)
+	}
+	a.Runs += b.Runs
+	a.Failures += b.Crashes
+	for _, i := range b.Touched {
+		a.TrueOK[i] += int(b.SuccRuns[i])
+		a.TrueFail[i] += int(b.FailRuns[i])
+	}
+	return nil
+}
+
 // Merge absorbs another accumulator. Both must describe the same counter
 // space and site layout (an empty a adopts o's). Merge is the order-free
 // shard combiner: fold-into-shards-then-merge equals a serial fold.

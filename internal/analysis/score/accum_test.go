@@ -139,6 +139,79 @@ func BenchmarkAccumFold(b *testing.B) {
 	}
 }
 
+// TestAccumFoldBatchMatchesFold: for a span-free accumulator (the
+// collector's AggregateOnly staged-folder configuration), applying
+// pre-merged report.BatchStats must be bit-identical to folding each
+// report individually — same scores, same internal counts.
+func TestAccumFoldBatchMatchesFold(t *testing.T) {
+	const n, runs = 24, 211
+	rng := rand.New(rand.NewSource(17))
+	db := randomDB(rng, runs, n)
+
+	serial := NewAccum(n, nil)
+	for _, rep := range db.Reports {
+		if err := serial.Fold(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batched := NewAccum(n, nil)
+	var bs report.BatchStats
+	for at := 0; at < runs; {
+		end := at + 1 + rng.Intn(16)
+		if end > runs {
+			end = runs
+		}
+		bs.Reset(n)
+		for _, rep := range db.Reports[at:end] {
+			if err := bs.Observe(rep); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := batched.FoldBatch(&bs); err != nil {
+			t.Fatal(err)
+		}
+		at = end
+	}
+	if batched.Runs != serial.Runs || batched.Failures != serial.Failures ||
+		!reflect.DeepEqual(batched.TrueFail, serial.TrueFail) ||
+		!reflect.DeepEqual(batched.TrueOK, serial.TrueOK) {
+		t.Fatal("batched counts diverge from per-report folds")
+	}
+	if !reflect.DeepEqual(batched.Predicates(), serial.Predicates()) {
+		t.Fatal("batched scores diverge from per-report folds")
+	}
+}
+
+// TestAccumFoldBatchRequiresNoSpans: Context(P) needs the per-report
+// "site observed at all" fact, which a per-counter merge cannot carry —
+// a spanned accumulator must refuse the batch path outright rather than
+// silently miscount.
+func TestAccumFoldBatchRequiresNoSpans(t *testing.T) {
+	var bs report.BatchStats
+	bs.Reset(4)
+	if err := bs.Observe(&report.Report{RunID: 1, Counters: []uint64{1, 0, 2, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	spanned := NewAccum(4, []SiteSpan{{0, 2}, {2, 2}})
+	if err := spanned.FoldBatch(&bs); err == nil {
+		t.Fatal("FoldBatch with site spans should error")
+	}
+
+	// A 0-counter, span-free accumulator adopts the batch's shape.
+	empty := NewAccum(0, nil)
+	if err := empty.FoldBatch(&bs); err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumCounters != 4 || empty.Runs != 1 || empty.TrueOK[2] != 1 {
+		t.Fatalf("batch-adopt got shape %d runs %d", empty.NumCounters, empty.Runs)
+	}
+	bs.Reset(7)
+	if err := empty.FoldBatch(&bs); err == nil {
+		t.Fatal("FoldBatch with mismatched shape should error")
+	}
+}
+
 // TestAccumAdoptShape: a 0-counter accumulator adopts the first report's
 // shape (and a merge source's shape), like report.Aggregate.
 func TestAccumAdoptShape(t *testing.T) {

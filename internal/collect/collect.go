@@ -11,6 +11,13 @@
 // one report per request (/report) or amortize the round-trip by
 // batching many reports into a single /reports request.
 //
+// By default HTTP ingest is additionally staged (see staging.go): the
+// handlers only decode, validate, and enqueue into per-shard ring
+// buffers, background folders do the folding in lock-amortized batches,
+// and overload is answered with 503 + Retry-After instead of unbounded
+// queueing. Set Staging to StagingOff for the synchronous fold-in-handler
+// path, which the staged pipeline is bit-identical to.
+//
 // The server exposes the operational surface a deployed collector needs:
 // Prometheus metrics at /metrics, a liveness/drain signal at /healthz,
 // and per-request ingest counters and latency histograms (package
@@ -56,6 +63,20 @@ const (
 	AggregateOnly
 )
 
+// Staging selects the ingest pipeline the HTTP handlers use.
+type Staging int
+
+const (
+	// StagingOn (the zero value) stages HTTP ingest through per-shard
+	// ring buffers drained by background folder goroutines; handlers
+	// only decode, validate, and enqueue.
+	StagingOn Staging = iota
+	// StagingOff folds synchronously inside the handler — the
+	// bit-identity oracle the staged pipeline is tested and benchmarked
+	// against.
+	StagingOff
+)
+
 // ShutdownTimeout bounds how long Stop waits for in-flight report POSTs
 // to drain before forcing connections closed.
 const ShutdownTimeout = 5 * time.Second
@@ -87,6 +108,12 @@ type serverMetrics struct {
 	decodeSeconds   *telemetry.Histogram
 	foldSeconds     *telemetry.Histogram
 	reportNonzeros  *telemetry.Histogram
+	// Staged-ingest instruments: reports shed by back-pressure, enqueues
+	// that had to wait for ring space, and reports folded per
+	// lock acquisition (the batching the staged path exists to buy).
+	shed        *telemetry.Counter
+	stageWaits  *telemetry.Counter
+	stageBatches *telemetry.Histogram
 }
 
 // BatchSizeBuckets are histogram buckets for reports-per-batch.
@@ -115,6 +142,9 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		decodeSeconds:   reg.Histogram("collect_decode_seconds", telemetry.DefBuckets),
 		foldSeconds:     reg.Histogram("collect_fold_seconds", telemetry.DefBuckets),
 		reportNonzeros:  reg.Histogram("collect_report_nonzeros", NonzeroBuckets),
+		shed:            reg.Counter("collect_reports_shed_total"),
+		stageWaits:      reg.Counter("collect_stage_waits_total"),
+		stageBatches:    reg.Histogram("collect_stage_fold_batch", BatchSizeBuckets),
 	}
 }
 
@@ -174,6 +204,26 @@ type Server struct {
 	// check when disabled.
 	Quality *quality.Engine
 
+	// Staging selects staged (default) or synchronous HTTP ingest; see
+	// staging.go. Direct Submit calls always fold synchronously either
+	// way. Set before the first submission or Handler call.
+	Staging Staging
+
+	// StageCapacity is the per-shard staging-ring size in reports,
+	// rounded up to a power of two (default 1024). A /reports batch
+	// larger than the ring bypasses staging and folds synchronously
+	// rather than being unconditionally shed.
+	StageCapacity int
+
+	// StageWait bounds how long an enqueue waits for ring space before
+	// the request is shed with 503 + Retry-After (default 100ms);
+	// negative sheds as soon as the initial spin fails.
+	StageWait time.Duration
+
+	// StatsMaxAge bounds how stale a cached /stats response may be
+	// (default 250ms). GET /stats?fresh=1 always recomputes.
+	StatsMaxAge time.Duration
+
 	program     string
 	numCounters int
 	// shape is the expected counter-vector length; 0 until an
@@ -184,6 +234,21 @@ type Server struct {
 	initOnce  sync.Once
 	shardMask uint64
 	shards    []ingestShard
+
+	// Staged-ingest state (nil/zero when Staging is off); see staging.go.
+	rings         []stageRing
+	stageCap      int
+	stageWaitFor  time.Duration
+	stageRR       atomic.Uint64 // round-robin ring cursor for batches
+	stageStop     chan struct{}
+	stageStopOnce sync.Once
+	stageStopped  atomic.Bool
+	stageWG       sync.WaitGroup
+
+	// Cached /stats response; see handleStats.
+	statsMu sync.Mutex
+	statsAt time.Time
+	statsCache Stats
 
 	reg      *telemetry.Registry
 	health   telemetry.Health
@@ -235,6 +300,12 @@ func (s *Server) init() {
 			}
 		}
 		s.reg.Gauge("collect_shards").Set(float64(n))
+		if s.Staging == StagingOn {
+			// Before the Monitor starts: its snapshot worker reaches the
+			// drain barrier through ScoreState, so the rings and folders
+			// must exist first.
+			s.initStaging()
+		}
 		if s.Monitor != nil {
 			s.Monitor.Bind(s, s.reg)
 			s.Monitor.Start()
@@ -249,10 +320,14 @@ func (s *Server) init() {
 	})
 }
 
-// shardFor picks the stripe for a run ID (Fibonacci hashing so
+// shardIndex picks the stripe for a run ID (Fibonacci hashing so
 // sequential fleet IDs spread evenly).
+func (s *Server) shardIndex(runID uint64) uint64 {
+	return (runID * 0x9E3779B97F4A7C15) >> 32 & s.shardMask
+}
+
 func (s *Server) shardFor(runID uint64) *ingestShard {
-	return &s.shards[(runID*0x9E3779B97F4A7C15)>>32&s.shardMask]
+	return &s.shards[s.shardIndex(runID)]
 }
 
 // Registry returns the server's telemetry registry (scraped at /metrics).
@@ -274,7 +349,10 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle("/dashboard", s.instrument("/dashboard", http.HandlerFunc(s.Monitor.ServeDashboard)))
 	}
 	if s.Quality != nil {
-		mux.Handle("/quality", s.instrument("/quality", http.HandlerFunc(s.Quality.ServeQuality)))
+		// /quality sits behind the drain barrier too, so its accepted/
+		// rejected totals line up with the fold-derived snapshots a
+		// caller may fetch next.
+		mux.Handle("/quality", s.instrument("/quality", s.drained(http.HandlerFunc(s.Quality.ServeQuality))))
 		mux.Handle("/debug/badreports", s.instrument("/debug/badreports", http.HandlerFunc(s.Quality.ServeBadReports)))
 	}
 	if s.ExposeTelemetry {
@@ -289,6 +367,14 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// drained runs the staging drain barrier before the wrapped handler.
+func (s *Server) drained(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.drainStaging()
+		h.ServeHTTP(w, r)
+	})
 }
 
 // statusCapture remembers the response code so instrument can label its
@@ -320,11 +406,18 @@ func (c *statusCapture) Flush() {
 }
 
 // instrument counts every response on every route — success and error
-// paths alike — as collect_http_requests_total{endpoint,code}.
+// paths alike — as collect_http_requests_total{endpoint,code} and times
+// each request into collect_handler_seconds{endpoint}. The latency
+// histogram uses FineBuckets: the staged ingest handlers answer in
+// microseconds, far below DefBuckets' resolution.
 func (s *Server) instrument(endpoint string, h http.Handler) http.Handler {
+	lat := s.reg.Histogram("collect_handler_seconds"+telemetry.Labels("endpoint", endpoint),
+		telemetry.FineBuckets)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
 		sc := &statusCapture{ResponseWriter: w}
 		h.ServeHTTP(sc, r)
+		lat.Observe(time.Since(t0).Seconds())
 		if sc.code == 0 {
 			sc.code = http.StatusOK
 		}
@@ -401,13 +494,36 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ingest.SetAttr("run_id", strconv.FormatUint(rep.RunID, 10))
-	foldSpan := ingest.StartChild("server.fold")
-	err = s.Submit(rep)
-	foldSpan.End()
-	if err != nil {
-		ingest.SetAttr("outcome", "rejected-fold")
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+	if s.stagingActive() {
+		// Staged hot path: validate and enqueue; the shard folder does
+		// the fold. The 202 below is a durable accept — the drain
+		// barrier guarantees the report reaches every later snapshot.
+		if err := s.validate(rep); err != nil {
+			s.m.rejectedFold.Inc()
+			s.Quality.ObserveRejected(quality.ReasonFold, nil)
+			ingest.SetAttr("outcome", "rejected-fold")
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Build the sparse cache before the report crosses goroutines:
+		// Nonzeros mutates on first call, and after the enqueue both the
+		// handler (accounting) and the folder (fold) read the report.
+		rep.Nonzeros()
+		ring := &s.rings[s.shardIndex(rep.RunID)]
+		if !s.stageEnqueue(ring, []*report.Report{rep}, ingest) {
+			s.shed(w, ingest, 1)
+			return
+		}
+		s.accountAccepted(rep)
+	} else {
+		foldSpan := ingest.StartChild("server.fold")
+		err = s.Submit(rep)
+		foldSpan.End()
+		if err != nil {
+			ingest.SetAttr("outcome", "rejected-fold")
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 	}
 	ingest.SetAttr("outcome", "accepted")
 	if s.reg.LogEnabled() {
@@ -417,6 +533,49 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	w.WriteHeader(http.StatusAccepted)
+}
+
+// shed answers a request whose reports could not be enqueued before the
+// back-pressure deadline: 503 + Retry-After, counted per report in
+// collect_reports_shed_total and observed by the quality engine as a
+// rejection (a shed storm trips the reject-surge anomaly). Shedding is
+// the overload contract — the collector refuses fast rather than
+// queueing without bound, and the client retries the whole batch.
+func (s *Server) shed(w http.ResponseWriter, ingest *trace.Span, reports int) {
+	s.m.shed.Add(uint64(reports))
+	for i := 0; i < reports; i++ {
+		s.Quality.ObserveRejected(quality.ReasonShed, nil)
+	}
+	ingest.SetAttr("outcome", "shed")
+	w.Header().Set("Retry-After", shedRetryAfter)
+	http.Error(w, "collector overloaded: staging rings full, retry later",
+		http.StatusServiceUnavailable)
+}
+
+// accountAccepted records the accept-time metrics and quality
+// observations for one staged report. It runs in the handler after the
+// enqueue succeeds and before the 202, so client-visible accounting
+// (accepted counts, quarantine forensics, quality sketches) never lags
+// the acknowledgment; only fold latency and the monitor's fold
+// notifications happen later, in the folder.
+func (s *Server) accountAccepted(rep *report.Report) {
+	s.m.accepted.Inc()
+	nz := rep.Nonzeros()
+	s.m.reportNonzeros.Observe(float64(len(nz)))
+	if wire := rep.WireLen(); wire > 0 {
+		s.m.reportBytes.Observe(float64(wire))
+	}
+	if rep.Lenient() {
+		s.m.quarantined.Inc()
+		s.Quality.ObserveQuarantined(rep.RunID, rep.WireLen())
+	}
+	if s.Quality != nil {
+		var total uint64
+		for _, c := range nz {
+			total += c.Value
+		}
+		s.Quality.ObserveAccepted(rep.RunID, len(rep.Counters), rep.WireLen(), len(nz), total, rep.Crashed)
+	}
 }
 
 // handleReports ingests a batched payload (report.EncodeBatch) in one
@@ -471,16 +630,39 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	foldSpan := ingest.StartChild("server.fold")
-	for _, rep := range reps {
-		if err := s.Submit(rep); err != nil {
-			foldSpan.End()
-			ingest.SetAttr("outcome", "rejected-fold")
-			http.Error(w, err.Error(), http.StatusBadRequest)
+	if s.stagingActive() && len(reps) <= s.stageCap {
+		// Whole batch onto one round-robin ring in a single atomic
+		// reservation: all-or-nothing, one folder lock acquisition, and
+		// a shed batch can be retried wholesale. Any ring is as good as
+		// the run-ID shard — the statistics are order-free and snapshots
+		// merge every shard (DESIGN §13). Oversize batches (> ring
+		// capacity) fall through to the synchronous path below.
+		for _, rep := range reps {
+			// Pre-build each report's sparse cache: Nonzeros mutates on
+			// first call, and after the enqueue the report is shared
+			// with the folder goroutine.
+			rep.Nonzeros()
+		}
+		ring := &s.rings[s.stageRR.Add(1)&s.shardMask]
+		if !s.stageEnqueue(ring, reps, ingest) {
+			s.shed(w, ingest, len(reps))
 			return
 		}
+		for _, rep := range reps {
+			s.accountAccepted(rep)
+		}
+	} else {
+		foldSpan := ingest.StartChild("server.fold")
+		for _, rep := range reps {
+			if err := s.Submit(rep); err != nil {
+				foldSpan.End()
+				ingest.SetAttr("outcome", "rejected-fold")
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		foldSpan.End()
 	}
-	foldSpan.End()
 	s.m.batchesAccepted.Inc()
 	s.m.batchReportsIn.Add(uint64(len(reps)))
 	s.m.batchReports.Observe(float64(len(reps)))
@@ -509,17 +691,54 @@ type Stats struct {
 	monitor.TriageStats
 }
 
+// defaultStatsMaxAge is the /stats cache lifetime when StatsMaxAge is
+// unset: roughly the monitor's snapshot cadence, so pollers see fresh
+// numbers without re-merging every shard per GET.
+const defaultStatsMaxAge = 250 * time.Millisecond
+
+// handleStats serves the run summary. Computing it locks every shard,
+// so under heavy polling (dashboards, convergence loops) the response is
+// cached and reused until it ages out or the monitor publishes a new
+// rankings snapshot; ?fresh=1 forces a recompute, mirroring /rankings.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
 	s.init()
+	fresh := r.URL.Query().Get("fresh") != ""
+	maxAge := s.StatsMaxAge
+	if maxAge <= 0 {
+		maxAge = defaultStatsMaxAge
+	}
+	tri := s.Monitor.TriageStats()
+	if !fresh {
+		s.statsMu.Lock()
+		if !s.statsAt.IsZero() && time.Since(s.statsAt) < maxAge &&
+			tri.RankingsSnapshots == s.statsCache.RankingsSnapshots {
+			st := s.statsCache
+			s.statsMu.Unlock()
+			writeStats(w, st)
+			return
+		}
+		s.statsMu.Unlock()
+	}
+	st := s.computeStats(tri)
+	s.statsMu.Lock()
+	s.statsCache, s.statsAt = st, time.Now()
+	s.statsMu.Unlock()
+	writeStats(w, st)
+}
+
+// computeStats merges every shard into one Stats snapshot, behind the
+// staging drain barrier so the counts cover every acknowledged report.
+func (s *Server) computeStats(tri monitor.TriageStats) Stats {
+	s.drainStaging()
 	st := Stats{
 		NumCounters:  int(s.shape.Load()),
 		Batches:      int(s.m.batchesAccepted.Value()),
 		BatchReports: int(s.m.batchReportsIn.Value()),
-		TriageStats:  s.Monitor.TriageStats(),
+		TriageStats:  tri,
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -528,6 +747,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.Crashes += sh.agg.Crashes
 		sh.mu.Unlock()
 	}
+	return st
+}
+
+func writeStats(w http.ResponseWriter, st Stats) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(st); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -602,6 +825,14 @@ func (s *Server) fold(rep *report.Report) error {
 	sh := s.shardFor(rep.RunID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return s.foldShardLocked(sh, rep)
+}
+
+// foldShardLocked folds one already-validated report into a shard's
+// aggregate, accumulator, and report store. The caller holds sh.mu —
+// the synchronous path takes it per report, the staged folder once per
+// drained batch.
+func (s *Server) foldShardLocked(sh *ingestShard, rep *report.Report) error {
 	if err := sh.agg.Fold(rep); err != nil {
 		return err
 	}
@@ -628,6 +859,7 @@ func (s *Server) fold(rep *report.Report) error {
 // snapshot is deterministic regardless of ingest interleaving.
 func (s *Server) DB() *report.DB {
 	s.init()
+	s.drainStaging()
 	db := report.NewDB(s.program, int(s.shape.Load()))
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -646,6 +878,7 @@ func (s *Server) DB() *report.DB {
 // the same reports.
 func (s *Server) Aggregate() *report.Aggregate {
 	s.init()
+	s.drainStaging()
 	agg := report.NewAggregate(s.program, int(s.shape.Load()))
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -661,13 +894,15 @@ func (s *Server) Aggregate() *report.Aggregate {
 }
 
 // ScoreState returns a snapshot of the live scoring statistics: the
-// order-free merge of every shard's accumulator. Shards are locked one
-// at a time (each report folds atomically within its shard), so the
-// result is a serial fold of a definite subset of the submitted reports
-// — the consistency argument is DESIGN §11. It implements
-// monitor.Source.
+// order-free merge of every shard's accumulator. The staging drain
+// barrier runs first, then shards are locked one at a time (each report
+// folds atomically within its shard), so the result is a serial fold of
+// a definite subset of the submitted reports that includes everything
+// acknowledged before the call — the consistency argument is DESIGN
+// §11, extended to staged ingest in §13. It implements monitor.Source.
 func (s *Server) ScoreState() *score.Accum {
 	s.init()
+	s.drainStaging()
 	acc := score.NewAccum(int(s.shape.Load()), s.Sites)
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -693,6 +928,7 @@ func (s *Server) ScoreState() *score.Accum {
 // live rankings against the offline oracle mid-ingest (StoreAll only).
 func (s *Server) ScoreStateAndDB() (*score.Accum, *report.DB) {
 	s.init()
+	s.drainStaging()
 	acc := score.NewAccum(int(s.shape.Load()), s.Sites)
 	db := report.NewDB(s.program, int(s.shape.Load()))
 	for i := range s.shards {
@@ -729,21 +965,26 @@ func (s *Server) Start(addr string) (string, error) {
 }
 
 // Stop drains the server: /healthz flips to shutting-down so load
-// balancers stop routing, then in-flight report POSTs are allowed up to
-// ShutdownTimeout to complete before connections are forced closed.
+// balancers stop routing, in-flight report POSTs are allowed up to
+// ShutdownTimeout to complete before connections are forced closed, and
+// then the staging rings are drained and the folder goroutines retired
+// — every report acknowledged with a 202 is folded before Stop returns.
+// The monitor and quality workers stop last, after the final folds have
+// notified them.
 func (s *Server) Stop() error {
+	var err error
+	if s.httpServer != nil {
+		s.health.Set(telemetry.HealthShuttingDown)
+		ctx, cancel := context.WithTimeout(context.Background(), ShutdownTimeout)
+		defer cancel()
+		if e := s.httpServer.Shutdown(ctx); e != nil {
+			err = s.httpServer.Close()
+		}
+	}
+	s.stopStaging()
 	s.Monitor.Stop()
 	s.Quality.Stop()
-	if s.httpServer == nil {
-		return nil
-	}
-	s.health.Set(telemetry.HealthShuttingDown)
-	ctx, cancel := context.WithTimeout(context.Background(), ShutdownTimeout)
-	defer cancel()
-	if err := s.httpServer.Shutdown(ctx); err != nil {
-		return s.httpServer.Close()
-	}
-	return nil
+	return err
 }
 
 // Client submits reports to a remote collection server, with bounded
@@ -759,6 +1000,14 @@ type Client struct {
 	// RetryBackoff is the base delay before the first retry (default
 	// 50ms), doubled per attempt with ±50% jitter.
 	RetryBackoff time.Duration
+	// RetryAfterCap bounds how long a server's Retry-After header (sent
+	// with the 503 shed response under collector overload) can delay a
+	// retry (default 2s). When a 503 carries the header the client
+	// honors it — sleeping the advertised duration with up-only jitter
+	// and counting client_backpressure_total — instead of its own
+	// exponential backoff; 5xx responses without the header keep the
+	// plain jittered-backoff schedule.
+	RetryAfterCap time.Duration
 	// Metrics receives submit latency/outcome metrics (default
 	// telemetry.Default).
 	Metrics *telemetry.Registry
@@ -885,18 +1134,28 @@ func (c *Client) post(ctx context.Context, sub *trace.Span, path string, body []
 		backoff = 50 * time.Millisecond
 	}
 	var err error
+	var retryAfter time.Duration
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			reg.Counter("client_submit_retries_total").Inc()
-			// Exponential backoff with ±50% jitter so a rebooting
-			// collector is not hammered in lockstep by the whole fleet.
-			d := backoff << (attempt - 1)
-			time.Sleep(time.Duration(float64(d) * (0.5 + rand.Float64())))
+			if retryAfter > 0 {
+				// The collector shed us with explicit back-pressure:
+				// honor its Retry-After (capped in tryPost) with up-only
+				// jitter so the fleet's retries spread out but never
+				// return before the server asked.
+				reg.Counter("client_backpressure_total").Inc()
+				time.Sleep(time.Duration(float64(retryAfter) * (1.0 + 0.5*rand.Float64())))
+			} else {
+				// Exponential backoff with ±50% jitter so a rebooting
+				// collector is not hammered in lockstep by the whole fleet.
+				d := backoff << (attempt - 1)
+				time.Sleep(time.Duration(float64(d) * (0.5 + rand.Float64())))
+			}
 		}
 		att := sub.StartChild("client.attempt")
 		att.SetAttr("attempt", strconv.Itoa(attempt+1))
 		var retryable bool
-		retryable, err = c.tryPost(ctx, att, path, body)
+		retryable, retryAfter, err = c.tryPost(ctx, att, path, body)
 		att.End()
 		if err == nil {
 			sub.SetAttr("attempts", strconv.Itoa(attempt+1))
@@ -910,14 +1169,15 @@ func (c *Client) post(ctx context.Context, sub *trace.Span, path string, body []
 }
 
 // tryPost performs one POST and reports whether a failure is worth
-// retrying. The attempt span's context (not the whole submission's)
-// rides the trace header, so server-side spans parent to the POST that
-// actually reached them.
-func (c *Client) tryPost(ctx context.Context, att *trace.Span, path string, body []byte) (retryable bool, err error) {
+// retrying, plus any server-advertised Retry-After delay (0 when the
+// response carried none). The attempt span's context (not the whole
+// submission's) rides the trace header, so server-side spans parent to
+// the POST that actually reached them.
+func (c *Client) tryPost(ctx context.Context, att *trace.Span, path string, body []byte) (retryable bool, retryAfter time.Duration, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path,
 		bytes.NewReader(body))
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	if hv := att.HeaderValue(); hv != "" {
@@ -925,14 +1185,26 @@ func (c *Client) tryPost(ctx context.Context, att *trace.Span, path string, body
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return true, err
+		return true, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusAccepted {
-		return false, nil
+		return false, 0, nil
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs >= 0 {
+			retryAfter = time.Duration(secs) * time.Second
+			capAt := c.RetryAfterCap
+			if capAt <= 0 {
+				capAt = 2 * time.Second
+			}
+			if retryAfter > capAt {
+				retryAfter = capAt
+			}
+		}
 	}
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	return resp.StatusCode >= 500, fmt.Errorf("collect: server rejected report: %s: %s", resp.Status, msg)
+	return resp.StatusCode >= 500, retryAfter, fmt.Errorf("collect: server rejected report: %s: %s", resp.Status, msg)
 }
 
 // Stats fetches the server's run summary.

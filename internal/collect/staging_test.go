@@ -1,0 +1,372 @@
+package collect
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"cbi/internal/analysis/score"
+	"cbi/internal/monitor"
+	"cbi/internal/quality"
+	"cbi/internal/report"
+	"cbi/internal/telemetry"
+)
+
+// TestStagedIngestMatchesSerialOracle hammers a staged server with 8
+// concurrent batched submitters and checks, under -race:
+//
+//	(a) the final Aggregate, ScoreState, and DB equal a serial fold of
+//	    the same reports (the synchronous oracle), and
+//	(b) ScoreStateAndDB taken at arbitrary instants mid-ingest is
+//	    internally consistent — the accumulator and the report store
+//	    always describe the same report subset.
+func TestStagedIngestMatchesSerialOracle(t *testing.T) {
+	const submitters, per, batch = 8, 250, 16
+	var all []*report.Report
+	for id := 0; id < submitters*per; id++ {
+		all = append(all, mkReport(uint64(id), id%5 == 0))
+	}
+
+	srv := NewServer("p", 3, StoreAll)
+	srv.Shards = 4
+	srv.Monitor = monitor.New(monitor.Config{TopK: 3, EveryReports: 100})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	stopPoll := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		for {
+			select {
+			case <-stopPoll:
+				return
+			default:
+			}
+			acc, db := srv.ScoreStateAndDB()
+			if acc.Runs != db.Len() {
+				t.Errorf("mid-ingest snapshot tore: accum has %d runs, DB has %d", acc.Runs, db.Len())
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := NewClient("http://" + addr)
+			client.BatchSize = batch
+			for _, r := range all[w*per : (w+1)*per] {
+				if err := client.Submit(r); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := client.Flush(context.Background()); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopPoll)
+	pollWG.Wait()
+
+	assertSameAggregate(t, srv.Aggregate(), serialAggregate(t, all))
+
+	oracle := score.NewAccum(3, nil)
+	for _, r := range all {
+		if err := oracle.Fold(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc := srv.ScoreState()
+	if acc.Runs != oracle.Runs {
+		t.Fatalf("ScoreState runs = %d, want %d", acc.Runs, oracle.Runs)
+	}
+	if !reflect.DeepEqual(score.Rank(acc.Predicates()), score.Rank(oracle.Predicates())) {
+		t.Fatal("staged ScoreState ranking diverges from serial-fold oracle")
+	}
+
+	db := srv.DB()
+	if db.Len() != len(all) {
+		t.Fatalf("DB has %d reports, want %d", db.Len(), len(all))
+	}
+	for i, got := range db.Reports {
+		want := all[i] // run IDs were assigned in order, DB sorts by run ID
+		if got.RunID != want.RunID || got.Crashed != want.Crashed ||
+			!reflect.DeepEqual(got.Counters, want.Counters) {
+			t.Fatalf("DB report %d = run %d (crashed=%v), want run %d (crashed=%v)",
+				i, got.RunID, got.Crashed, want.RunID, want.Crashed)
+		}
+	}
+}
+
+// TestStopMidBurstLosesNoAcceptedReport fires batches at a staged
+// server, stops it mid-burst, and verifies every report the server
+// acknowledged with a 202 is present afterwards: the 202 is a durable
+// accept, surviving shutdown because Stop drains the rings before
+// retiring the folders.
+func TestStopMidBurstLosesNoAcceptedReport(t *testing.T) {
+	srv := NewServer("p", 3, StoreAll)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	const submitters, batch = 6, 8
+	var accepted sync.Map // run ID -> true, recorded only on a 202
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hc := &http.Client{Timeout: 5 * time.Second}
+			for seq := 0; seq < 100000; seq++ {
+				reps := make([]*report.Report, batch)
+				for j := range reps {
+					id := uint64(w)<<32 | uint64(seq*batch+j)
+					reps[j] = mkReport(id, id%3 == 0)
+				}
+				resp, err := hc.Post(base+"/reports", "application/octet-stream",
+					bytes.NewReader(report.EncodeBatch(reps)))
+				if err != nil {
+					return // server gone: the burst outlived Stop
+				}
+				code := resp.StatusCode
+				resp.Body.Close()
+				switch code {
+				case http.StatusAccepted:
+					for _, r := range reps {
+						accepted.Store(r.RunID, true)
+					}
+				case http.StatusServiceUnavailable:
+					// Shed: retriable, not accepted — keep going.
+				default:
+					t.Errorf("unexpected status %d", code)
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond) // let the burst develop
+	if err := srv.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	present := make(map[uint64]bool)
+	for _, r := range srv.DB().Reports {
+		present[r.RunID] = true
+	}
+	missing := 0
+	accepted.Range(func(k, _ any) bool {
+		if !present[k.(uint64)] {
+			missing++
+		}
+		return true
+	})
+	if missing > 0 {
+		t.Fatalf("%d reports acknowledged with 202 are missing after Stop", missing)
+	}
+}
+
+// TestStageRingWrapAroundFIFO pushes variable-size reservations through
+// a tiny ring for several laps, checking FIFO order and slot reuse
+// across the wrap boundary.
+func TestStageRingWrapAroundFIFO(t *testing.T) {
+	r := newStageRing(8)
+	buf := make([]stageItem, 8)
+	var next, want uint64
+	for step, n := range []int{5, 3, 8, 1, 7, 8, 2, 6} { // 40 items: five laps of an 8-slot ring
+		pos, ok := r.tryReserve(n)
+		if !ok {
+			t.Fatalf("step %d: reserve(%d) failed on an empty ring", step, n)
+		}
+		for i := 0; i < n; i++ {
+			r.publish(pos+uint64(i), stageItem{rep: &report.Report{RunID: next}})
+			next++
+		}
+		got := r.drainInto(buf)
+		if got != n {
+			t.Fatalf("step %d: drained %d, want %d", step, got, n)
+		}
+		for i := 0; i < got; i++ {
+			if buf[i].rep.RunID != want {
+				t.Fatalf("step %d: position %d yielded run %d, want %d", step, i, buf[i].rep.RunID, want)
+			}
+			want++
+		}
+	}
+	for i := range r.slots {
+		if r.slots[i].item.rep != nil {
+			t.Fatalf("slot %d still holds a report after drain", i)
+		}
+	}
+}
+
+// TestStageRingCapacityBoundaries pins reservation semantics at the
+// edges: exactly-capacity fits, capacity+1 never does, and partially
+// drained rings admit exactly the freed space. It also checks the
+// consumer stops cleanly at a reserved-but-unpublished slot.
+func TestStageRingCapacityBoundaries(t *testing.T) {
+	r := newStageRing(8)
+	if _, ok := r.tryReserve(9); ok {
+		t.Fatal("reserve(9) succeeded on an 8-slot ring")
+	}
+	pos, ok := r.tryReserve(8)
+	if !ok || pos != 0 {
+		t.Fatalf("reserve(8) = (%d, %v), want (0, true)", pos, ok)
+	}
+	if _, ok := r.tryReserve(1); ok {
+		t.Fatal("reserve(1) succeeded on a full ring")
+	}
+	for i := uint64(0); i < 8; i++ {
+		r.publish(i, stageItem{rep: &report.Report{RunID: i}})
+	}
+	small := make([]stageItem, 3)
+	if got := r.drainInto(small); got != 3 {
+		t.Fatalf("drained %d, want 3", got)
+	}
+	if _, ok := r.tryReserve(4); ok {
+		t.Fatal("reserve(4) succeeded with only 3 free slots")
+	}
+	pos, ok = r.tryReserve(3)
+	if !ok || pos != 8 {
+		t.Fatalf("reserve(3) = (%d, %v), want (8, true)", pos, ok)
+	}
+	// Positions 3..7 are published, 8..10 reserved but not yet
+	// published: the consumer must take the five and stop.
+	big := make([]stageItem, 8)
+	if got := r.drainInto(big); got != 5 {
+		t.Fatalf("drained %d, want 5 (stop at the unpublished slot)", got)
+	}
+	if big[0].rep.RunID != 3 {
+		t.Fatalf("first drained run = %d, want 3", big[0].rep.RunID)
+	}
+}
+
+// TestFullRingShedsWithRetryAfter drives the server-level shed path
+// deterministically: the shard lock is held so the folder parks
+// mid-batch, the ring is filled to capacity, and the capacity+1 POST
+// must come back 503 with Retry-After — never block — while everything
+// accepted before it survives.
+func TestFullRingShedsWithRetryAfter(t *testing.T) {
+	srv := NewServer("p", 3, StoreAll)
+	srv.Shards = 1
+	srv.StageCapacity = 8
+	srv.StageWait = -1 // shed as soon as the bounded spin fails
+	srv.Quality = quality.New(quality.Config{Interval: -1})
+	h := srv.Handler()
+	defer srv.Stop()
+
+	post := func(id uint64) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/report",
+			bytes.NewReader(mkReport(id, false).Encode()))
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	// Park the folder: it will drain whatever is already published,
+	// then block on the shard lock, leaving later arrivals in the ring.
+	srv.shards[0].mu.Lock()
+	if rec := post(0); rec.Code != http.StatusAccepted {
+		t.Fatalf("report 0: %d", rec.Code)
+	}
+	ring := &srv.rings[0]
+	for deadline := time.Now().Add(5 * time.Second); ring.tail.Load() != 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("folder never picked up report 0")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	for id := uint64(1); id <= 8; id++ { // fill the ring exactly to capacity
+		if rec := post(id); rec.Code != http.StatusAccepted {
+			t.Fatalf("report %d: %d, want 202", id, rec.Code)
+		}
+	}
+	rec := post(9) // capacity + 1: must shed, not block
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overflow report: %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("shed 503 carries no Retry-After header")
+	}
+	if got := srv.m.shed.Value(); got != 1 {
+		t.Errorf("collect_reports_shed_total = %d, want 1", got)
+	}
+	if snap := srv.Quality.TakeSnapshot(); snap.Rejected["shed"] != 1 {
+		t.Errorf("quality shed rejections = %d, want 1", snap.Rejected["shed"])
+	}
+
+	// Release the folder: every accepted report folds, the shed one is
+	// absent, and ingest resumes.
+	srv.shards[0].mu.Unlock()
+	if agg := srv.Aggregate(); agg.Runs != 9 {
+		t.Fatalf("after release: %d runs, want 9", agg.Runs)
+	}
+	if rec := post(10); rec.Code != http.StatusAccepted {
+		t.Fatalf("post-recovery report: %d, want 202", rec.Code)
+	}
+	if agg := srv.Aggregate(); agg.Runs != 10 {
+		t.Fatalf("after recovery: %d runs, want 10", agg.Runs)
+	}
+}
+
+// TestClientHonorsRetryAfter pins the client side of the back-pressure
+// contract: a 503 carrying Retry-After is retried after the advertised
+// (capped) delay and counted in client_backpressure_total.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls int32
+	var mu sync.Mutex
+	var gaps []time.Time
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		gaps = append(gaps, time.Now())
+		n := calls
+		mu.Unlock()
+		if n == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer backend.Close()
+
+	client := NewClient(backend.URL)
+	client.Metrics = telemetry.NewRegistry()
+	client.RetryAfterCap = 20 * time.Millisecond // cap the 1s header for test speed
+	if err := client.Submit(mkReport(1, false)); err != nil {
+		t.Fatalf("submit with one shed: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls)
+	}
+	if gap := gaps[1].Sub(gaps[0]); gap < 20*time.Millisecond {
+		t.Errorf("retry came after %v, before the capped Retry-After elapsed", gap)
+	}
+	if got := client.Metrics.Counter("client_backpressure_total").Value(); got != 1 {
+		t.Errorf("client_backpressure_total = %d, want 1", got)
+	}
+	if got := client.Metrics.Counter("client_submit_retries_total").Value(); got != 1 {
+		t.Errorf("client_submit_retries_total = %d, want 1", got)
+	}
+}

@@ -36,6 +36,10 @@ func TestMetricsEndpointExposition(t *testing.T) {
 	}
 	resp.Body.Close()
 
+	// Staged ingest acknowledges before folding; the barrier makes
+	// collect_fold_seconds_count deterministic below.
+	srv.drainStaging()
+
 	resp, err = http.Get(base + "/metrics")
 	if err != nil {
 		t.Fatal(err)

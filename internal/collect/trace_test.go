@@ -54,6 +54,10 @@ func TestTracePropagatesAcrossTheWire(t *testing.T) {
 	}
 	run.End()
 
+	// The staged pipeline records server.fold from the background
+	// folder; drain so all three server spans have landed.
+	srv.drainStaging()
+
 	clientRecs := clientTracer.Records()
 	serverRecs := serverTracer.Records()
 	if len(clientRecs) != 3 {

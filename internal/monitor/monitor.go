@@ -39,7 +39,11 @@ import (
 )
 
 // Source supplies consistent snapshots of the live scoring statistics.
-// collect.Server implements it by merging its per-shard accumulators.
+// collect.Server implements it by draining its staged-ingest rings (the
+// DESIGN §13 drain barrier) and then merging its per-shard accumulators.
+// Implementations must return a serial fold of a definite report subset
+// that includes every report acknowledged before the call — the monitor
+// publishes whatever it receives as a consistent ranking snapshot.
 type Source interface {
 	ScoreState() *score.Accum
 }

@@ -51,6 +51,12 @@ const (
 	ReasonTooLarge
 	ReasonDecode
 	ReasonFold
+	// ReasonShed marks a report refused by ingest back-pressure: the
+	// collector's staging rings stayed full past the enqueue deadline
+	// and the request was answered 503 + Retry-After. Shed reports were
+	// never folded, so they count as real rejections — a shed storm
+	// trips the reject-surge rule like any other rejection wave.
+	ReasonShed
 	// ReasonQuarantine marks a payload the decoder accepted leniently
 	// (duplicate counter indices or explicit zero pairs — encodings no
 	// real client produces). The report is still folded, but counted and
@@ -59,7 +65,7 @@ const (
 	numReasons
 )
 
-var reasonNames = [numReasons]string{"method", "read", "too-large", "decode", "fold", "quarantine"}
+var reasonNames = [numReasons]string{"method", "read", "too-large", "decode", "fold", "shed", "quarantine"}
 
 func (r Reason) String() string {
 	if int(r) < len(reasonNames) {

@@ -367,7 +367,8 @@ func TestServeQualityGoldenShape(t *testing.T) {
 	wantRates := []string{
 		"accept", "endpoint:/report", "endpoint:/reports",
 		"reject:decode", "reject:fold", "reject:method",
-		"reject:quarantine", "reject:read", "reject:too-large",
+		"reject:quarantine", "reject:read", "reject:shed",
+		"reject:too-large",
 	}
 	var rates []string
 	for k := range snap.Rates {

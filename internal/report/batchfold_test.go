@@ -1,0 +1,164 @@
+package report
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomReports(rng *rand.Rand, runs, n int, density float64) []*Report {
+	reps := make([]*Report, runs)
+	for i := range reps {
+		counters := make([]uint64, n)
+		for c := 0; c < n; c++ {
+			if rng.Float64() < density {
+				counters[c] = uint64(rng.Intn(9) + 1)
+			}
+		}
+		reps[i] = &Report{
+			RunID:    uint64(i),
+			Program:  "p",
+			Crashed:  rng.Float64() < 0.3,
+			Counters: counters,
+		}
+	}
+	return reps
+}
+
+// TestFoldBatchMatchesSerialFold is the bit-identity property the staged
+// folders rest on: pre-merging a batch through BatchStats and applying
+// it with FoldBatch must leave the aggregate exactly as folding each
+// report individually — across uneven batch sizes, mixed crash/success
+// populations, and one BatchStats reused (Reset) for every batch.
+func TestFoldBatchMatchesSerialFold(t *testing.T) {
+	for _, density := range []float64{0.02, 0.3, 1.0} {
+		rng := rand.New(rand.NewSource(int64(density * 100)))
+		const n, runs = 64, 257 // odd count: the last batch is ragged
+		reps := randomReports(rng, runs, n, density)
+
+		serial := NewAggregate("p", n)
+		for _, r := range reps {
+			if err := serial.Fold(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		batched := NewAggregate("p", n)
+		var bs BatchStats
+		for at := 0; at < runs; {
+			end := at + 1 + rng.Intn(32)
+			if end > runs {
+				end = runs
+			}
+			bs.Reset(n)
+			for _, r := range reps[at:end] {
+				if err := bs.Observe(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := batched.FoldBatch(&bs); err != nil {
+				t.Fatal(err)
+			}
+			at = end
+		}
+		if !reflect.DeepEqual(batched, serial) {
+			t.Fatalf("density %v: batched fold diverges from serial fold\n got: %+v\nwant: %+v",
+				density, batched, serial)
+		}
+	}
+}
+
+// TestFoldBatchAdoptsShape mirrors Fold: an aggregate created with zero
+// counters adopts the first batch's shape, and shape mismatches error
+// on both Observe and FoldBatch.
+func TestFoldBatchAdoptsShape(t *testing.T) {
+	var bs BatchStats
+	bs.Reset(3)
+	if err := bs.Observe(&Report{RunID: 1, Counters: []uint64{0, 2, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Observe(&Report{RunID: 2, Counters: []uint64{1}}); err == nil {
+		t.Fatal("observe with mismatched shape should error")
+	}
+
+	agg := NewAggregate("p", 0)
+	if err := agg.FoldBatch(&bs); err != nil {
+		t.Fatal(err)
+	}
+	if agg.NumCounters != 3 || agg.Runs != 1 {
+		t.Fatalf("adopted shape %d runs %d, want 3 and 1", agg.NumCounters, agg.Runs)
+	}
+	bs.Reset(5)
+	if err := agg.FoldBatch(&bs); err == nil {
+		t.Fatal("fold with mismatched batch shape should error")
+	}
+}
+
+// TestBatchStatsResetReuse: Reset keeps the dense arrays but forgets the
+// previous batch entirely — including when the counter space changes and
+// when the generation counter wraps (the lazy-zeroing edge).
+func TestBatchStatsResetReuse(t *testing.T) {
+	var bs BatchStats
+	bs.Reset(4)
+	if err := bs.Observe(&Report{RunID: 1, Crashed: true, Counters: []uint64{5, 0, 7, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	bs.Reset(4)
+	if len(bs.Touched) != 0 || bs.Runs != 0 || bs.Crashes != 0 {
+		t.Fatalf("reset kept state: %+v", bs)
+	}
+	// A stale Sums slot must not leak into the next batch's fold.
+	if err := bs.Observe(&Report{RunID: 2, Counters: []uint64{3, 0, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregate("p", 4)
+	if err := agg.FoldBatch(&bs); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Totals[0] != 3 || agg.Totals[2] != 0 || agg.NonzeroInFailure[0] {
+		t.Fatalf("stale slots leaked across Reset: %+v", agg)
+	}
+
+	// Changing the counter space reallocates.
+	bs.Reset(2)
+	if err := bs.Observe(&Report{RunID: 3, Counters: []uint64{0, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if bs.NumCounters != 2 || bs.Sums[1] != 9 {
+		t.Fatalf("resize failed: %+v", bs)
+	}
+
+	// Generation wrap: the marks hard-clear instead of treating every
+	// stale slot as live.
+	bs.Reset(4)
+	_ = bs.Observe(&Report{RunID: 4, Counters: []uint64{1, 1, 1, 1}})
+	bs.gen = ^uint32(0) - 1
+	for i := range bs.mark {
+		bs.mark[i] = bs.gen
+	}
+	bs.Reset(4) // gen -> MaxUint32
+	bs.Reset(4) // gen wraps -> hard clear, gen = 1
+	if bs.gen != 1 {
+		t.Fatalf("gen after wrap = %d, want 1", bs.gen)
+	}
+	if err := bs.Observe(&Report{RunID: 5, Counters: []uint64{0, 4, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(bs.Touched) != 1 || bs.Sums[1] != 4 {
+		t.Fatalf("post-wrap observe corrupted: %+v", bs)
+	}
+}
+
+// TestFoldBatchEmpty: folding a batch that observed no reports is a
+// no-op.
+func TestFoldBatchEmpty(t *testing.T) {
+	var bs BatchStats
+	bs.Reset(8)
+	agg := NewAggregate("p", 8)
+	if err := agg.FoldBatch(&bs); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 0 || agg.Crashes != 0 {
+		t.Fatalf("empty batch changed the aggregate: %+v", agg)
+	}
+}

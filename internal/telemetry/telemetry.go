@@ -39,6 +39,12 @@ var StepBuckets = []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
 // SizeBuckets are buckets for byte sizes (report payloads).
 var SizeBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 1 << 20}
 
+// FineBuckets are sub-millisecond latency buckets, in seconds, for hot
+// handlers that answer in microseconds (the collector's staged ingest
+// path enqueues and returns without folding) — DefBuckets' first bound
+// would lump every such request into one bucket.
+var FineBuckets = []float64{1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 1e-2, 0.1, 0.5}
+
 // ----------------------------------------------------------------------------
 // Metric kinds
 
