@@ -15,6 +15,7 @@
 //	cbi-bench monitor      # live triage: snapshot latency, ingest overhead, identity
 //	cbi-bench quality      # ingest quality: engine overhead, sketch accuracy, anomaly latency
 //	cbi-bench ingest       # staged ring-buffer ingest vs sharded-mutex oracle, shed behavior
+//	cbi-bench collect      # federated collector tree: root throughput vs edges, spill recovery
 //	cbi-bench all          # everything above
 package main
 
@@ -64,6 +65,7 @@ func main() {
 		"monitor":    monitorBench,
 		"quality":    qualityBench,
 		"ingest":     ingestBench,
+		"collect":    collectBench,
 		"table1":     table1,
 		"table2":     table2,
 		"selective":  selective,

@@ -21,6 +21,19 @@
 // `cbi-analyze -sites-out`, giving the rankings site context and
 // human-readable predicate names.
 //
+// With -role the server joins a federated collector tree: edges
+// (-role edge -parent URL) ingest as usual but periodically cut delta
+// merges of sufficient statistics — aggregate counters, scoring
+// accumulators, quality digests — and push them upstream to a root
+// (-role root) over /merge in a compact length-prefixed wire format
+// with per-edge epoch cursors, so each push carries only the folds
+// since the last acknowledged epoch and replayed pushes deduplicate
+// exactly-once. The root serves the usual /stats, /rankings, /watch
+// and /quality surfaces over the merged state. -spill-dir gives any
+// server crash-safe persistence: an append-only report log plus
+// periodic state snapshots, replayed on restart so no acknowledged
+// report is lost.
+//
 // With -quality (the default) the server also runs the ingest-quality
 // engine (package quality): streaming sketches over report sizes and
 // sparsity, heavy-hitter source fingerprints, an online check of
@@ -83,6 +96,13 @@ func main() {
 		qualityRng = flag.Int("quality-ring", 64, "rejected-payload forensic ring size (/debug/badreports)")
 		qualityTop = flag.Int("quality-topk", 10, "heavy-hitter sources listed in /quality")
 
+		role          = flag.String("role", "", "collector-tree role: edge (push delta merges to -parent) | root (accept /merge pushes); empty = standalone")
+		parent        = flag.String("parent", "", "with -role edge: base URL of the upstream collector (e.g. http://root:8123)")
+		edgeID        = flag.String("edge-id", "", "with -role edge: stable edge identity at the root (empty = reuse the one persisted in -spill-dir, else random)")
+		mergeIvl      = flag.Duration("merge-interval", time.Second, "with -role edge: delta cut-and-push cadence")
+		spillDir      = flag.String("spill-dir", "", "spill-to-disk directory (append-only report log + state snapshots, replayed on restart); empty disables")
+		spillSnap     = flag.Duration("spill-snapshot", 0, "snapshot cadence for a spill-enabled server without federation (0 = default 30s; federated edges persist at every cut)")
+
 		dashboard     = flag.Bool("dashboard", false, "enable the live triage console (/rankings, /watch, /dashboard)")
 		rankingsEvery = flag.Int("rankings-every", 500, "with -dashboard: snapshot rankings every N folded reports (0 disables the count cadence)")
 		rankingsIvl   = flag.Duration("rankings-interval", 2*time.Second, "with -dashboard: also snapshot on this wall-clock cadence (0 disables)")
@@ -121,6 +141,26 @@ func main() {
 	}
 	srv.StageCapacity = *stageRing
 	srv.StageWait = *stageWait
+	switch *role {
+	case "":
+	case "root":
+		srv.AcceptMerges = true
+	case "edge":
+		if *parent == "" {
+			fmt.Fprintln(os.Stderr, "cbi-collect: -role edge requires -parent")
+			os.Exit(1)
+		}
+		srv.Federation = &collect.Federation{
+			Parent:   *parent,
+			EdgeID:   *edgeID,
+			Interval: *mergeIvl,
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "cbi-collect: unknown role", *role)
+		os.Exit(1)
+	}
+	srv.SpillDir = *spillDir
+	srv.SpillSnapshotInterval = *spillSnap
 	if *traceOut != "" {
 		srv.Tracer = trace.NewCollector()
 	}
@@ -154,6 +194,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("cbi-collect: listening on http://%s (mode=%s)\n", bound, *mode)
+	if *role == "root" {
+		fmt.Printf("cbi-collect: accepting edge delta merges at http://%s/merge\n", bound)
+	}
+	if *role == "edge" {
+		fmt.Printf("cbi-collect: pushing delta merges to %s/merge every %s\n", *parent, *mergeIvl)
+	}
+	if *spillDir != "" {
+		fmt.Printf("cbi-collect: spilling to %s (log + snapshots, replayed on restart)\n", *spillDir)
+	}
 	if *metrics {
 		fmt.Printf("cbi-collect: metrics at http://%s/metrics, health at http://%s/healthz\n", bound, bound)
 	}

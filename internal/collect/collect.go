@@ -114,6 +114,22 @@ type serverMetrics struct {
 	shed        *telemetry.Counter
 	stageWaits  *telemetry.Counter
 	stageBatches *telemetry.Histogram
+	// Federation instruments: the root's /merge endpoint (requests,
+	// reports carried, epoch duplicates, rejections) and the edge's push
+	// loop (pushes, failures).
+	mergeRequests     *telemetry.Counter
+	mergeReports      *telemetry.Counter
+	mergeDuplicates   *telemetry.Counter
+	mergeRejected     *telemetry.Counter
+	mergePushes       *telemetry.Counter
+	mergePushFailures *telemetry.Counter
+	// Spill instruments: journal appends/bytes, snapshots, reports
+	// replayed on restart, and persistence errors.
+	spillAppends   *telemetry.Counter
+	spillBytes     *telemetry.Counter
+	spillSnapshots *telemetry.Counter
+	spillReplayed  *telemetry.Counter
+	spillErrors    *telemetry.Counter
 }
 
 // BatchSizeBuckets are histogram buckets for reports-per-batch.
@@ -145,6 +161,19 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		shed:            reg.Counter("collect_reports_shed_total"),
 		stageWaits:      reg.Counter("collect_stage_waits_total"),
 		stageBatches:    reg.Histogram("collect_stage_fold_batch", BatchSizeBuckets),
+
+		mergeRequests:     reg.Counter("collect_merge_requests_total"),
+		mergeReports:      reg.Counter("collect_merge_reports_total"),
+		mergeDuplicates:   reg.Counter("collect_merge_duplicates_total"),
+		mergeRejected:     reg.Counter("collect_merge_rejected_total"),
+		mergePushes:       reg.Counter("collect_merge_pushes_total"),
+		mergePushFailures: reg.Counter("collect_merge_push_failures_total"),
+
+		spillAppends:   reg.Counter("collect_spill_appends_total"),
+		spillBytes:     reg.Counter("collect_spill_bytes_total"),
+		spillSnapshots: reg.Counter("collect_spill_snapshots_total"),
+		spillReplayed:  reg.Counter("collect_spill_replayed_total"),
+		spillErrors:    reg.Counter("collect_spill_errors_total"),
 	}
 }
 
@@ -224,6 +253,31 @@ type Server struct {
 	// (default 250ms). GET /stats?fresh=1 always recomputes.
 	StatsMaxAge time.Duration
 
+	// AcceptMerges makes this server a federation root (or mid-tier):
+	// Handler mounts /merge, and edge collectors push delta merges of
+	// their sufficient statistics there (see federate.go). Set before
+	// the first submission or Handler call.
+	AcceptMerges bool
+
+	// Federation, when set, makes this server an edge of a collector
+	// tree: a background loop periodically cuts a delta of everything
+	// folded since the last cut and pushes it to Federation.Parent,
+	// with epoch cursors for exactly-once folding. Implies live scoring
+	// accumulators (the root serves /rankings from merged state). Set
+	// before the first submission or Handler call.
+	Federation *Federation
+
+	// SpillDir enables spill-to-disk persistence (see spill.go): every
+	// acknowledged report is journaled before its 202, and state
+	// snapshots make restart recovery cheap. Empty disables. Set before
+	// the first submission or Handler call.
+	SpillDir string
+
+	// SpillSnapshotInterval is the snapshot cadence for a spill-enabled
+	// server WITHOUT federation (default 30s); federated edges persist
+	// at every epoch cut instead.
+	SpillSnapshotInterval time.Duration
+
 	program     string
 	numCounters int
 	// shape is the expected counter-vector length; 0 until an
@@ -249,6 +303,15 @@ type Server struct {
 	statsMu sync.Mutex
 	statsAt time.Time
 	statsCache Stats
+
+	// Federation runtime (nil unless Federation is set); see federate.go.
+	fed *fedState
+	// Root-side merge dedup: last epoch folded per edge, under mergeMu
+	// (which also serializes whole merges — they are rare and coarse).
+	mergeMu   sync.Mutex
+	mergeSeen map[string]uint64
+	// Spill runtime (nil unless SpillDir is set); see spill.go.
+	spill *spillState
 
 	reg      *telemetry.Registry
 	health   telemetry.Health
@@ -295,11 +358,14 @@ func (s *Server) init() {
 		for i := range s.shards {
 			s.shards[i].db = report.NewDB(s.program, s.numCounters)
 			s.shards[i].agg = report.NewAggregate(s.program, s.numCounters)
-			if s.Monitor != nil {
+			if s.accumsEnabled() {
 				s.shards[i].acc = score.NewAccum(s.numCounters, s.Sites)
 			}
 		}
 		s.reg.Gauge("collect_shards").Set(float64(n))
+		// Recover persisted state before staging and the monitor exist:
+		// replay folds directly into the freshly allocated shards.
+		s.initSpill()
 		if s.Staging == StagingOn {
 			// Before the Monitor starts: its snapshot worker reaches the
 			// drain barrier through ScoreState, so the rings and folders
@@ -310,6 +376,11 @@ func (s *Server) init() {
 			s.Monitor.Bind(s, s.reg)
 			s.Monitor.Start()
 		}
+		if sp := s.spill; sp != nil && sp.replayed > 0 {
+			// The replay predates Monitor.Start, so notify now that the
+			// snapshot worker exists.
+			s.Monitor.ReportsFolded(sp.replayed)
+		}
 		if s.Quality != nil {
 			s.Quality.Bind(s.reg)
 			if s.Monitor != nil {
@@ -317,7 +388,16 @@ func (s *Server) init() {
 			}
 			s.Quality.Start()
 		}
+		s.initFederation()
+		s.startSpillLoop()
 	})
+}
+
+// accumsEnabled reports whether shards keep live scoring accumulators:
+// for the local monitor, for federation deltas (the root serves
+// /rankings from merged accumulators), or for merged-in edge state.
+func (s *Server) accumsEnabled() bool {
+	return s.Monitor != nil || s.Federation != nil || s.AcceptMerges
 }
 
 // shardIndex picks the stripe for a run ID (Fibonacci hashing so
@@ -343,6 +423,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/report", s.instrument("/report", http.HandlerFunc(s.handleReport)))
 	mux.Handle("/reports", s.instrument("/reports", http.HandlerFunc(s.handleReports)))
 	mux.Handle("/stats", s.instrument("/stats", http.HandlerFunc(s.handleStats)))
+	if s.AcceptMerges {
+		mux.Handle("/merge", s.instrument("/merge", http.HandlerFunc(s.handleMerge)))
+	}
 	if s.Monitor != nil {
 		mux.Handle("/rankings", s.instrument("/rankings", http.HandlerFunc(s.Monitor.ServeRankings)))
 		mux.Handle("/watch", s.instrument("/watch", http.HandlerFunc(s.Monitor.ServeWatch)))
@@ -510,18 +593,49 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		// handler (accounting) and the folder (fold) read the report.
 		rep.Nonzeros()
 		ring := &s.rings[s.shardIndex(rep.RunID)]
-		if !s.stageEnqueue(ring, []*report.Report{rep}, ingest) {
+		sp := s.spill
+		if sp != nil {
+			sp.gate.RLock()
+		}
+		ok := s.stageEnqueue(ring, []*report.Report{rep}, ingest)
+		var spErr error
+		if ok && sp != nil {
+			spErr = s.spillAppend(frameReport(body))
+		}
+		if sp != nil {
+			sp.gate.RUnlock()
+		}
+		if !ok {
 			s.shed(w, ingest, 1)
+			return
+		}
+		if spErr != nil {
+			s.spillFail(w, ingest, spErr)
 			return
 		}
 		s.accountAccepted(rep)
 	} else {
 		foldSpan := ingest.StartChild("server.fold")
+		sp := s.spill
+		if sp != nil {
+			sp.gate.RLock()
+		}
 		err = s.Submit(rep)
+		var spErr error
+		if err == nil && sp != nil {
+			spErr = s.spillAppend(frameReport(body))
+		}
+		if sp != nil {
+			sp.gate.RUnlock()
+		}
 		foldSpan.End()
 		if err != nil {
 			ingest.SetAttr("outcome", "rejected-fold")
 			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if spErr != nil {
+			s.spillFail(w, ingest, spErr)
 			return
 		}
 	}
@@ -550,6 +664,18 @@ func (s *Server) shed(w http.ResponseWriter, ingest *trace.Span, reports int) {
 	w.Header().Set("Retry-After", shedRetryAfter)
 	http.Error(w, "collector overloaded: staging rings full, retry later",
 		http.StatusServiceUnavailable)
+}
+
+// spillFail answers a request whose reports were taken in (staged or
+// folded) but could not be journaled: 500, no acknowledgment. The
+// report IS in memory — unstaging it would be worse — so a client retry
+// can double-count, degrading this request to at-least-once. That is
+// the documented corner of the durability contract (DESIGN §14), paid
+// only when the disk itself fails mid-append.
+func (s *Server) spillFail(w http.ResponseWriter, ingest *trace.Span, err error) {
+	s.m.spillErrors.Inc()
+	ingest.SetAttr("outcome", "spill-error")
+	http.Error(w, "spill append failed: "+err.Error(), http.StatusInternalServerError)
 }
 
 // accountAccepted records the accept-time metrics and quality
@@ -630,6 +756,17 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Spill framing for the whole request: a batch body's frame region
+	// is byte-identical to the log framing and splices in verbatim; a
+	// plain single-report body gets one frame built around it.
+	var spFrames []byte
+	if s.spill != nil {
+		if fr, isBatch := report.BatchFrames(body); isBatch {
+			spFrames = fr
+		} else {
+			spFrames = frameReport(body)
+		}
+	}
 	if s.stagingActive() && len(reps) <= s.stageCap {
 		// Whole batch onto one round-robin ring in a single atomic
 		// reservation: all-or-nothing, one folder lock acquisition, and
@@ -644,8 +781,24 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 			rep.Nonzeros()
 		}
 		ring := &s.rings[s.stageRR.Add(1)&s.shardMask]
-		if !s.stageEnqueue(ring, reps, ingest) {
+		sp := s.spill
+		if sp != nil {
+			sp.gate.RLock()
+		}
+		ok := s.stageEnqueue(ring, reps, ingest)
+		var spErr error
+		if ok && sp != nil {
+			spErr = s.spillAppend(spFrames)
+		}
+		if sp != nil {
+			sp.gate.RUnlock()
+		}
+		if !ok {
 			s.shed(w, ingest, len(reps))
+			return
+		}
+		if spErr != nil {
+			s.spillFail(w, ingest, spErr)
 			return
 		}
 		for _, rep := range reps {
@@ -653,15 +806,31 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		foldSpan := ingest.StartChild("server.fold")
+		sp := s.spill
+		if sp != nil {
+			sp.gate.RLock()
+		}
+		var spErr error
 		for _, rep := range reps {
 			if err := s.Submit(rep); err != nil {
+				if sp != nil {
+					sp.gate.RUnlock()
+				}
 				foldSpan.End()
 				ingest.SetAttr("outcome", "rejected-fold")
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
 		}
+		if sp != nil {
+			spErr = s.spillAppend(spFrames)
+			sp.gate.RUnlock()
+		}
 		foldSpan.End()
+		if spErr != nil {
+			s.spillFail(w, ingest, spErr)
+			return
+		}
 	}
 	s.m.batchesAccepted.Inc()
 	s.m.batchReportsIn.Add(uint64(len(reps)))
@@ -969,8 +1138,10 @@ func (s *Server) Start(addr string) (string, error) {
 // ShutdownTimeout to complete before connections are forced closed, and
 // then the staging rings are drained and the folder goroutines retired
 // — every report acknowledged with a 202 is folded before Stop returns.
-// The monitor and quality workers stop last, after the final folds have
-// notified them.
+// A federated edge then takes one final cut and best-effort push (what
+// the parent does not ack stays in the spill state for the next boot),
+// spill persistence closes cleanly, and the monitor and quality workers
+// stop last, after the final folds have notified them.
 func (s *Server) Stop() error {
 	var err error
 	if s.httpServer != nil {
@@ -982,9 +1153,31 @@ func (s *Server) Stop() error {
 		}
 	}
 	s.stopStaging()
+	s.stopFederation(true)
+	s.stopSpill()
 	s.Monitor.Stop()
 	s.Quality.Stop()
 	return err
+}
+
+// Crash terminates the server abruptly: connections are severed, the
+// federation loop dies without a flush, and the spill files are left
+// exactly as the last append/cut wrote them — no final snapshot, no
+// compaction. It is the crash-recovery test hook: a server restarted on
+// the same SpillDir must recover every report acknowledged before the
+// Crash call. (Background goroutines are still retired so tests do not
+// leak them; the in-memory state they maintain is discarded unpersisted,
+// which is exactly what a dead process would have left.)
+func (s *Server) Crash() {
+	if s.httpServer != nil {
+		s.health.Set(telemetry.HealthShuttingDown)
+		s.httpServer.Close()
+	}
+	s.stopFederation(false)
+	s.stopStaging()
+	s.Monitor.Stop()
+	s.Quality.Stop()
+	s.spillCloseAbrupt()
 }
 
 // Client submits reports to a remote collection server, with bounded
@@ -1192,8 +1385,8 @@ func (c *Client) tryPost(ctx context.Context, att *trace.Span, path string, body
 		return false, 0, nil
 	}
 	if resp.StatusCode == http.StatusServiceUnavailable {
-		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs >= 0 {
-			retryAfter = time.Duration(secs) * time.Second
+		if d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+			retryAfter = d
 			capAt := c.RetryAfterCap
 			if capAt <= 0 {
 				capAt = 2 * time.Second
@@ -1205,6 +1398,32 @@ func (c *Client) tryPost(ctx context.Context, att *trace.Span, path string, body
 	}
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	return resp.StatusCode >= 500, retryAfter, fmt.Errorf("collect: server rejected report: %s: %s", resp.Status, msg)
+}
+
+// parseRetryAfter interprets a Retry-After header value per RFC 9110
+// §10.2.3, which allows both delay-seconds and an HTTP-date. The date
+// forms accepted are the three http.ParseTime layouts (IMF-fixdate,
+// obsolete RFC 850, ANSI C asctime); a date already in the past means
+// "retry now" (zero delay), and anything unparseable reports ok=false
+// so the caller falls back to its own backoff schedule.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }
 
 // Stats fetches the server's run summary.

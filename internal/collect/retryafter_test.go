@@ -1,0 +1,129 @@
+package collect
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cbi/internal/report"
+)
+
+func TestParseRetryAfterDelaySeconds(t *testing.T) {
+	now := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"1", time.Second, true},
+		{"120", 2 * time.Minute, true},
+		{"-1", 0, false}, // negative delay-seconds is not valid RFC 9110
+	}
+	for _, c := range cases {
+		got, ok := parseRetryAfter(c.in, now)
+		if got != c.want || ok != c.ok {
+			t.Errorf("parseRetryAfter(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestParseRetryAfterHTTPDate(t *testing.T) {
+	now := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	future := now.Add(90 * time.Second)
+
+	// All three layouts http.ParseTime accepts: IMF-fixdate, obsolete
+	// RFC 850, and ANSI C asctime.
+	for _, layout := range []string{http.TimeFormat, time.RFC850, time.ANSIC} {
+		v := future.Format(layout)
+		got, ok := parseRetryAfter(v, now)
+		if !ok {
+			t.Errorf("date %q (%s) not accepted", v, layout)
+			continue
+		}
+		if got != 90*time.Second {
+			t.Errorf("date %q: delay %v, want 90s", v, got)
+		}
+	}
+
+	// A date already in the past means "retry now", not an error and not
+	// a negative sleep.
+	past := now.Add(-time.Hour).Format(http.TimeFormat)
+	if got, ok := parseRetryAfter(past, now); !ok || got != 0 {
+		t.Errorf("past date: %v, %v; want 0, true", got, ok)
+	}
+}
+
+func TestParseRetryAfterGarbage(t *testing.T) {
+	now := time.Now()
+	for _, v := range []string{
+		"",
+		"soon",
+		"12.5",
+		"1h",
+		"Mon, 99 Xxx 2026 99:99:99 GMT",
+		"∞",
+	} {
+		if d, ok := parseRetryAfter(v, now); ok || d != 0 {
+			t.Errorf("parseRetryAfter(%q) = %v, %v; want 0, false", v, d, ok)
+		}
+	}
+}
+
+// retryAfterServer answers every POST with 503 and the given
+// Retry-After header value until `fail` responses have been sent, then
+// accepts with 202.
+type retryAfterServer struct {
+	header string
+	fail   int
+	posts  int
+}
+
+func (s *retryAfterServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.posts++
+	if s.posts <= s.fail {
+		w.Header().Set("Retry-After", s.header)
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// TestClientCapsRetryAfterBothForms proves RetryAfterCap bounds the
+// honored delay for the delay-seconds form and for the HTTP-date form
+// alike: a server demanding an hour-long pause must not stall a client
+// capped at a few milliseconds.
+func TestClientCapsRetryAfterBothForms(t *testing.T) {
+	forms := map[string]string{
+		"delay-seconds": "3600",
+		"http-date":     time.Now().Add(time.Hour).UTC().Format(http.TimeFormat),
+	}
+	for name, header := range forms {
+		t.Run(name, func(t *testing.T) {
+			backend := &retryAfterServer{header: header, fail: 2}
+			ts := httptest.NewServer(backend)
+			defer ts.Close()
+
+			c := NewClient(ts.URL)
+			c.MaxAttempts = 5
+			c.RetryBackoff = time.Millisecond
+			c.RetryAfterCap = 5 * time.Millisecond
+
+			start := time.Now()
+			err := c.Submit(&report.Report{Program: "p", Counters: []uint64{1}})
+			elapsed := time.Since(start)
+			if err != nil {
+				t.Fatalf("submit after retries: %v", err)
+			}
+			if backend.posts != 3 {
+				t.Errorf("posts = %d, want 3 (two 503s then a 202)", backend.posts)
+			}
+			// Two capped waits (5ms each) plus jitter and scheduling slack:
+			// anywhere near the server's requested hour means the cap failed.
+			if elapsed > 2*time.Second {
+				t.Errorf("submission took %v; Retry-After cap not applied", elapsed)
+			}
+		})
+	}
+}

@@ -296,12 +296,18 @@ func (m *Monitor) Stop() {
 // the source. It is called on the ingest path: an atomic increment, and
 // on a cadence crossing a non-blocking wake of the snapshot worker
 // (crossings during an in-flight snapshot coalesce into one pending).
-func (m *Monitor) ReportFolded() {
-	if m == nil || m.src == nil {
+func (m *Monitor) ReportFolded() { m.ReportsFolded(1) }
+
+// ReportsFolded is the batched form of ReportFolded, used when many
+// reports land in the source at once (a federated delta merge, a spill
+// replay). One atomic add covers the whole batch; the cadence check
+// fires if the add crossed any EveryReports boundary.
+func (m *Monitor) ReportsFolded(n int) {
+	if m == nil || m.src == nil || n <= 0 {
 		return
 	}
-	n := m.folded.Add(1)
-	if m.cfg.EveryReports > 0 && n%uint64(m.cfg.EveryReports) == 0 {
+	v := m.folded.Add(uint64(n))
+	if every := uint64(m.cfg.EveryReports); every > 0 && v/every != (v-uint64(n))/every {
 		m.requestSnapshot()
 	}
 }

@@ -1,0 +1,116 @@
+package quality
+
+import (
+	"testing"
+)
+
+func testDigest(scale uint64) Digest {
+	d := Digest{
+		ReportPosts:  10 * scale,
+		ReportsPosts: 3 * scale,
+		Accepted:     9 * scale,
+		BytesCount:   9 * scale,
+		BytesSum:     4096 * scale,
+		NzSum:        77 * scale,
+	}
+	for i := range d.Rejected {
+		d.Rejected[i] = uint64(i) * scale
+	}
+	return d
+}
+
+func TestDigestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, d := range []Digest{{}, testDigest(1), testDigest(1 << 40)} {
+		got, err := DecodeDigest(d.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != d {
+			t.Fatalf("round trip mismatch: %+v != %+v", got, d)
+		}
+	}
+}
+
+func TestDigestDecodeRejectsMalformed(t *testing.T) {
+	good := testDigest(3).Encode()
+	cases := map[string][]byte{
+		"empty":          {},
+		"truncated":      good[:len(good)-1],
+		"trailing bytes": append(append([]byte{}, good...), 0),
+	}
+	// A digest from a build with a different reason vocabulary must be
+	// refused rather than misattributed.
+	wrongReasons := append([]byte{}, good...)
+	wrongReasons[0] = byte(NumReasons + 1)
+	cases["reason-count mismatch"] = wrongReasons
+	for name, data := range cases {
+		if _, err := DecodeDigest(data); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestDigestSubAndIsZero(t *testing.T) {
+	var zero Digest
+	if !zero.IsZero() {
+		t.Error("zero digest not IsZero")
+	}
+	if d := testDigest(2); d.IsZero() {
+		t.Error("populated digest IsZero")
+	}
+	// Only a rejection reason set: still not zero.
+	var rej Digest
+	rej.Rejected[NumReasons-1] = 1
+	if rej.IsZero() {
+		t.Error("rejection-only digest IsZero")
+	}
+
+	cur, base := testDigest(5), testDigest(2)
+	delta := cur.Sub(base)
+	if delta != testDigest(3) {
+		t.Fatalf("Sub: %+v", delta)
+	}
+	if !cur.Sub(cur).IsZero() {
+		t.Error("self-difference not zero")
+	}
+}
+
+// TestEngineAbsorbFeedsTotalsAndWindows pins the two absorption paths:
+// Absorb (a live delta from a downstream edge) lands in the cumulative
+// totals AND the current tick windows, while AbsorbTotals (restart
+// seeding) must leave the windows untouched so replayed history cannot
+// masquerade as an instant of live traffic.
+func TestEngineAbsorbFeedsTotalsAndWindows(t *testing.T) {
+	e := New(Config{Interval: -1})
+	d := testDigest(1)
+
+	e.Absorb(d)
+	if got := e.TotalsDigest(); got != d {
+		t.Fatalf("totals after Absorb: %+v, want %+v", got, d)
+	}
+	if got := e.windows[trkAccept].Load(); got != d.Accepted {
+		t.Fatalf("accept window after Absorb: %d, want %d", got, d.Accepted)
+	}
+
+	e.AbsorbTotals(d)
+	if got := e.TotalsDigest(); got != testDigest(2) {
+		t.Fatalf("totals after AbsorbTotals: %+v", got)
+	}
+	if got := e.windows[trkAccept].Load(); got != d.Accepted {
+		t.Fatalf("AbsorbTotals leaked into the window: %d, want %d", got, d.Accepted)
+	}
+
+	// Digest deltas are also monotone snapshots: absorbing then
+	// subtracting reproduces the delta.
+	if got := e.TotalsDigest().Sub(testDigest(1)); got != testDigest(1) {
+		t.Fatalf("totals algebra: %+v", got)
+	}
+
+	// Nil engine: all three are safe no-ops.
+	var nilEngine *Engine
+	nilEngine.Absorb(d)
+	nilEngine.AbsorbTotals(d)
+	if !nilEngine.TotalsDigest().IsZero() {
+		t.Error("nil engine digest not zero")
+	}
+}

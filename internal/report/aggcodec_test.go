@@ -1,0 +1,110 @@
+package report
+
+import (
+	"reflect"
+	"testing"
+)
+
+func foldedAggregate(t *testing.T, n, runs int) *Aggregate {
+	t.Helper()
+	a := NewAggregate("", n)
+	for i := 0; i < runs; i++ {
+		r := &Report{RunID: uint64(i + 1), Program: "", Crashed: i%3 == 0, Counters: make([]uint64, n)}
+		r.Counters[i%n] = uint64(i + 1)
+		r.Counters[(i*7)%n] += 2
+		if err := a.Fold(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a
+}
+
+func TestAggregateStatsRoundTrip(t *testing.T) {
+	a := foldedAggregate(t, 64, 30)
+	got, err := DecodeAggregateStats(a.EncodeStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatalf("round trip mismatch:\n  in: %+v\n out: %+v", a, got)
+	}
+
+	// An empty aggregate survives too (a quiet delta interval).
+	empty := NewAggregate("", 64)
+	if got, err = DecodeAggregateStats(empty.EncodeStats()); err != nil || !reflect.DeepEqual(empty, got) {
+		t.Fatalf("empty aggregate round trip: %v", err)
+	}
+}
+
+func TestAggregateCloneIsIndependent(t *testing.T) {
+	a := foldedAggregate(t, 16, 10)
+	c := a.Clone()
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("clone differs from original")
+	}
+	c.Totals[3] += 99
+	c.Runs++
+	c.NonzeroInFailure[5] = !c.NonzeroInFailure[5]
+	if a.Totals[3] == c.Totals[3] || a.Runs == c.Runs {
+		t.Fatal("clone shares storage with the original")
+	}
+}
+
+// TestAggregateDiffMergeIdentity is the delta-push algebra: for
+// cumulative states base ⊆ cur, merging Diff(cur, base) into a copy of
+// base reproduces cur exactly. This is what makes epoch-cursor delta
+// merges bit-identical to shipping the full aggregate.
+func TestAggregateDiffMergeIdentity(t *testing.T) {
+	cur := foldedAggregate(t, 32, 40)
+	base := foldedAggregate(t, 32, 25) // same fold prefix: runs 1..25
+
+	delta, err := cur.Diff(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := base.Clone()
+	if err := rebuilt.Merge(delta); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rebuilt, cur) {
+		t.Fatal("base + Diff(cur, base) != cur")
+	}
+
+	// Diff against nil is the state itself.
+	full, err := cur.Diff(nil)
+	if err != nil || !reflect.DeepEqual(full, cur) {
+		t.Fatalf("Diff(nil) should clone: %v", err)
+	}
+
+	// A base ahead of the current state is a hard error, not a negative
+	// delta.
+	if _, err := base.Diff(cur); err == nil {
+		t.Error("regressed diff accepted")
+	}
+	other := foldedAggregate(t, 8, 5)
+	if _, err := cur.Diff(other); err == nil {
+		t.Error("shape-mismatched diff accepted")
+	}
+}
+
+func TestDecodeAggregateStatsRejectsMalformed(t *testing.T) {
+	good := foldedAggregate(t, 16, 8).EncodeStats()
+	cases := map[string][]byte{
+		"empty":          {},
+		"truncated":      good[:len(good)-2],
+		"trailing bytes": append(append([]byte{}, good...), 0),
+		"absurd shape":   {0xff, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0},
+	}
+	for name, data := range cases {
+		if _, err := DecodeAggregateStats(data); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// crashes > runs is internally inconsistent.
+	bad := NewAggregate("", 4)
+	bad.Runs = 1
+	bad.Crashes = 5
+	if _, err := DecodeAggregateStats(bad.EncodeStats()); err == nil {
+		t.Error("crashes > runs accepted")
+	}
+}

@@ -73,3 +73,21 @@ func DecodeBatch(data []byte) ([]*Report, error) {
 func IsBatch(data []byte) bool {
 	return len(data) >= len(batchMagic) && string(data[:len(batchMagic)]) == string(batchMagic)
 }
+
+// BatchFrames returns the frame region of a batch payload — everything
+// after the magic and count, which is byte-for-byte the WriteAll/ReadAll
+// framing used by report logs. A collector spilling an already-validated
+// batch body to its append-only log can splice this region in directly
+// instead of re-encoding every report. ok is false when data is not a
+// well-formed batch header.
+func BatchFrames(data []byte) (frames []byte, ok bool) {
+	if !IsBatch(data) {
+		return nil, false
+	}
+	off := len(batchMagic)
+	n, w := binary.Uvarint(data[off:])
+	if w <= 0 || n > MaxBatchReports {
+		return nil, false
+	}
+	return data[off+w:], true
+}

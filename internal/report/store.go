@@ -66,6 +66,60 @@ func ReadAll(r io.Reader) ([]*Report, error) {
 	}
 }
 
+// ReadAllPrefix reads framed reports from r like ReadAll, but tolerates
+// a torn tail: on truncation or corruption it returns every report
+// decoded so far plus the byte offset just past the last good frame,
+// with ErrBadFrame (or the decode error) signalling that the tail was
+// dropped. A collector replaying its crash-spilled append-only log uses
+// the offset to truncate the torn write instead of discarding the log
+// wholesale.
+func ReadAllPrefix(r io.Reader) (reports []*Report, goodBytes int64, err error) {
+	br := bufio.NewReader(r)
+	var lenBuf [binary.MaxVarintLen64]byte
+	for {
+		size, n, rerr := readUvarintCounted(br, lenBuf[:])
+		if rerr == io.EOF && n == 0 {
+			return reports, goodBytes, nil
+		}
+		if rerr != nil || size > 1<<30 {
+			return reports, goodBytes, ErrBadFrame
+		}
+		buf := make([]byte, size)
+		if _, rerr := io.ReadFull(br, buf); rerr != nil {
+			return reports, goodBytes, ErrBadFrame
+		}
+		rep, derr := Decode(buf)
+		if derr != nil {
+			return reports, goodBytes, derr
+		}
+		reports = append(reports, rep)
+		goodBytes += int64(n) + int64(size)
+	}
+}
+
+// readUvarintCounted is binary.ReadUvarint plus a count of bytes
+// consumed, so ReadAllPrefix can track exact frame boundaries.
+func readUvarintCounted(br *bufio.Reader, scratch []byte) (v uint64, n int, err error) {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, n, err
+		}
+		scratch[n] = b
+		n++
+		if b < 0x80 {
+			u, w := binary.Uvarint(scratch[:n])
+			if w != n {
+				return 0, n, ErrBadFrame
+			}
+			return u, n, nil
+		}
+		if n == len(scratch) {
+			return 0, n, ErrBadFrame
+		}
+	}
+}
+
 // WriteFile saves a database to path.
 func (db *DB) WriteFile(path string) error {
 	defer telemetry.StartSpan("report.write_file").End()
