@@ -1,9 +1,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"reflect"
 	"runtime"
 	"time"
@@ -206,16 +204,7 @@ func analyze() error {
 		return fmt.Errorf("analyze: sparse engine diverged from the dense oracle")
 	}
 
-	out, err := json.MarshalIndent(&doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	outPath := benchOutPath("BENCH_analysis.json")
-	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("measurements written to", outPath)
-	return nil
+	return writeBenchDoc("BENCH_analysis.json", &doc)
 }
 
 // measureAllocs times f and counts heap allocations across it.

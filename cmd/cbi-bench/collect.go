@@ -2,7 +2,6 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -610,14 +609,5 @@ func collectBench() error {
 	fmt.Printf("  replayed from log: %d; lost acked: %d; root identical: %v; edge identity restored: %v\n",
 		rec.ReplayedFromLog, rec.LostAcked, rec.Identical, rec.EdgeIDRestored)
 
-	out, err := json.MarshalIndent(&doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	outPath := benchOutPath("BENCH_collect.json")
-	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("\nmeasurements written to", outPath)
-	return nil
+	return writeBenchDoc("BENCH_collect.json", &doc)
 }

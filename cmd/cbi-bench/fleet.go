@@ -3,10 +3,10 @@ package main
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
-	"os"
+	"math"
 	"runtime"
+	"sort"
 	"time"
 
 	"cbi/internal/collect"
@@ -38,10 +38,25 @@ type fleetBenchDoc struct {
 		BatchReportsPerSec  float64 `json:"batch_reports_per_sec"`
 		Speedup             float64 `json:"speedup"`
 	} `json:"ingest"`
-	// Engines holds one row per (workload, engine): the compiled VM
-	// against the tree walker on the Table-2 benchmarks, with per-run
-	// allocation counts so frame-pooling regressions are visible.
+	// Engines holds one row per (workload, engine): the bytecode VMs
+	// (fused/threaded and switch-dispatch) against the tree walker on the
+	// Table-2 benchmarks, with per-run allocation counts so frame-pooling
+	// regressions are visible.
 	Engines []engineBenchRow `json:"engines"`
+	// FusedSpeedupVsSwitch is the geometric-mean steps/s advantage of
+	// the fused/threaded engine over the switch-dispatch engine across
+	// the workloads above; gated at >= 1.2 both here and in CI.
+	FusedSpeedupVsSwitch float64 `json:"fused_speedup_vs_switch"`
+	// OpHistogram is the fused engine's per-opcode dispatch mix across
+	// one sampled run of every workload, heaviest first — the data
+	// future fusion candidates are chosen from.
+	OpHistogram []opCountRow `json:"op_histogram"`
+}
+
+type opCountRow struct {
+	Op    string  `json:"op"`
+	Count uint64  `json:"count"`
+	Share float64 `json:"share"`
 }
 
 type engineBenchRow struct {
@@ -56,6 +71,9 @@ type engineBenchRow struct {
 	// Speedup is steps/sec relative to the tree engine on the same
 	// workload (1.0 on the tree rows themselves).
 	Speedup float64 `json:"speedup"`
+	// SpeedupVsSwitch is, on fused rows, steps/sec relative to the
+	// switch-dispatch compiled engine on the same workload.
+	SpeedupVsSwitch float64 `json:"speedup_vs_switch,omitempty"`
 	// Identical reports whether every run's report and step count matched
 	// the tree engine bit for bit.
 	Identical bool `json:"identical"`
@@ -163,32 +181,31 @@ func fleet() error {
 		return err
 	}
 
-	out, err := json.MarshalIndent(&doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	outPath := benchOutPath("BENCH_fleet.json")
-	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("measurements written to", outPath)
-	return nil
+	return writeBenchDoc("BENCH_fleet.json", &doc)
 }
 
-// engineRows races the compiled VM against the tree walker on every
-// Table-2 workload (bounds scheme, sampled): steps/sec throughput,
-// allocations per run, and a bit-identical-reports check per run pair.
+// engineRows races the bytecode VMs (switch-dispatch and the
+// fused/threaded engine) against the tree walker on every Table-2
+// workload (bounds scheme, sampled): steps/sec throughput, allocations
+// per run, and a bit-identical-reports check per run pair. It also
+// collects the fused engine's per-opcode dispatch histogram and gates
+// the fused-vs-switch speedup at >= 1.2 (geometric mean).
 func engineRows(doc *fleetBenchDoc) error {
-	const perEngine = 3
+	const perEngine = 7
 	fmt.Printf("\nengines (Table-2 workloads, bounds scheme sampled @ %s, %d runs each):\n",
 		frac(*density), perEngine)
-	fmt.Printf("%-10s %10s %14s %14s %12s %9s %10s\n",
-		"workload", "engine", "steps/sec", "allocs/run", "bytes/run", "speedup", "identical")
+	fmt.Printf("%-10s %10s %14s %14s %12s %9s %9s %10s\n",
+		"workload", "engine", "steps/sec", "allocs/run", "bytes/run", "vs-tree", "vs-switch", "identical")
+	opTotals := map[string]uint64{}
+	logGeo := 0.0
+	nGeo := 0
 	for _, b := range workloads.All() {
 		built, err := workloads.BuildBenchmark(b.Name, instrument.SchemeSet{Bounds: true}, true)
 		if err != nil {
 			return fmt.Errorf("engines %s: %w", b.Name, err)
 		}
+		// One immutable Compiled shared by both bytecode engines.
+		code := interp.Compile(built.Program)
 		confFor := func(eng interp.Engine, i int) interp.Config {
 			return interp.Config{
 				Engine:        eng,
@@ -197,71 +214,119 @@ func engineRows(doc *fleetBenchDoc) error {
 				CountdownSeed: *seed + int64(i)*17,
 			}
 		}
-		measure := func(eng interp.Engine) (engineBenchRow, []interp.Result, error) {
-			var code *interp.Compiled
-			if eng == interp.EngineCompiled {
-				code = interp.Compile(built.Program)
-			}
-			runtime.GC()
-			var ms0, ms1 runtime.MemStats
-			runtime.ReadMemStats(&ms0)
-			t0 := time.Now()
-			var results []interp.Result
-			var steps uint64
-			for i := 0; i < perEngine; i++ {
+		// Reps are interleaved across engines (tree, switch, fused, then
+		// again) and timed individually; each row reports its best rep's
+		// throughput. Scheduler or GC hiccups only ever slow a rep down,
+		// so max-over-reps is the noise-robust estimator, and interleaving
+		// keeps a mid-bench slowdown from penalizing one engine wholesale.
+		engines := []interp.Engine{interp.EngineTree, interp.EngineCompiled, interp.EngineFused}
+		rowFor := make([]engineBenchRow, len(engines))
+		resFor := make([][]interp.Result, len(engines))
+		var ms0, ms1 runtime.MemStats
+		for i := 0; i < perEngine; i++ {
+			for e, eng := range engines {
+				runtime.GC()
+				runtime.ReadMemStats(&ms0)
+				t0 := time.Now()
 				var res interp.Result
-				if code != nil {
-					res = code.Run(confFor(eng, i))
-				} else {
+				if eng == interp.EngineTree {
 					res = interp.Run(built.Program, confFor(eng, i))
+				} else {
+					res = code.Run(confFor(eng, i))
 				}
+				sec := time.Since(t0).Seconds()
+				runtime.ReadMemStats(&ms1)
 				if res.Outcome != interp.OutcomeOK {
-					return engineBenchRow{}, nil, fmt.Errorf("engines %s (%s): crashed: %v", b.Name, eng, res.Trap)
+					return fmt.Errorf("engines %s (%s): crashed: %v", b.Name, eng, res.Trap)
 				}
-				steps += res.Steps
-				results = append(results, res)
-			}
-			sec := time.Since(t0).Seconds()
-			runtime.ReadMemStats(&ms1)
-			return engineBenchRow{
-				Workload:     b.Name,
-				Engine:       eng.String(),
-				Runs:         perEngine,
-				Steps:        steps,
-				Seconds:      sec,
-				StepsPerSec:  float64(steps) / sec,
-				AllocsPerRun: float64(ms1.Mallocs-ms0.Mallocs) / perEngine,
-				BytesPerRun:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / perEngine,
-			}, results, nil
-		}
-		treeRow, treeRes, err := measure(interp.EngineTree)
-		if err != nil {
-			return err
-		}
-		compRow, compRes, err := measure(interp.EngineCompiled)
-		if err != nil {
-			return err
-		}
-		treeRow.Speedup = 1
-		treeRow.Identical = true
-		compRow.Speedup = compRow.StepsPerSec / treeRow.StepsPerSec
-		compRow.Identical = true
-		for i := range treeRes {
-			tr := workloads.ReportOf(b.Name, uint64(i), treeRes[i])
-			cr := workloads.ReportOf(b.Name, uint64(i), compRes[i])
-			if !bytes.Equal(tr.Encode(), cr.Encode()) || treeRes[i].Steps != compRes[i].Steps {
-				compRow.Identical = false
+				row := &rowFor[e]
+				row.Seconds += sec
+				row.Steps += res.Steps
+				if sps := float64(res.Steps) / sec; sps > row.StepsPerSec {
+					row.StepsPerSec = sps
+				}
+				row.AllocsPerRun += float64(ms1.Mallocs-ms0.Mallocs) / perEngine
+				row.BytesPerRun += float64(ms1.TotalAlloc-ms0.TotalAlloc) / perEngine
+				resFor[e] = append(resFor[e], res)
 			}
 		}
-		for _, row := range []engineBenchRow{treeRow, compRow} {
-			fmt.Printf("%-10s %10s %14.0f %14.0f %12.0f %8.2fx %10v\n",
+		var rows []engineBenchRow
+		treeRes := resFor[0]
+		var switchStepsPerSec float64
+		for e, eng := range engines {
+			row := rowFor[e]
+			row.Workload = b.Name
+			row.Engine = eng.String()
+			row.Runs = perEngine
+			row.Speedup = row.StepsPerSec / rowFor[0].StepsPerSec
+			row.Identical = true
+			for i := range treeRes {
+				tr := workloads.ReportOf(b.Name, uint64(i), treeRes[i])
+				er := workloads.ReportOf(b.Name, uint64(i), resFor[e][i])
+				if !bytes.Equal(tr.Encode(), er.Encode()) || treeRes[i].Steps != resFor[e][i].Steps {
+					row.Identical = false
+				}
+			}
+			switch eng {
+			case interp.EngineCompiled:
+				switchStepsPerSec = row.StepsPerSec
+			case interp.EngineFused:
+				row.SpeedupVsSwitch = row.StepsPerSec / switchStepsPerSec
+				logGeo += math.Log(row.SpeedupVsSwitch)
+				nGeo++
+			}
+			rows = append(rows, row)
+		}
+		for _, row := range rows {
+			vsSwitch := "-"
+			if row.SpeedupVsSwitch > 0 {
+				vsSwitch = fmt.Sprintf("%.2fx", row.SpeedupVsSwitch)
+			}
+			fmt.Printf("%-10s %10s %14.0f %14.0f %12.0f %8.2fx %9s %10v\n",
 				row.Workload, row.Engine, row.StepsPerSec, row.AllocsPerRun,
-				row.BytesPerRun, row.Speedup, row.Identical)
+				row.BytesPerRun, row.Speedup, vsSwitch, row.Identical)
+			if !row.Identical {
+				return fmt.Errorf("engines %s: %s reports differ from tree baseline", b.Name, row.Engine)
+			}
 		}
-		if !compRow.Identical {
-			return fmt.Errorf("engines %s: compiled reports differ from tree baseline", b.Name)
+		doc.Engines = append(doc.Engines, rows...)
+
+		// Dispatch histogram: one extra fused run with counting on, so
+		// the measured rows above stay free of the counting overhead.
+		hconf := confFor(interp.EngineFused, 0)
+		hconf.CountOps = true
+		hres := code.Run(hconf)
+		for op, n := range hres.OpCounts {
+			opTotals[op] += n
 		}
-		doc.Engines = append(doc.Engines, treeRow, compRow)
+	}
+
+	var totalDispatch uint64
+	for _, n := range opTotals {
+		totalDispatch += n
+	}
+	for op, n := range opTotals {
+		doc.OpHistogram = append(doc.OpHistogram, opCountRow{
+			Op: op, Count: n, Share: float64(n) / float64(totalDispatch),
+		})
+	}
+	sort.Slice(doc.OpHistogram, func(i, j int) bool {
+		return doc.OpHistogram[i].Count > doc.OpHistogram[j].Count
+	})
+	fmt.Printf("\nfused-engine dispatch histogram (top 10 of %d ops, %d dispatches):\n",
+		len(doc.OpHistogram), totalDispatch)
+	for i, row := range doc.OpHistogram {
+		if i == 10 {
+			break
+		}
+		fmt.Printf("  %-20s %12d  %5.1f%%\n", row.Op, row.Count, 100*row.Share)
+	}
+
+	doc.FusedSpeedupVsSwitch = math.Exp(logGeo / float64(nGeo))
+	fmt.Printf("\nfused vs switch-dispatch: %.2fx steps/s (geomean over %d workloads; gate >= 1.20x)\n",
+		doc.FusedSpeedupVsSwitch, nGeo)
+	if doc.FusedSpeedupVsSwitch < 1.2 {
+		return fmt.Errorf("engines: fused speedup %.3fx below the 1.2x gate", doc.FusedSpeedupVsSwitch)
 	}
 	return nil
 }

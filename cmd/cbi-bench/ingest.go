@@ -2,12 +2,10 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"reflect"
 	"runtime"
 	"sort"
@@ -368,16 +366,7 @@ func ingestBench() error {
 		ov.RetriedToCompletion, ov.LostAccepted, ov.Identical)
 	fmt.Printf("  shed anomaly fired: %v, recovered: %v\n", ov.ShedAnomalyFired, ov.ShedAnomalyRecovered)
 
-	out, err := json.MarshalIndent(&doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	outPath := benchOutPath("BENCH_ingest.json")
-	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("\nmeasurements written to", outPath)
-	return nil
+	return writeBenchDoc("BENCH_ingest.json", &doc)
 }
 
 // shedAnomalyActive reports whether the quality engine currently flags

@@ -20,9 +20,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"cbi/internal/core"
 	"cbi/internal/instrument"
@@ -50,6 +53,66 @@ func benchOutPath(def string) string {
 		return *benchOut
 	}
 	return def
+}
+
+// writeBenchDoc marshals a subcommand's measurement doc, writes it to
+// the resolved BENCH_*.json path, and then gates on the doc itself:
+// every boolean in these documents asserts an invariant (bit-identity
+// with an oracle, a bound held, an anomaly caught), so any false flag
+// means the measurement is reporting a violation and the subcommand
+// exits non-zero — the artifact is still on disk for debugging, but CI
+// fails even if nothing reads the JSON. Fields whose false state is
+// informational rather than a failure are listed in exempt.
+func writeBenchDoc(def string, doc any, exempt ...string) error {
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	outPath := benchOutPath(def)
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("\nmeasurements written to", outPath)
+	return gateDocFlags(out, outPath, exempt)
+}
+
+// gateDocFlags re-decodes the marshaled doc and collects the JSON path
+// of every false boolean not named in exempt.
+func gateDocFlags(raw []byte, outPath string, exempt []string) error {
+	skip := make(map[string]bool, len(exempt))
+	for _, f := range exempt {
+		skip[f] = true
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return err
+	}
+	var falseFlags []string
+	var walk func(path string, v any)
+	walk = func(path string, v any) {
+		switch x := v.(type) {
+		case map[string]any:
+			for k, val := range x {
+				if b, ok := val.(bool); ok {
+					if !b && !skip[k] {
+						falseFlags = append(falseFlags, path+"."+k)
+					}
+					continue
+				}
+				walk(path+"."+k, val)
+			}
+		case []any:
+			for i, val := range x {
+				walk(fmt.Sprintf("%s[%d]", path, i), val)
+			}
+		}
+	}
+	walk("", doc)
+	if len(falseFlags) > 0 {
+		sort.Strings(falseFlags)
+		return fmt.Errorf("%s: gate flag(s) false: %s", outPath, strings.Join(falseFlags, ", "))
+	}
+	return nil
 }
 
 func main() {

@@ -2,10 +2,8 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
 	"reflect"
 	"runtime"
 	"sort"
@@ -318,16 +316,7 @@ func monitorBench() error {
 		return err
 	}
 
-	out, err := json.MarshalIndent(&doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	outPath := benchOutPath("BENCH_monitor.json")
-	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("\nmeasurements written to", outPath)
-	return nil
+	return writeBenchDoc("BENCH_monitor.json", &doc, "converged")
 }
 
 // snapshotLatency times Predicates+Rank over a synthetic accumulator of

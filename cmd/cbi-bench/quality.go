@@ -2,11 +2,9 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
-	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -312,16 +310,7 @@ func qualityBench() error {
 			row.Fault, row.Kind, row.Detected, row.TicksToDetect, row.MillisSeen)
 	}
 
-	out, err := json.MarshalIndent(&doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	outPath := benchOutPath("BENCH_quality.json")
-	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("\nmeasurements written to", outPath)
-	return nil
+	return writeBenchDoc("BENCH_quality.json", &doc)
 }
 
 // quantileAccuracy streams data through a QuantileSketch and scores each

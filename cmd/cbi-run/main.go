@@ -40,7 +40,7 @@ func main() {
 		workload = flag.String("workload", "", "built-in workload name")
 		scheme   = flag.String("scheme", "", "schemes: returns, scalar-pairs, branches, bounds, asserts (comma separated)")
 		sample   = flag.Bool("sample", false, "apply the sampling transformation")
-		engine   = flag.String("engine", "compiled", "execution engine: compiled (bytecode VM) or tree (reference walker)")
+		engine   = flag.String("engine", "fused", "execution engine: fused (threaded bytecode VM), compiled (switch-dispatch bytecode VM), or tree (reference walker)")
 		density  = flag.Float64("density", 1.0/1000, "sampling density for -sample")
 		seed     = flag.Int64("seed", 1, "run seed (program rand and fuzzed environment)")
 		cdSeed   = flag.Int64("countdown-seed", 1, "countdown bank seed")
@@ -119,7 +119,7 @@ func main() {
 
 	eng, ok := interp.EngineOf(*engine)
 	if !ok {
-		fatal(fmt.Errorf("unknown engine %q (want compiled or tree)", *engine))
+		fatal(fmt.Errorf("unknown engine %q (want fused, compiled, or tree)", *engine))
 	}
 	telemetry.G(fmt.Sprintf("vm_engine{engine=%q}", eng)).Set(1)
 
@@ -138,7 +138,7 @@ func main() {
 	// Compile-once lowering; the telemetry span exposes its cost next to
 	// run.build / run.execute in the stage-timing summary.
 	var code *interp.Compiled
-	if eng == interp.EngineCompiled {
+	if eng != interp.EngineTree {
 		compileSpan := telemetry.StartSpan("run.compile")
 		code = interp.Compile(prog)
 		compileSpan.End()

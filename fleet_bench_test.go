@@ -50,7 +50,7 @@ func fleetBenchSetup(b *testing.B) (*workloads.Built, *report.DB) {
 
 func BenchmarkFleetParallel(b *testing.B) {
 	built, serial := fleetBenchSetup(b)
-	for _, engine := range []interp.Engine{interp.EngineCompiled, interp.EngineTree} {
+	for _, engine := range []interp.Engine{interp.EngineFused, interp.EngineCompiled, interp.EngineTree} {
 		for _, workers := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("engine=%s/workers%d", engine, workers), func(b *testing.B) {
 				b.ReportAllocs()

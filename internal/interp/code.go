@@ -1,6 +1,8 @@
 package interp
 
 import (
+	"fmt"
+
 	"cbi/internal/cfg"
 	"cbi/internal/minic"
 )
@@ -9,29 +11,39 @@ import (
 type Engine uint8
 
 const (
-	// EngineCompiled is the compile-once bytecode VM: the CFG is lowered
-	// to a flat instruction stream with enum opcodes, pre-resolved
-	// variable slots, and jump-target program counters, built once and
-	// shared read-only across every run (and every fleet goroutine).
-	// It is the zero value, i.e. the default.
-	EngineCompiled Engine = iota
+	// EngineFused is the fused/threaded bytecode VM: the compiled
+	// instruction stream is peephole-fused into superinstructions
+	// (compare+branch, load+binop+store, constant-operand arithmetic, and
+	// the sampling fast path countdown-decrement+branch) and dispatched
+	// through a per-opcode handler table (direct threading) instead of an
+	// enum switch. It is the zero value, i.e. the default.
+	EngineFused Engine = iota
+	// EngineCompiled is the compile-once bytecode VM with plain enum
+	// switch dispatch and no fusion, retained as a differential oracle
+	// for the fused engine (and as the speedup baseline in cbi-bench).
+	EngineCompiled
 	// EngineTree is the reference tree-walking interpreter, retained as
-	// the differential oracle for the compiled engine.
+	// the differential oracle for both bytecode engines.
 	EngineTree
 )
 
 // String returns the engine's flag spelling.
 func (e Engine) String() string {
-	if e == EngineTree {
+	switch e {
+	case EngineTree:
 		return "tree"
+	case EngineCompiled:
+		return "compiled"
 	}
-	return "compiled"
+	return "fused"
 }
 
 // EngineOf parses an engine flag value ("" means the default).
 func EngineOf(s string) (Engine, bool) {
 	switch s {
-	case "compiled", "":
+	case "fused", "":
+		return EngineFused, true
+	case "compiled":
 		return EngineCompiled, true
 	case "tree":
 		return EngineTree, true
@@ -84,7 +96,107 @@ const (
 	opRetVoid   // return 0
 	opThreshold // if countdown > slot then pc = b else pc = c
 	opBadTerm   // missing/malformed terminator; traps when reached
+
+	// Superinstructions. These appear only in the fused stream (fcode)
+	// built by fuseFunc and are executed only by the threaded engine's
+	// handler table — the switch engine never sees them, and grouping
+	// them after opBadTerm keeps its terminator classification
+	// (op >= opGoto) untouched. Each fused handler replicates the exact
+	// per-step fuel checks and profiler charges of the unfused sequence
+	// it replaces (see fused.go), so fusion changes dispatch counts only,
+	// never observable behaviour.
+	opFAssignBin     // dst = binop(bop, leaf a, leaf b)
+	opFAssignBinImm  // dst = binop(bop, leaf a, imm) — rhs was an int const
+	opFAssignLoad    // dst = leaf(a)[leaf(b)]
+	opFAssignLoadBin // dst = binop(bop, load-node a, leaf b)
+	opFAssignCell    // leaf(b)[leaf(c)] = leaf(a)
+	opFAssignCellBin // leaf(b)[leaf(c)] = binop(bin-node a)
+	opFIfBin         // if binop(bop, leaf slot, leaf a) then pc=b else pc=c
+	opFIfLeaf        // if leaf(a) then pc = b else pc = c
+	opFRetLeaf       // return leaf(a)
+	opFDecGoto       // countdown -= slot; pc = b (the sampling fast path)
+	opFDecThreshold  // countdown -= slot; if countdown > imm then pc=b else pc=c
+	opFDecIf         // countdown -= imm; then opIf on node a
+	opFDecIfBin      // countdown -= imm; then opFIfBin
+	opFDecIfLeaf     // countdown -= imm; then opFIfLeaf
+
+	// Deeper assignment specializations for the RHS shapes the fleet
+	// histogram shows dominating the remaining generic assigns.
+	opFAssignLeaf     // dst = leaf(a)
+	opFAssignBin3     // dst = binop(bop, binop(inner bin), leaf) — node a
+	opFAssignLoadLoad // dst = binop(bop, load, load) — node a
+
+	// Countdown-plumbing and call glue fusions. The instrumented streams
+	// are dominated by the frame-countdown import/export dance around
+	// calls and checkpoints (see the cbi-bench fleet histogram); these
+	// fold those fixed pairs into single dispatches. Goto tails need no
+	// opcodes at all: any sequential instruction followed by its block's
+	// Goto carries the target in gtail and the dispatch loop runs the
+	// goto step inline (fallthrough threading).
+	opFDecExport       // countdown -= slot; global countdown = frame countdown
+	opFExportCall      // cd export; then opCall
+	opFImportThreshold // cd import; then opThreshold
+	opFExportRet       // cd export; return eval(a)
+	opFExportRetVoid   // cd export; return 0
+	opFExportRetLeaf   // cd export; return leaf(a)
+
+	// nOpcodes sizes the threaded engine's handler table and the
+	// per-opcode execution histogram.
+	nOpcodes
 )
+
+// opNames spells opcodes for the cbi-bench per-opcode histogram.
+var opNames = [nOpcodes]string{
+	opAssignLocal:    "assign_local",
+	opAssignGlobal:   "assign_global",
+	opAssignCell:     "assign_cell",
+	opCall:           "call",
+	opCallBuiltin:    "call_builtin",
+	opSite:           "site",
+	opGuardedSite:    "guarded_site",
+	opCountdownDec:   "countdown_dec",
+	opCDImport:       "cd_import",
+	opCDExport:       "cd_export",
+	opBad:            "bad",
+	opGoto:           "goto",
+	opIf:             "if",
+	opRet:            "ret",
+	opRetVoid:        "ret_void",
+	opThreshold:      "threshold",
+	opBadTerm:        "bad_term",
+	opFAssignBin:     "f_assign_bin",
+	opFAssignBinImm:  "f_assign_bin_imm",
+	opFAssignLoad:    "f_assign_load",
+	opFAssignLoadBin: "f_assign_load_bin",
+	opFAssignCell:    "f_assign_cell",
+	opFAssignCellBin: "f_assign_cell_bin",
+	opFIfBin:         "f_if_bin",
+	opFIfLeaf:        "f_if_leaf",
+	opFRetLeaf:       "f_ret_leaf",
+	opFDecGoto:       "f_dec_goto",
+	opFDecThreshold:  "f_dec_threshold",
+	opFDecIf:         "f_dec_if",
+	opFDecIfBin:      "f_dec_if_bin",
+	opFDecIfLeaf:     "f_dec_if_leaf",
+
+	opFAssignLeaf:     "f_assign_leaf",
+	opFAssignBin3:     "f_assign_bin3",
+	opFAssignLoadLoad: "f_assign_load_load",
+
+	opFDecExport:       "f_dec_export",
+	opFExportCall:      "f_export_call",
+	opFImportThreshold: "f_import_threshold",
+	opFExportRet:       "f_export_ret",
+	opFExportRetVoid:   "f_export_ret_void",
+	opFExportRetLeaf:   "f_export_ret_leaf",
+}
+
+func (op copcode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op%d", uint8(op))
+}
 
 // opKinds maps instruction opcodes to the profiler path kind their steps
 // belong to, mirroring instrKind on the cfg.Instr forms.
@@ -107,8 +219,11 @@ type cinstr struct {
 	op        copcode
 	fresh     bool  // opCallBuiltin: host intrinsic — args need a fresh slice
 	dstGlobal bool  // call result goes to a global slot
+	bop       uint8 // fused ops: interned cfg.BinOp
 	slot      int32 // dst slot (calls/assigns), countdown delta, threshold weight
 	a, b, c   int32 // expression node indices or jump-target pcs (see opcodes)
+	gtail     int32 // fused stream: 1 + pc of a fused trailing Goto (0 = none)
+	imm       int64 // fused ops: constant operand / threshold weight
 	args      []int32
 	site      *cfg.Site
 	callee    *compiledFunc
@@ -146,14 +261,20 @@ type enode struct {
 }
 
 // compiledFunc is one function lowered to a flat instruction stream.
+// code/entry is the unfused stream the switch engine runs; fcode/fentry
+// is the superinstruction stream the threaded engine runs (built from
+// code by fuseFunc, sharing the same node pool).
 type compiledFunc struct {
 	name           string
 	code           []cinstr
 	nodes          []enode
 	zero           []Value // locals template: declared-type zero values
+	skipZero       bool    // every local written before read: prologue copy dead
 	paramSlots     []int32
 	localCountdown bool
 	entry          int // pc of the entry block
+	fcode          []cinstr
+	fentry         int
 }
 
 // Compiled is a program lowered once to bytecode. It is immutable after
@@ -173,9 +294,13 @@ func (c *Compiled) Run(conf Config) Result {
 }
 
 // NewVM prepares a VM bound to this compiled program without running it
-// (used by harnesses that install intrinsics referring to the VM).
+// (used by harnesses that install intrinsics referring to the VM). The
+// bytecode engine is taken from conf (EngineFused by default); a tree
+// request falls back to the default, since Compiled has no tree form.
 func (c *Compiled) NewVM(conf Config) *VM {
-	conf.Engine = EngineCompiled
+	if conf.Engine == EngineTree {
+		conf.Engine = EngineFused
+	}
 	vm := New(c.prog, conf)
 	vm.code = c
 	return vm
@@ -216,18 +341,24 @@ func (vm *VM) cdSetC(fr *cframe, v int64) {
 // ----------------------------------------------------------------------------
 // Execution
 
-// callC runs a compiled function and returns its value. It mirrors
-// vm.call step for step: the same fuel charges in the same order, the
-// same profiler synchronization points, and the same trap positions.
+// callC runs a compiled function and returns its value. Both bytecode
+// engines mirror vm.call step for step: the same fuel charges in the
+// same order, the same profiler synchronization points, and the same
+// trap positions. The frame prologue is shared; the body dispatches to
+// the enum-switch loop (EngineCompiled) or the fused/threaded loop
+// (EngineFused, see fused.go).
 func (vm *VM) callC(fn *compiledFunc, args []Value) (Value, error) {
+	// The epilogue (profiler exit, depth pop) runs explicitly on every
+	// return path rather than via defer: nothing in the engines panics
+	// past this frame (traps are error returns), and the two defers are
+	// measurable per-call overhead on call-heavy workloads.
 	vm.depth++
-	defer func() { vm.depth-- }()
 	if vm.depth > vm.maxDepth {
+		vm.depth--
 		return Value{}, &Trap{Kind: TrapStackOverflow, Msg: fn.name}
 	}
 	if vm.prof != nil {
 		vm.prof.enter(fn.name, vm.steps)
-		defer func() { vm.prof.exit(vm.steps) }()
 	}
 	fr := vm.frameAt(vm.depth)
 	fr.fn = fn
@@ -236,19 +367,46 @@ func (vm *VM) callC(fn *compiledFunc, args []Value) (Value, error) {
 	} else {
 		fr.locals = make([]Value, len(fn.zero))
 	}
-	copy(fr.locals, fn.zero)
+	if !fn.skipZero {
+		// Functions where some local may be read before it is written
+		// get the declared-zero template; the rest skip the copy — the
+		// stale values left in the reused arena are proven dead by
+		// computeSkipZero (definite.go).
+		copy(fr.locals, fn.zero)
+	}
 	for i, s := range fn.paramSlots {
 		if i < len(args) {
 			fr.locals[s] = args[i]
+		} else {
+			fr.locals[s] = fn.zero[s]
 		}
 	}
 	fr.cd = 0
 
+	var ret Value
+	var err error
+	if vm.engine == EngineCompiled {
+		ret, err = vm.execSwitch(fn, fr)
+	} else {
+		ret, err = vm.execFused(fn, fr)
+	}
+	if vm.prof != nil {
+		vm.prof.exit(vm.steps)
+	}
+	vm.depth--
+	return ret, err
+}
+
+// execSwitch is the unfused enum-switch dispatch loop.
+func (vm *VM) execSwitch(fn *compiledFunc, fr *cframe) (Value, error) {
 	code := fn.code
 	nodes := fn.nodes
 	pc := fn.entry
 	for {
 		in := &code[pc]
+		if vm.ops != nil {
+			vm.ops[in.op]++
+		}
 		if in.op >= opGoto {
 			// Terminator: one fuel-checked step, then dispatch. On fuel
 			// exhaustion the charge is baseline, as in the tree walker.
@@ -388,10 +546,18 @@ func (vm *VM) assignCellC(fr *cframe, nodes []enode, in *cinstr) error {
 func (vm *VM) callUserC(fr *cframe, nodes []enode, in *cinstr) error {
 	base := len(vm.argStack)
 	for _, a := range in.args {
-		v, err := vm.evalC(fr, nodes, a)
-		if err != nil {
-			vm.argStack = vm.argStack[:base]
-			return err
+		// Leaf arguments (the common case at call sites) skip the evalC
+		// call; the step charge is identical.
+		var v Value
+		if c := &nodes[a]; c.kind <= eGlobal {
+			vm.steps++
+			v = vm.leafC(fr, c)
+		} else {
+			var err error
+			if v, err = vm.evalC(fr, nodes, a); err != nil {
+				vm.argStack = vm.argStack[:base]
+				return err
+			}
 		}
 		vm.argStack = append(vm.argStack, v)
 	}
@@ -425,9 +591,15 @@ func (vm *VM) callBuiltinC(fr *cframe, nodes []enode, in *cinstr) error {
 		args = vm.scratch[:0]
 	}
 	for _, a := range in.args {
-		v, err := vm.evalC(fr, nodes, a)
-		if err != nil {
-			return err
+		var v Value
+		if c := &nodes[a]; c.kind <= eGlobal {
+			vm.steps++
+			v = vm.leafC(fr, c)
+		} else {
+			var err error
+			if v, err = vm.evalC(fr, nodes, a); err != nil {
+				return err
+			}
 		}
 		args = append(args, v)
 	}

@@ -65,6 +65,8 @@ func (c *Compiled) compileFunc(fn *cfg.Func, out *compiledFunc) {
 	if fn.Entry == nil {
 		out.code = []cinstr{{op: opBadTerm}}
 		out.entry = 0
+		out.fcode = out.code
+		out.fentry = 0
 		return
 	}
 
@@ -103,6 +105,17 @@ func (c *Compiled) compileFunc(fn *cfg.Func, out *compiledFunc) {
 	out.code = code
 	out.nodes = fc.nodes
 	out.entry = fc.pcOf[fn.Entry]
+
+	// Second pass: peephole-fuse the stream for the threaded engine.
+	starts := make([]int, len(blocks))
+	for i, b := range blocks {
+		starts[i] = fc.pcOf[b]
+	}
+	fuseFunc(out, starts)
+
+	// With the streams final, prove (or refuse) the prologue zero-copy
+	// elision; see definite.go.
+	out.skipZero = computeSkipZero(out)
 }
 
 func (fc *funcCompiler) instr(in cfg.Instr) cinstr {

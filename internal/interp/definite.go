@@ -1,0 +1,161 @@
+package interp
+
+// Definite-assignment analysis over the unfused instruction stream.
+//
+// callC's prologue copies fn.zero into the pooled locals arena on every
+// call; on call-heavy workloads that copy (a typedslicecopy of 48-byte
+// Values plus its write barriers) is a measurable share of the run. The
+// copy is unobservable when every local slot is written before it can
+// be read on every path from entry: the stale values left in the reused
+// arena are then dead on arrival. computeSkipZero proves that property
+// with a forward may-be-uninitialized dataflow over the instruction
+// CFG, and callC skips the copy for functions where it holds.
+//
+// The analysis runs on the unfused stream (fn.code): fusion neither
+// adds nor removes local reads or writes, so the proof carries over to
+// the fused stream, and the unfused opcode set is small enough to
+// enumerate exactly. Anything unrecognized — an opcode or expression
+// node kind outside the enumeration — conservatively keeps the copy.
+
+// uninitSet is a bitset of local slots that may still hold arena
+// garbage (rather than their declared zero value) at a program point.
+type uninitSet []uint64
+
+func (s uninitSet) has(slot int32) bool { return s[slot/64]&(1<<(uint(slot)%64)) != 0 }
+func (s uninitSet) clear(slot int32)    { s[slot/64] &^= 1 << (uint(slot) % 64) }
+
+// union merges src into s, reporting whether s grew.
+func (s uninitSet) union(src uninitSet) bool {
+	grew := false
+	for i, w := range src {
+		if s[i]|w != s[i] {
+			s[i] |= w
+			grew = true
+		}
+	}
+	return grew
+}
+
+// computeSkipZero reports whether every read of a local slot in fn is
+// dominated by a write to that slot, making the prologue's zero copy
+// dead. Param slots are written by the prologue itself and start
+// initialized.
+func computeSkipZero(fn *compiledFunc) bool {
+	nSlots := len(fn.zero)
+	if nSlots == 0 {
+		return true
+	}
+	code := fn.code
+	nodes := fn.nodes
+	words := (nSlots + 63) / 64
+
+	// May-be-uninit set at entry to each pc; nil = not yet reached.
+	states := make([]uninitSet, len(code))
+	entry := make(uninitSet, words)
+	for i := 0; i < nSlots; i++ {
+		entry[i/64] |= 1 << (uint(i) % 64)
+	}
+	for _, s := range fn.paramSlots {
+		entry.clear(s)
+	}
+	states[fn.entry] = entry
+
+	// readsUninit walks an expression tree checking eLocal reads
+	// against the current may-uninit set. Unknown node kinds fail the
+	// analysis (reported as an uninit read).
+	var readsUninit func(i int32, st uninitSet) bool
+	readsUninit = func(i int32, st uninitSet) bool {
+		n := &nodes[i]
+		switch n.kind {
+		case eConst, eStr, eNull, eGlobal, eNew:
+			return false
+		case eLocal:
+			return st.has(n.slot)
+		case eUn:
+			return readsUninit(n.a, st)
+		case eBin, eLoad:
+			return readsUninit(n.a, st) || readsUninit(n.b, st)
+		}
+		return true
+	}
+
+	work := []int{fn.entry}
+	// flow merges the out-state st into succ's in-state, enqueueing it
+	// when the state grew (or was first reached). ok is cleared by the
+	// transfer function below on any possibly-uninit read or on an
+	// opcode outside the unfused set.
+	flow := func(succ int32, st uninitSet) {
+		if states[succ] == nil {
+			states[succ] = append(uninitSet(nil), st...)
+			work = append(work, int(succ))
+		} else if states[succ].union(st) {
+			work = append(work, int(succ))
+		}
+	}
+	out := make(uninitSet, words)
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		copy(out, states[pc])
+		in := &code[pc]
+		switch in.op {
+		case opAssignLocal:
+			if readsUninit(in.a, out) {
+				return false
+			}
+			out.clear(in.slot)
+			flow(int32(pc+1), out)
+		case opAssignGlobal:
+			if readsUninit(in.a, out) {
+				return false
+			}
+			flow(int32(pc+1), out)
+		case opAssignCell:
+			if readsUninit(in.a, out) || readsUninit(in.b, out) || readsUninit(in.c, out) {
+				return false
+			}
+			flow(int32(pc+1), out)
+		case opCall, opCallBuiltin:
+			for _, a := range in.args {
+				if readsUninit(a, out) {
+					return false
+				}
+			}
+			if in.slot >= 0 && !in.dstGlobal {
+				out.clear(in.slot)
+			}
+			flow(int32(pc+1), out)
+		case opSite, opGuardedSite:
+			for _, a := range in.args {
+				if readsUninit(a, out) {
+					return false
+				}
+			}
+			flow(int32(pc+1), out)
+		case opCountdownDec, opCDImport, opCDExport:
+			flow(int32(pc+1), out)
+		case opBad:
+			// Traps unconditionally: no successor, no reads.
+		case opGoto:
+			flow(in.b, out)
+		case opIf:
+			if readsUninit(in.a, out) {
+				return false
+			}
+			flow(in.b, out)
+			flow(in.c, out)
+		case opThreshold:
+			flow(in.b, out)
+			flow(in.c, out)
+		case opRet:
+			if readsUninit(in.a, out) {
+				return false
+			}
+		case opRetVoid, opBadTerm:
+			// No successor, no reads.
+		default:
+			return false
+		}
+	}
+	return true
+}

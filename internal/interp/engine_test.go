@@ -11,10 +11,11 @@ import (
 	"cbi/internal/progen"
 )
 
-// The compiled engine must be bit-identical to the tree walker: same
-// counters, outcome, exit code, output, trap kind/position/message, step
-// totals, sample counts, and flight-recorder traces. These tests run the
-// same program through both engines and require the full Result to match.
+// The bytecode engines (switch-dispatch and fused/threaded) must be
+// bit-identical to the tree walker: same counters, outcome, exit code,
+// output, trap kind/position/message, step totals, sample counts, and
+// flight-recorder traces. These tests run the same program through all
+// three engines and require the full Result to match pairwise.
 
 var allSchemes = instrument.SchemeSet{
 	Returns: true, ScalarPairs: true, Branches: true, Bounds: true, Asserts: true,
@@ -47,16 +48,19 @@ func buildVariants(t testing.TB, src string) map[string]*cfg.Program {
 	return variants
 }
 
-// diffEngines runs p under conf on both engines and fails on any
-// difference in the observable Result.
+// diffEngines runs p under conf on all three engines and fails on any
+// difference in the observable Result, with the tree walker as the
+// reference.
 func diffEngines(t testing.TB, label string, p *cfg.Program, conf Config) {
 	t.Helper()
-	tc, cc := conf, conf
+	tc := conf
 	tc.Engine = EngineTree
-	cc.Engine = EngineCompiled
 	tree := Run(p, tc)
-	compiled := Run(p, cc)
-	assertSameResult(t, label, tree, compiled)
+	for _, eng := range []Engine{EngineCompiled, EngineFused} {
+		ec := conf
+		ec.Engine = eng
+		assertSameResult(t, label+"/"+eng.String(), tree, Run(p, ec))
+	}
 }
 
 func assertSameResult(t testing.TB, label string, tree, compiled Result) {
@@ -226,23 +230,25 @@ int main() {
 			},
 		},
 	}
-	tc, cc := conf, conf
+	tc := conf
 	tc.Engine = EngineTree
-	cc.Engine = EngineCompiled
 	tree := Run(p, tc)
 	treeRetained := retained
-	retained = nil
-	compiled := Run(p, cc)
-	assertSameResult(t, "intrinsics", tree, compiled)
-	if !reflect.DeepEqual(treeRetained, retained) {
-		t.Errorf("retained intrinsic args differ:\ntree:     %v\ncompiled: %v",
-			treeRetained, retained)
+	for _, eng := range []Engine{EngineCompiled, EngineFused} {
+		retained = nil
+		ec := conf
+		ec.Engine = eng
+		assertSameResult(t, "intrinsics/"+eng.String(), tree, Run(p, ec))
+		if !reflect.DeepEqual(treeRetained, retained) {
+			t.Errorf("retained intrinsic args differ:\ntree: %v\n%s:   %v",
+				treeRetained, eng, retained)
+		}
 	}
 }
 
 // TestCompiledSharedAcrossRuns checks the compile-once contract: one
-// Compiled value reused for many runs with different seeds matches
-// per-run tree-walker executions exactly.
+// Compiled value reused for many runs with different seeds — on either
+// bytecode engine — matches per-run tree-walker executions exactly.
 func TestCompiledSharedAcrossRuns(t *testing.T) {
 	src := progen.Generate(42, progen.DefaultConfig())
 	p := buildVariants(t, src)["sampled"]
@@ -252,8 +258,11 @@ func TestCompiledSharedAcrossRuns(t *testing.T) {
 		tc := conf
 		tc.Engine = EngineTree
 		tree := Run(p, tc)
-		compiled := code.Run(conf)
-		assertSameResult(t, fmt.Sprintf("shared/seed%d", seed), tree, compiled)
+		for _, eng := range []Engine{EngineCompiled, EngineFused} {
+			ec := conf
+			ec.Engine = eng
+			assertSameResult(t, fmt.Sprintf("shared/seed%d/%s", seed, eng), tree, code.Run(ec))
+		}
 	}
 }
 

@@ -1,0 +1,280 @@
+package interp
+
+// The peephole fusion pass. It rewrites a function's freshly compiled
+// instruction stream (compiledFunc.code) into the superinstruction
+// stream the threaded engine executes (compiledFunc.fcode), fusing hot
+// pairs/triples into single dispatches:
+//
+//   - assignments whose RHS is a small fixed shape — binop of two
+//     leaves, binop with an int-constant operand, a leaf-indexed load,
+//     or load+binop — become one op instead of an instruction plus a
+//     recursive expression walk;
+//   - all-leaf cell stores become one op;
+//   - conditional branches on a leaf or a leaf-leaf comparison fuse the
+//     condition into the branch;
+//   - returns of a leaf fuse the operand into the return;
+//   - and, critically, the sampling fast path: the coalesced
+//     CountdownDec that instrumentation leaves immediately before a
+//     block's terminator fuses with a Goto or Threshold into one op, so
+//     the paper's "decrement and fall through" costs one dispatch.
+//
+// Fusion is safe against jump targets by construction: the compiler
+// lays blocks out contiguously and every jump target is a block entry
+// (term() only emits block-entry pcs), so a fused pair can never be
+// entered mid-pair. The pass fuses strictly within one block and
+// remaps block-entry pcs into the fused stream afterwards.
+//
+// Fusion is invisible to every observable channel — step totals (also
+// at mid-superinstruction trap points), trap kinds/positions, profiler
+// per-path-kind charges — because each fused handler replays the exact
+// fuel checks and profiler charges of the unfused sequence (fused.go).
+
+// isLeaf reports whether a node is a non-recursing operand (constant or
+// variable read): leaves never trap and never recurse in evalC.
+func isLeaf(n *enode) bool { return n.kind <= eGlobal }
+
+// fuseFunc builds out.fcode/out.fentry from out.code. starts lists
+// block-entry pcs in layout order; blocks are contiguous and each ends
+// with exactly one terminator.
+func fuseFunc(out *compiledFunc, starts []int) {
+	nodes := out.nodes
+	remap := make(map[int32]int32, len(starts))
+	fcode := make([]cinstr, 0, len(out.code))
+	var elems []cinstr
+	for bi, s := range starts {
+		end := len(out.code)
+		if bi+1 < len(starts) {
+			end = starts[bi+1]
+		}
+		remap[int32(s)] = int32(len(fcode))
+		// Specialize every element of the block (the terminator last),
+		// then pair-fuse adjacent elements left to right, re-offering the
+		// fused result to the next element so chains collapse: dec+export
+		// fuses to FDecExport, export+call to FExportCall, and either one
+		// then absorbs a trailing block-ending Goto into gtail — so the
+		// instrumented export/call/goto glue around a call site becomes a
+		// single dispatch.
+		elems = elems[:0]
+		for i := s; i < end-1; i++ {
+			elems = append(elems, specializeInstr(&out.code[i], nodes))
+		}
+		elems = append(elems, specializeTerm(&out.code[end-1], nodes))
+		pend := elems[0]
+		for k := 1; k < len(elems); k++ {
+			if f, ok := fusePair(&pend, &elems[k]); ok {
+				pend = f
+				continue
+			}
+			fcode = append(fcode, pend)
+			pend = elems[k]
+		}
+		fcode = append(fcode, pend)
+	}
+	// Backstop for jump targets that are not block entries: unreachable
+	// for well-formed code, but fc.pc's defensive -1 lands on a trap
+	// here instead of panicking the exec loop.
+	bad := int32(len(fcode))
+	fcode = append(fcode, cinstr{op: opBadTerm})
+	mapPC := func(pc int32) int32 {
+		if v, ok := remap[pc]; ok {
+			return v
+		}
+		return bad
+	}
+	for i := range fcode {
+		in := &fcode[i]
+		if in.gtail != 0 {
+			in.gtail = mapPC(in.gtail-1) + 1
+		}
+		switch in.op {
+		case opGoto, opFDecGoto:
+			in.b = mapPC(in.b)
+		case opIf, opThreshold, opFIfBin, opFIfLeaf,
+			opFDecThreshold, opFDecIf, opFDecIfBin, opFDecIfLeaf,
+			opFImportThreshold:
+			in.b = mapPC(in.b)
+			in.c = mapPC(in.c)
+		}
+	}
+	out.fcode = fcode
+	out.fentry = int(mapPC(int32(out.entry)))
+}
+
+// specializeInstr rewrites one non-terminator instruction into its
+// superinstruction form when its operands match a fused shape, else
+// returns it unchanged.
+func specializeInstr(in *cinstr, nodes []enode) cinstr {
+	switch in.op {
+	case opAssignLocal, opAssignGlobal:
+		g := in.op == opAssignGlobal
+		n := &nodes[in.a]
+		switch {
+		case isLeaf(n):
+			return cinstr{op: opFAssignLeaf, dstGlobal: g, slot: in.slot, a: in.a}
+		case n.kind == eBin:
+			l, r := &nodes[n.a], &nodes[n.b]
+			if isLeaf(l) && isLeaf(r) {
+				if r.kind == eConst { // eConst is always KInt
+					return cinstr{op: opFAssignBinImm, dstGlobal: g, slot: in.slot,
+						bop: n.op, a: n.a, imm: r.val.I, pos: n.pos}
+				}
+				return cinstr{op: opFAssignBin, dstGlobal: g, slot: in.slot,
+					bop: n.op, a: n.a, b: n.b, pos: n.pos}
+			}
+			if l.kind == eLoad && isLeaf(&nodes[l.a]) && isLeaf(&nodes[l.b]) && isLeaf(r) {
+				return cinstr{op: opFAssignLoadBin, dstGlobal: g, slot: in.slot,
+					bop: n.op, a: n.a, b: n.b, pos: n.pos}
+			}
+			if l.kind == eBin && isLeaf(&nodes[l.a]) && isLeaf(&nodes[l.b]) && isLeaf(r) {
+				return cinstr{op: opFAssignBin3, dstGlobal: g, slot: in.slot,
+					bop: n.op, a: in.a, pos: n.pos}
+			}
+			if l.kind == eLoad && r.kind == eLoad &&
+				isLeaf(&nodes[l.a]) && isLeaf(&nodes[l.b]) &&
+				isLeaf(&nodes[r.a]) && isLeaf(&nodes[r.b]) {
+				return cinstr{op: opFAssignLoadLoad, dstGlobal: g, slot: in.slot,
+					bop: n.op, a: in.a, pos: n.pos}
+			}
+		case n.kind == eLoad:
+			if isLeaf(&nodes[n.a]) && isLeaf(&nodes[n.b]) {
+				return cinstr{op: opFAssignLoad, dstGlobal: g, slot: in.slot,
+					a: n.a, b: n.b, pos: n.pos}
+			}
+		}
+	case opAssignCell:
+		if isLeaf(&nodes[in.b]) && isLeaf(&nodes[in.c]) {
+			x := &nodes[in.a]
+			if isLeaf(x) {
+				f := *in
+				f.op = opFAssignCell
+				return f
+			}
+			if x.kind == eBin && isLeaf(&nodes[x.a]) && isLeaf(&nodes[x.b]) {
+				f := *in
+				f.op = opFAssignCellBin
+				return f
+			}
+		}
+	}
+	return *in
+}
+
+// specializeTerm rewrites one terminator into its superinstruction form
+// when its condition/operand is a fused shape, else returns it unchanged.
+func specializeTerm(in *cinstr, nodes []enode) cinstr {
+	switch in.op {
+	case opIf:
+		n := &nodes[in.a]
+		if isLeaf(n) {
+			f := *in
+			f.op = opFIfLeaf
+			return f
+		}
+		if n.kind == eBin && isLeaf(&nodes[n.a]) && isLeaf(&nodes[n.b]) {
+			return cinstr{op: opFIfBin, bop: n.op, slot: n.a, a: n.b,
+				b: in.b, c: in.c, pos: n.pos}
+		}
+	case opRet:
+		if isLeaf(&nodes[in.a]) {
+			f := *in
+			f.op = opFRetLeaf
+			return f
+		}
+	}
+	return *in
+}
+
+// fusePair fuses two adjacent (already specialized) block elements into
+// one superinstruction. Two families:
+//
+//   - the sampling fast path: instrumentation coalesces fast-path
+//     decrements to a single CountdownDec at block end, so dec+Goto,
+//     dec+If, and dec+Threshold are exactly the paper's "decrement, skip
+//     the probe, fall through" sequence — one dispatch;
+//   - the countdown plumbing around calls and checkpoints: import at
+//     function/region entry pairs with the entry checkpoint, export
+//     pairs with the call or return it precedes, and dec pairs with the
+//     export it feeds — the fixed glue the fleet histogram shows
+//     dominating instrumented dispatch;
+//   - and goto tails: any sequential instruction (fused or not)
+//     followed by its block's Goto absorbs the jump into gtail, so the
+//     dispatch loop runs the goto step inline after the instruction
+//     instead of dispatching it.
+func fusePair(x, y *cinstr) (cinstr, bool) {
+	switch x.op {
+	case opCountdownDec:
+		switch y.op {
+		case opGoto:
+			return cinstr{op: opFDecGoto, slot: x.slot, b: y.b}, true
+		case opThreshold:
+			return cinstr{op: opFDecThreshold, slot: x.slot,
+				imm: int64(y.slot), b: y.b, c: y.c}, true
+		case opCDExport:
+			return cinstr{op: opFDecExport, slot: x.slot}, true
+		case opIf, opFIfBin, opFIfLeaf:
+			// The If variants keep their operand fields; the decrement
+			// rides in imm (slot is taken by opFIfBin's left operand).
+			f := *y
+			switch y.op {
+			case opIf:
+				f.op = opFDecIf
+			case opFIfBin:
+				f.op = opFDecIfBin
+			case opFIfLeaf:
+				f.op = opFDecIfLeaf
+			}
+			f.imm = int64(x.slot)
+			return f, true
+		}
+	case opCDImport:
+		if y.op == opThreshold {
+			f := *y
+			f.op = opFImportThreshold
+			return f, true
+		}
+	case opCDExport:
+		switch y.op {
+		case opCall:
+			f := *y
+			f.op = opFExportCall
+			return f, true
+		case opRet:
+			f := *y
+			f.op = opFExportRet
+			return f, true
+		case opRetVoid:
+			f := *y
+			f.op = opFExportRetVoid
+			return f, true
+		case opFRetLeaf:
+			f := *y
+			f.op = opFExportRetLeaf
+			return f, true
+		}
+	}
+	// Goto-tail fusion: x must be a sequential instruction (its handler
+	// returns pc+1 on success) without a tail already fused in.
+	if y.op == opGoto && x.gtail == 0 && isSeqOp(x.op) {
+		f := *x
+		f.gtail = y.b + 1
+		return f, true
+	}
+	return cinstr{}, false
+}
+
+// isSeqOp reports whether op is a sequential instruction — one whose
+// handler falls through to pc+1 on success — and may therefore carry a
+// fused goto tail. Terminators and the dec/import+branch fusions return
+// jump targets and must not.
+func isSeqOp(op copcode) bool {
+	if op < opGoto {
+		return true
+	}
+	switch op {
+	case opFAssignBin, opFAssignBinImm, opFAssignLoad, opFAssignLoadBin,
+		opFAssignCell, opFAssignCellBin, opFAssignLeaf, opFAssignBin3,
+		opFAssignLoadLoad, opFDecExport, opFExportCall:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,77 @@
+package interp
+
+import (
+	"testing"
+
+	"cbi/internal/cfg"
+	"cbi/internal/instrument"
+	"cbi/internal/minic"
+)
+
+// benchProgram is a sampled workload shaped like the hot paths the
+// fusion pass targets: tight loops of scalar arithmetic, array
+// loads/stores, and comparisons, under bounds+branches instrumentation
+// so the countdown fast path dominates.
+func benchProgram(b *testing.B) *cfg.Program {
+	src := `
+int work(int n) {
+	int* a = alloc(64);
+	int s = 0;
+	for (int i = 0; i < 64; i++) { a[i] = i * 3; }
+	for (int r = 0; r < n; r++) {
+		for (int i = 0; i < 64; i++) {
+			int v = a[i];
+			s = s + v;
+			if (s > 100000) { s = s - 100000; }
+			a[i] = v + 1;
+		}
+	}
+	return s;
+}
+int main() { return work(200); }`
+	f, err := minic.Parse("bench.mc", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := cfg.Build(f, nil, &instrument.Schemes{Set: SchemeSetAll()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return instrument.Sample(p, instrument.DefaultOptions())
+}
+
+// SchemeSetAll mirrors the differential suite's allSchemes for benches.
+func SchemeSetAll() instrument.SchemeSet {
+	return instrument.SchemeSet{
+		Returns: true, ScalarPairs: true, Branches: true, Bounds: true, Asserts: true,
+	}
+}
+
+// BenchmarkEngineSteps compares steps/s of the three engines on the
+// same sampled program; the CI speedup gate lives in cbi-bench fleet,
+// this is the inner-loop view.
+func BenchmarkEngineSteps(b *testing.B) {
+	p := benchProgram(b)
+	code := Compile(p)
+	for _, eng := range []Engine{EngineTree, EngineCompiled, EngineFused} {
+		b.Run(eng.String(), func(b *testing.B) {
+			var steps uint64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				conf := Config{Seed: int64(i), CountdownSeed: int64(i), Density: 1.0 / 100, Engine: eng}
+				var res Result
+				if eng == EngineTree {
+					res = Run(p, conf)
+				} else {
+					res = code.Run(conf)
+				}
+				if res.Outcome != OutcomeOK {
+					b.Fatalf("run failed: %v", res.Trap)
+				}
+				steps += res.Steps
+			}
+			b.SetBytes(0)
+			b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+		})
+	}
+}

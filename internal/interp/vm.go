@@ -72,10 +72,11 @@ type Intrinsic func(vm *VM, args []Value) (Value, error)
 
 // Config configures one run.
 type Config struct {
-	// Engine selects the execution engine: the compile-once bytecode VM
-	// (EngineCompiled, the zero value and default) or the reference
-	// tree-walking interpreter (EngineTree), kept as the differential
-	// oracle. Both produce bit-identical Results.
+	// Engine selects the execution engine: the fused/threaded bytecode VM
+	// (EngineFused, the zero value and default), the unfused enum-switch
+	// bytecode VM (EngineCompiled), or the reference tree-walking
+	// interpreter (EngineTree). The latter two are kept as differential
+	// oracles. All three produce bit-identical Results.
 	Engine Engine
 	// Seed drives the program-visible rand() builtin.
 	Seed int64
@@ -108,6 +109,11 @@ type Config struct {
 	// a bounded flight recorder whose memory cost is fixed, preserving
 	// the §2.5 scalability constraint.
 	TraceCapacity int
+	// CountOps enables the per-opcode execution-frequency histogram
+	// (Result.OpCounts) on the bytecode engines, so fusion candidates are
+	// chosen from dispatch data. Ignored by the tree walker (no opcodes).
+	// Costs one nil check per dispatch when off.
+	CountOps bool
 	// Profile enables the per-function, per-path-kind step profiler
 	// (Result.Profile). It attributes every VM step to a calling-context
 	// tree node, so Table 2 / Figure 4 overhead ratios decompose into
@@ -145,6 +151,9 @@ type Result struct {
 	// Profile is the step-attribution profile (nil unless
 	// Config.Profile). Its totals sum to Steps exactly.
 	Profile *Profile
+	// OpCounts is the per-opcode dispatch histogram, keyed by opcode
+	// name (nil unless Config.CountOps on a bytecode engine).
+	OpCounts map[string]uint64
 }
 
 // VM executes one program run.
@@ -179,6 +188,20 @@ type VM struct {
 	cframes  []*cframe
 	argStack []Value // user-call argument scratch; LIFO with the call stack
 	scratch  []Value // probe/std-builtin argument scratch; never nests
+	fret     Value   // fused-engine return-value slot (see retPC)
+	ops      []uint64 // per-opcode dispatch counts (Config.CountOps)
+
+	// Bump arenas for guest heap objects (vm.alloc): headers and cell
+	// slices are carved from chunks so allocation-heavy guests cost two
+	// host allocations per chunk, not per object. Chunks start small and
+	// double up to a cap so light allocators don't pay for zeroing big
+	// chunks they never fill. Carved slices are full-capacity sub-slices
+	// that are never recycled, so the guest memory model (slack,
+	// use-after-free flags, IDs) is unchanged.
+	cellArena []Value
+	objArena  []Object
+	cellChunk int
+	objChunk  int
 }
 
 type frame struct {
@@ -188,9 +211,9 @@ type frame struct {
 }
 
 // Run executes prog's main function under cfg. With the default
-// EngineCompiled the program is lowered to bytecode first; callers that
-// execute the same program many times should Compile once and reuse the
-// result (see Compiled.Run).
+// EngineFused (or EngineCompiled) the program is lowered to bytecode
+// first; callers that execute the same program many times should
+// Compile once and reuse the result (see Compiled.Run).
 func Run(prog *cfg.Program, conf Config) Result {
 	vm := New(prog, conf)
 	return vm.Run()
@@ -225,6 +248,9 @@ func New(prog *cfg.Program, conf Config) *VM {
 	}
 	if conf.Profile {
 		vm.prof = newProfiler()
+	}
+	if conf.CountOps && conf.Engine != EngineTree {
+		vm.ops = make([]uint64, nOpcodes)
 	}
 	src := conf.Source
 	if src == nil && conf.Density > 0 {
@@ -330,6 +356,14 @@ func (vm *VM) finish(res Result) Result {
 		// By now every vm.call frame has unwound (its deferred exit
 		// claimed trailing steps), so the tree accounts for Steps exactly.
 		res.Profile = vm.prof.profile()
+	}
+	if vm.ops != nil {
+		res.OpCounts = make(map[string]uint64)
+		for op, n := range vm.ops {
+			if n > 0 {
+				res.OpCounts[copcode(op).String()] = n
+			}
+		}
 	}
 	return res
 }
@@ -679,12 +713,50 @@ func (vm *VM) alloc(n int) Value {
 		capacity *= 2
 	}
 	vm.nextObj++
-	obj := &Object{ID: vm.nextObj, Data: make([]Value, capacity), Size: n}
-	for i := range obj.Data {
-		obj.Data[i] = IntVal(0)
+	// Cells start as IntVal(0), which is Value's zero value (KInt == 0),
+	// so freshly carved (or freshly made) slices need no initialization
+	// pass. Oversized requests bypass the arena.
+	var data []Value
+	if capacity <= cellArenaMax {
+		if len(vm.cellArena) < capacity {
+			switch vm.cellChunk *= 2; {
+			case vm.cellChunk < cellArenaMin:
+				vm.cellChunk = cellArenaMin
+			case vm.cellChunk > cellArenaMax:
+				vm.cellChunk = cellArenaMax
+			}
+			if vm.cellChunk < capacity {
+				vm.cellChunk = capacity // ≤ cellArenaMax here
+			}
+			vm.cellArena = make([]Value, vm.cellChunk)
+		}
+		data = vm.cellArena[:capacity:capacity]
+		vm.cellArena = vm.cellArena[capacity:]
+	} else {
+		data = make([]Value, capacity)
 	}
+	if len(vm.objArena) == 0 {
+		if vm.objChunk < objArenaMax {
+			if vm.objChunk = vm.objChunk * 2; vm.objChunk < objArenaMin {
+				vm.objChunk = objArenaMin
+			}
+		}
+		vm.objArena = make([]Object, vm.objChunk)
+	}
+	obj := &vm.objArena[0]
+	vm.objArena = vm.objArena[1:]
+	obj.ID = vm.nextObj
+	obj.Data = data
+	obj.Size = n
 	return PtrVal(obj, 0)
 }
+
+const (
+	cellArenaMin = 256   // Values in the first cell-arena chunk
+	cellArenaMax = 16384 // chunk-size cap; larger requests bypass the arena
+	objArenaMin  = 32    // headers in the first object-arena chunk
+	objArenaMax  = 2048  // header chunk-size cap
+)
 
 // eval evaluates a pure expression.
 func (vm *VM) eval(fr *frame, e cfg.Expr) (Value, error) {

@@ -177,6 +177,70 @@ func TestPeriodicUnfairnessVsGeometricFairness(t *testing.T) {
 	}
 }
 
+// chiSquareGeometric draws n countdowns and computes the chi-square
+// goodness-of-fit statistic against the exact geometric PMF with
+// success probability p, over the cells k=1..maxK plus one tail cell
+// for k>maxK (so the cell probabilities sum to 1 and every expected
+// count stays well above the usual >=5 validity floor).
+func chiSquareGeometric(src Source, p float64, n int, maxK int64) float64 {
+	counts := make([]int64, maxK+1) // counts[k-1] for k<=maxK; counts[maxK] = tail
+	for i := 0; i < n; i++ {
+		if k := src.Next(); k > maxK {
+			counts[maxK]++
+		} else {
+			counts[k-1]++
+		}
+	}
+	chi := 0.0
+	for k := int64(1); k <= maxK; k++ {
+		e := stats.GeometricPMF(p, k) * float64(n)
+		o := float64(counts[k-1])
+		chi += (o - e) * (o - e) / e
+	}
+	e := math.Pow(1-p, float64(maxK)) * float64(n) // P(X > maxK)
+	o := float64(counts[maxK])
+	return chi + (o-e)*(o-e)/e
+}
+
+// TestGeometricChiSquareFairnessGate is the statistical fairness gate:
+// the countdown distribution must be indistinguishable from the ideal
+// geometric law (the inter-arrival distribution of a fair Bernoulli
+// process), and the test must have the power to reject an unfair
+// sampler — the periodic source fails the identical statistic by
+// orders of magnitude. Seeds are fixed, so the test is deterministic.
+func TestGeometricChiSquareFairnessGate(t *testing.T) {
+	const (
+		n    = 200000
+		maxK = 60
+		p    = 1.0 / 20
+		// chi-square critical value at significance 0.001 for 60 degrees
+		// of freedom (61 cells): a fair sampler exceeds this one run in a
+		// thousand, and the seeds are fixed.
+		crit = 99.61
+	)
+	for _, tc := range []struct {
+		name string
+		src  Source
+	}{
+		{"geometric", NewGeometric(13, p)},
+		// Bank sized to the sample count: cycling a smaller bank would
+		// multiply-count each draw and inflate the statistic.
+		{"bank", NewBank(NewGeometric(17, p), n)},
+		{"bernoulli", NewBernoulli(19, p)},
+	} {
+		if chi := chiSquareGeometric(tc.src, p, n, maxK); chi > crit {
+			t.Errorf("%s: chi-square %.1f exceeds the df=60 critical value %.2f — "+
+				"countdowns are not geometrically distributed", tc.name, chi, crit)
+		}
+	}
+
+	// Power: the periodic sampler (all mass on one cell) must fail the
+	// same test overwhelmingly, or the gate is vacuous.
+	if chi := chiSquareGeometric(&Periodic{Period: 20}, p, n, maxK); chi < 1000*crit {
+		t.Errorf("periodic sampler only scored chi-square %.1f — the fairness gate has no power", chi)
+	}
+}
+
 func TestBernoulliNextIsGeometric(t *testing.T) {
 	b := NewBernoulli(9, 1.0/20)
 	const n = 100000

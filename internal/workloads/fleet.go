@@ -40,8 +40,8 @@ type FleetConfig struct {
 	Density  float64
 	SeedBase int64
 	Fuel     uint64
-	// Engine selects the execution engine (default interp.EngineCompiled).
-	// With the compiled engine the program is lowered to bytecode once,
+	// Engine selects the execution engine (default interp.EngineFused).
+	// With the bytecode engines the program is lowered to bytecode once,
 	// before the workers launch, and the read-only compiled form is shared
 	// by every worker goroutine.
 	Engine interp.Engine
@@ -113,7 +113,7 @@ func runFleet(workload string, prog *cfg.Program, fc FleetConfig,
 	// all workers execute the same Compiled with per-run state confined
 	// to their own VMs.
 	var code *interp.Compiled
-	if fc.Engine == interp.EngineCompiled {
+	if fc.Engine != interp.EngineTree {
 		compileSpan := telemetry.StartSpan("fleet.compile")
 		code = interp.Compile(prog)
 		compileSpan.End()
